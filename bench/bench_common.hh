@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared helpers for the per-figure bench binaries: the Table 3 app
+ * list, the paper's ablation configurations, and small printing
+ * utilities. Each binary regenerates one table or figure of the paper's
+ * evaluation and prints the same rows/series.
+ */
+
+#ifndef NETCRAFTER_BENCH_BENCH_COMMON_HH
+#define NETCRAFTER_BENCH_BENCH_COMMON_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/config/system_config.hh"
+#include "src/harness/runner.hh"
+#include "src/harness/table.hh"
+#include "src/workloads/workload.hh"
+
+namespace netcrafter::bench {
+
+using config::SystemConfig;
+using harness::RunResult;
+using harness::Table;
+
+/** All Table 3 applications in the paper's order. */
+inline std::vector<std::string>
+apps()
+{
+    return workloads::workloadNames();
+}
+
+/** Baseline + Stitching with Selective Flit Pooling at the sweet spot. */
+inline SystemConfig
+stitchSelective32()
+{
+    return config::stitchingConfig(true, true, 32);
+}
+
+/** Stitching(+SelPool) + Trimming. */
+inline SystemConfig
+stitchTrim()
+{
+    SystemConfig cfg = stitchSelective32();
+    cfg.netcrafter.trimming = true;
+    cfg.l1FillMode = config::L1FillMode::TrimInterCluster;
+    return cfg;
+}
+
+/** The full NetCrafter design point (adds Sequencing). */
+inline SystemConfig
+fullNetcrafter()
+{
+    return config::netcrafterConfig();
+}
+
+/** Print the standard figure banner. */
+inline void
+banner(const std::string &fig, const std::string &caption)
+{
+    std::cout << "==============================================\n"
+              << fig << " - " << caption << "\n"
+              << "==============================================\n";
+}
+
+/** Speedup of @p v over @p base execution cycles. */
+inline double
+speedup(const RunResult &base, const RunResult &v)
+{
+    return static_cast<double>(base.cycles) /
+           static_cast<double>(v.cycles);
+}
+
+} // namespace netcrafter::bench
+
+#endif // NETCRAFTER_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Table 3: the evaluated applications and their access patterns, as
+ * registered in the workload registry.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+
+int
+main()
+{
+    using namespace netcrafter;
+    bench::banner("Table 3", "evaluated applications");
+
+    harness::Table table({"Abbr.", "Access Pattern", "Kernels"});
+    for (const auto &name : bench::apps()) {
+        auto wl = workloads::makeWorkload(name);
+        workloads::BuildContext ctx;
+        struct NullPlacement : workloads::PlacementDirectory
+        {
+            void place(Addr, GpuId) override {}
+        } placement;
+        ctx.placement = &placement;
+        wl->build(ctx);
+        table.addRow({wl->name(), wl->pattern(),
+                      std::to_string(wl->kernels().size())});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Example: exploring topologies and bandwidth points beyond the paper's
+ * 2x2 baseline. Builds 2-, 3- and 4-cluster systems at several
+ * inter-cluster bandwidths and reports how a random-access workload
+ * scales — illustrating that the SystemConfig topology knobs compose.
+ */
+
+#include <iostream>
+
+#include "src/config/system_config.hh"
+#include "src/gpu/system.hh"
+#include "src/harness/table.hh"
+#include "src/workloads/workload.hh"
+
+int
+main()
+{
+    using namespace netcrafter;
+
+    std::cout << "Topology explorer: SPMV across cluster counts and "
+                 "inter-cluster bandwidths\n"
+                 "(smaller per-GPU CU count so the sweep stays quick)\n\n";
+
+    harness::Table table({"clusters x gpus", "inter GB/s", "cycles",
+                          "inter-cluster util", "NetCrafter speedup"});
+
+    for (std::uint32_t clusters : {2u, 3u, 4u}) {
+        for (double inter_bw : {16.0, 32.0}) {
+            config::SystemConfig base = config::baselineConfig();
+            base.numClusters = clusters;
+            base.gpusPerCluster = 2;
+            base.interClusterGBps = inter_bw;
+            base.cusPerGpu = 16;
+
+            config::SystemConfig crafted = config::netcrafterConfig();
+            crafted.numClusters = clusters;
+            crafted.gpusPerCluster = 2;
+            crafted.interClusterGBps = inter_bw;
+            crafted.cusPerGpu = 16;
+
+            auto wl1 = workloads::makeWorkload("SPMV");
+            gpu::MultiGpuSystem sys_base(base);
+            sys_base.run(*wl1, 0.5);
+
+            auto wl2 = workloads::makeWorkload("SPMV");
+            gpu::MultiGpuSystem sys_nc(crafted);
+            sys_nc.run(*wl2, 0.5);
+
+            table.addRow(
+                {std::to_string(clusters) + " x 2",
+                 harness::Table::fmt(inter_bw, 0),
+                 std::to_string(sys_base.cycles()),
+                 harness::Table::pct(
+                     sys_base.network().interClusterUtilization()),
+                 harness::Table::fmt(
+                     static_cast<double>(sys_base.cycles()) /
+                     static_cast<double>(sys_nc.cycles()))});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nNetCrafter's win tracks inter-cluster utilization: "
+                 "the 2x2/16GB/s point is\nsaturated and gains the "
+                 "most, while adding clusters (more aggregate "
+                 "inter-cluster\nbandwidth for this fixed-size problem) "
+                 "or widening the links drains the\nbottleneck away - "
+                 "gains need the congestion the paper's scaling "
+                 "argument predicts.\n";
+    return 0;
+}

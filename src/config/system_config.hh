@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Whole-system configuration. Defaults reproduce Table 2 (the baseline
+ * non-uniform bandwidth multi-GPU configuration) with NetCrafter's
+ * mechanisms individually toggleable for the paper's ablations.
+ */
+
+#ifndef NETCRAFTER_CONFIG_SYSTEM_CONFIG_HH
+#define NETCRAFTER_CONFIG_SYSTEM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "src/sim/types.hh"
+
+namespace netcrafter::config {
+
+/** How the L1 vector cache fills lines (Sections 4.3, 5.3). */
+enum class L1FillMode : std::uint8_t
+{
+    /** Always fetch the whole 64B line (baseline). */
+    FullLine,
+
+    /**
+     * NetCrafter Trimming: responses crossing the inter-GPU-cluster
+     * network for requests needing <= one sector arrive trimmed and fill
+     * only that sector; all other fills bring the whole line.
+     */
+    TrimInterCluster,
+
+    /**
+     * Sector-cache baseline (Accel-Sim style): every fill brings only
+     * the requested sectors, regardless of which network it crossed.
+     */
+    SectorAlways,
+};
+
+/**
+ * What the Sequencing mechanism prioritizes on low-bandwidth links.
+ * PrioritizeData exists only for the Figure 8 characterization, which
+ * shows that prioritizing an equal number of data accesses *hurts*.
+ */
+enum class SequencingMode : std::uint8_t
+{
+    Off,
+    PrioritizePtw,  // the NetCrafter design point
+    PrioritizeData, // Figure 8 counterfactual
+};
+
+/** NetCrafter mechanism toggles (Section 4). */
+struct NetCrafterConfig
+{
+    /** Stitch compatible partly-filled flits (Section 4.2). */
+    bool stitching = false;
+
+    /** Delay ejection waiting for stitching candidates (Optimization I). */
+    bool flitPooling = false;
+
+    /** Exempt latency-critical (PTW) flits from pooling (Optimization II). */
+    bool selectivePooling = false;
+
+    /** Pooling window in cycles (Figure 18/19 sweeps 32-128; best: 32). */
+    Tick poolingWindow = 32;
+
+    /** Trim read responses crossing the inter-cluster network (4.3). */
+    bool trimming = false;
+
+    /** Trim granularity / L1 sector size in bytes (Figure 17: 4/8/16). */
+    std::uint32_t trimGranularity = 16;
+
+    /** Prioritize latency-critical flits on low-bandwidth links (4.3). */
+    SequencingMode sequencing = SequencingMode::Off;
+
+    /**
+     * Fraction of data packets flagged latency-critical in
+     * PrioritizeData mode (matched to the ~13% PTW share, Figure 9).
+     */
+    double priorityDataFraction = 0.13;
+
+    /** Cluster Queue capacity in 16B entries (Table 2: 1024). */
+    std::size_t clusterQueueEntries = 1024;
+
+    /** Entries scanned per partition when hunting stitch candidates. */
+    std::uint32_t stitchSearchDepth = 64;
+
+    /**
+     * Instantiate the controller (Cluster Queue + class round-robin)
+     * even with every mechanism off. Used by characterization
+     * experiments (Figure 8) that need the queueing structure as the
+     * reference point so only the priority policy differs.
+     */
+    bool forceController = false;
+
+    /** Any mechanism active => controller is instantiated in switches. */
+    bool
+    anyEnabled() const
+    {
+        return stitching || trimming ||
+               sequencing != SequencingMode::Off || forceController;
+    }
+};
+
+/** Full system configuration (Table 2 defaults). */
+struct SystemConfig
+{
+    // --- Topology -------------------------------------------------------
+    std::uint32_t numClusters = 2;
+    std::uint32_t gpusPerCluster = 2;
+
+    /** Intra-GPU-cluster (GPU <-> cluster switch) bandwidth, GB/s. */
+    double intraClusterGBps = 128.0;
+
+    /** Inter-GPU-cluster (switch <-> switch) bandwidth, GB/s. */
+    double interClusterGBps = 16.0;
+
+    /** Flit size in bytes (16 default; 8 in the Figure 21 study). */
+    std::uint32_t flitBytes = 16;
+
+    /** Switch processing pipeline latency, cycles. */
+    Tick switchLatency = 30;
+
+    /** Switch I/O buffer capacity, flits. */
+    std::size_t switchBufferEntries = 1024;
+
+    /** RDMA engine I/O buffer capacity, flits. */
+    std::size_t rdmaBufferEntries = 1024;
+
+    // --- Compute --------------------------------------------------------
+    std::uint32_t cusPerGpu = 64;
+
+    /** Wavefronts resident (schedulable) per CU. */
+    std::uint32_t maxWavesPerCu = 8;
+
+    /** Line requests a CU dispatches to its L1 per cycle. */
+    std::uint32_t cuIssueWidth = 1;
+
+    // --- L1 vector cache (per CU) ---------------------------------------
+    std::uint32_t l1Bytes = 64 * 1024;
+    std::uint32_t l1Assoc = 4;
+    Tick l1Latency = 20;
+    std::uint32_t l1MshrEntries = 32;
+    L1FillMode l1FillMode = L1FillMode::FullLine;
+
+    // --- L2 cache (per GPU, shared across GPUs) --------------------------
+    std::uint64_t l2BytesPerGpu = 4ull * 1024 * 1024;
+    std::uint32_t l2Assoc = 16;
+    std::uint32_t l2Banks = 16;
+    Tick l2Latency = 100;
+    std::uint32_t l2MshrEntries = 64;
+
+    // --- DRAM -------------------------------------------------------------
+    Tick dramLatency = 100;
+
+    /** DRAM bandwidth in bytes/cycle (1 TB/s at 1 GHz = 1024 B/cycle). */
+    std::uint32_t dramBytesPerCycle = 1024;
+
+    // --- Virtual memory ---------------------------------------------------
+    std::uint32_t l1TlbEntries = 32;
+    Tick l1TlbLatency = 1;
+    std::uint32_t l1TlbMshrEntries = 8;
+
+    std::uint32_t l2TlbEntries = 512;
+    std::uint32_t l2TlbAssoc = 8;
+    Tick l2TlbLatency = 10;
+    std::uint32_t l2TlbMshrEntries = 64;
+
+    std::uint32_t pwcEntries = 32;
+    Tick pwcLatency = 10;
+    std::uint32_t pageWalkers = 16;
+
+    // --- NetCrafter -------------------------------------------------------
+    NetCrafterConfig netcrafter;
+
+    /** Seed for all workload randomness. */
+    std::uint64_t seed = 1;
+
+    // --- Derived helpers --------------------------------------------------
+    std::uint32_t numGpus() const { return numClusters * gpusPerCluster; }
+
+    ClusterId
+    clusterOf(GpuId gpu) const
+    {
+        return gpu / gpusPerCluster;
+    }
+
+    /** Convert GB/s to flits per 1 GHz cycle (>= 1). */
+    std::uint32_t
+    flitsPerCycle(double gbps) const
+    {
+        double per_cycle = gbps / flitBytes;
+        auto flits = static_cast<std::uint32_t>(per_cycle + 0.5);
+        return flits == 0 ? 1 : flits;
+    }
+
+    std::uint32_t intraFlitsPerCycle() const
+    {
+        return flitsPerCycle(intraClusterGBps);
+    }
+
+    std::uint32_t interFlitsPerCycle() const
+    {
+        return flitsPerCycle(interClusterGBps);
+    }
+
+    /** Basic validity checks; NC_FATALs on bad combinations. */
+    void validate() const;
+};
+
+/** Table 2 baseline: non-uniform 128/16 GB/s, no NetCrafter. */
+SystemConfig baselineConfig();
+
+/** "Ideal" configuration: inter-cluster links as fast as intra. */
+SystemConfig idealConfig();
+
+/** Baseline + full NetCrafter (stitch + selective pooling @32 + trim +
+ *  sequencing), the configuration behind the headline Figure 14 bar. */
+SystemConfig netcrafterConfig();
+
+/** Baseline + stitching only (optionally with selective pooling). */
+SystemConfig stitchingConfig(bool pooling = true, bool selective = true,
+                             Tick window = 32);
+
+/** Baseline + 16B sector-cache L1 ("all trimming", Section 5.3). */
+SystemConfig sectorCacheConfig(std::uint32_t sector_bytes = 16);
+
+} // namespace netcrafter::config
+
+#endif // NETCRAFTER_CONFIG_SYSTEM_CONFIG_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The Trim Engine (Section 4.3): shrinks read-response packets crossing
+ * the inter-GPU-cluster network down to the single sector the requesting
+ * wavefront needs, using the trim bits the requester set in the unused
+ * upper address bits of the request.
+ */
+
+#ifndef NETCRAFTER_CORE_TRIM_ENGINE_HH
+#define NETCRAFTER_CORE_TRIM_ENGINE_HH
+
+#include <cstdint>
+
+#include "src/noc/packet.hh"
+
+namespace netcrafter::core {
+
+/** Statistics kept by a trim engine instance. */
+struct TrimStats
+{
+    /** Read responses whose payload was trimmed. */
+    std::uint64_t packetsTrimmed = 0;
+
+    /** Payload bytes removed from the wire. */
+    std::uint64_t bytesTrimmed = 0;
+};
+
+/** Decides on and applies payload trimming to read responses. */
+class TrimEngine
+{
+  public:
+    explicit TrimEngine(std::uint32_t granularity_bytes)
+        : granularity_(granularity_bytes)
+    {}
+
+    /** Trim granularity (the L1 sector size), bytes. */
+    std::uint32_t granularity() const { return granularity_; }
+
+    /**
+     * Whether @p pkt should be trimmed: a read response crossing the
+     * inter-cluster network whose requester flagged (via the trim bits)
+     * that it needs at most one sector, and whose payload still carries
+     * the full line.
+     */
+    bool
+    shouldTrim(const noc::Packet &pkt) const
+    {
+        return pkt.type == noc::PacketType::ReadRsp && pkt.interCluster &&
+               pkt.trimEligible && !pkt.trimmed &&
+               pkt.payloadBytes > granularity_;
+    }
+
+    /**
+     * Trim @p pkt's payload to one sector. Requires shouldTrim(pkt).
+     * Sets the trimmed flag and the sector index derived from the
+     * request's needed-byte offset.
+     */
+    void
+    trim(noc::Packet &pkt)
+    {
+        stats_.bytesTrimmed += pkt.payloadBytes - granularity_;
+        ++stats_.packetsTrimmed;
+        pkt.trimSector =
+            static_cast<std::uint8_t>(pkt.neededOffset / granularity_);
+        pkt.payloadBytes = granularity_;
+        pkt.trimmed = true;
+    }
+
+    /**
+     * Helper for requesters: true when a request touching
+     * [@p offset, @p offset + @p bytes) of a line fits one
+     * granularity-aligned sector (so the trim-request bit can be set).
+     */
+    static bool
+    fitsOneSector(std::uint32_t offset, std::uint32_t bytes,
+                  std::uint32_t granularity)
+    {
+        if (bytes == 0 || bytes > granularity)
+            return false;
+        return offset / granularity ==
+               (offset + bytes - 1) / granularity;
+    }
+
+    const TrimStats &stats() const { return stats_; }
+
+  private:
+    std::uint32_t granularity_;
+    TrimStats stats_;
+};
+
+} // namespace netcrafter::core
+
+#endif // NETCRAFTER_CORE_TRIM_ENGINE_HH

@@ -1,0 +1,42 @@
+#include "src/gpu/coalescer.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace netcrafter::gpu {
+
+std::vector<CoalescedAccess>
+coalesce(const workloads::Instruction &instr)
+{
+    std::vector<CoalescedAccess> out;
+    out.reserve(8);
+    std::unordered_map<Addr, std::size_t> index;
+    for (Addr addr : instr.addrs) {
+        if (addr == kAddrInvalid)
+            continue;
+        const Addr line = lineAddr(addr);
+        const std::uint32_t first =
+            static_cast<std::uint32_t>(addr - line);
+        std::uint32_t last = first + instr.elemBytes - 1;
+        // An element straddling the line boundary clamps to this line;
+        // a second access for the spill-over would be negligible and the
+        // generators avoid straddles anyway.
+        last = std::min(last, kCacheLineBytes - 1);
+
+        auto [it, inserted] = index.try_emplace(line, out.size());
+        if (inserted) {
+            out.push_back(CoalescedAccess{line, first, last - first + 1,
+                                          instr.isWrite});
+        } else {
+            CoalescedAccess &a = out[it->second];
+            const std::uint32_t lo = std::min(a.offset, first);
+            const std::uint32_t hi = std::max(a.offset + a.bytes - 1,
+                                              last);
+            a.offset = lo;
+            a.bytes = hi - lo + 1;
+        }
+    }
+    return out;
+}
+
+} // namespace netcrafter::gpu

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Compute Unit model (Section 2.1): executes resident wavefronts'
+ * memory-instruction streams. Each instruction is coalesced, its pages
+ * translated through the per-CU L1 TLB, and its line accesses dispatched
+ * to the per-CU L1 vector cache at the CU's issue rate. Compute between
+ * memory instructions is abstracted as a per-instruction delay; latency
+ * hiding comes from interleaving the resident wavefronts.
+ */
+
+#ifndef NETCRAFTER_GPU_COMPUTE_UNIT_HH
+#define NETCRAFTER_GPU_COMPUTE_UNIT_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <memory>
+
+#include "src/gpu/coalescer.hh"
+#include "src/mem/l1_cache.hh"
+#include "src/sim/sim_object.hh"
+#include "src/vm/tlb.hh"
+#include "src/workloads/workload.hh"
+
+namespace netcrafter::gpu {
+
+/** A wavefront handed to a CU for execution. */
+struct WaveDesc
+{
+    const workloads::Kernel *kernel = nullptr;
+    std::uint32_t cta = 0;
+    std::uint32_t wave = 0;
+
+    /** Seed from which the wavefront's private rng stream derives. */
+    std::uint64_t seed = 0;
+};
+
+/** Static configuration of one CU. */
+struct CuParams
+{
+    mem::L1Params l1;
+    vm::TlbParams l1Tlb;
+    std::uint32_t issueWidth = 1;
+    std::uint32_t maxResidentWaves = 8;
+};
+
+/** Per-CU compute model. */
+class ComputeUnit : public sim::SimObject
+{
+  public:
+    /**
+     * @param fill L1 miss path (to local L2 or remote GPU).
+     * @param tlb_miss L1 TLB miss path (to the shared L2 TLB).
+     * @param wave_done called whenever a resident wavefront retires,
+     *        letting the dispatcher refill the slot.
+     */
+    ComputeUnit(sim::Engine &engine, std::string name,
+                const CuParams &params, mem::L1Cache::FillFn fill,
+                vm::Tlb::MissHandler tlb_miss,
+                std::function<void()> wave_done);
+
+    /** True when another wavefront can be made resident. */
+    bool
+    hasFreeSlot() const
+    {
+        return waves_.size() < params_.maxResidentWaves;
+    }
+
+    /** Number of currently resident wavefronts. */
+    std::size_t residentWaves() const { return waves_.size(); }
+
+    /** Begin executing @p desc; requires hasFreeSlot(). */
+    void startWavefront(const WaveDesc &desc);
+
+    /** Wavefront memory instructions executed. */
+    std::uint64_t instructions() const { return instructions_; }
+
+    const mem::L1Cache &l1() const { return *l1_; }
+    const vm::Tlb &l1Tlb() const { return *l1Tlb_; }
+
+  private:
+    struct WaveState
+    {
+        WaveDesc desc;
+        Pcg32 rng;
+        std::uint32_t nextInstr = 0;
+
+        /** Accesses of the in-flight instruction, grouped by state. */
+        std::uint32_t pendingTranslations = 0;
+        std::uint32_t pendingLines = 0;
+        std::uint32_t computeDelay = 0;
+
+        explicit WaveState(const WaveDesc &d)
+            : desc(d), rng(d.seed, (static_cast<std::uint64_t>(d.cta)
+                                    << 20) ^ d.wave)
+        {}
+    };
+
+    /** One translated line access awaiting dispatch to the L1. */
+    struct PendingLine
+    {
+        WaveState *wave;
+        CoalescedAccess access;
+    };
+
+    void startInstruction(WaveState *wave);
+    void issueTranslation(WaveState *wave, Addr vpn,
+                          std::vector<CoalescedAccess> accesses);
+    void enqueueLines(WaveState *wave,
+                      const std::vector<CoalescedAccess> &accesses);
+    void lineDone(WaveState *wave);
+    void maybeFinishInstruction(WaveState *wave);
+    void retireWave(WaveState *wave);
+    void scheduleDispatch();
+    void dispatchCycle();
+
+    CuParams params_;
+    std::unique_ptr<mem::L1Cache> l1_;
+    std::unique_ptr<vm::Tlb> l1Tlb_;
+    std::function<void()> waveDone_;
+
+    std::list<WaveState> waves_;
+    std::deque<PendingLine> dispatchQueue_;
+    bool dispatchScheduled_ = false;
+
+    std::uint64_t instructions_ = 0;
+};
+
+} // namespace netcrafter::gpu
+
+#endif // NETCRAFTER_GPU_COMPUTE_UNIT_HH

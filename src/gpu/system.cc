@@ -1,0 +1,510 @@
+#include "src/gpu/system.hh"
+
+#include <bit>
+
+#include "src/sim/logging.hh"
+
+namespace netcrafter::gpu {
+
+MultiGpuSystem::MultiGpuSystem(const config::SystemConfig &cfg)
+    : cfg_(cfg), pageTable_(cfg.numGpus()),
+      priorityRng_(cfg.seed ^ 0x9e3779b97f4a7c15ull),
+      remoteReadBytes_({16, 32, 48, 63})
+{
+    cfg_.validate();
+    noc::resetPacketIds();
+    network_ = std::make_unique<noc::Network>(engine_, cfg_);
+    buildChips();
+}
+
+MultiGpuSystem::~MultiGpuSystem() = default;
+
+void
+MultiGpuSystem::buildChips()
+{
+    const std::uint32_t num_gpus = cfg_.numGpus();
+    chips_.resize(num_gpus);
+    for (GpuId g = 0; g < num_gpus; ++g) {
+        GpuChip &chip = chips_[g];
+        const std::string prefix = "gpu" + std::to_string(g);
+
+        chip.dram = std::make_unique<mem::Dram>(
+            engine_, prefix + ".dram", cfg_.dramLatency,
+            cfg_.dramBytesPerCycle);
+
+        mem::L2Params l2p;
+        l2p.sizeBytes = cfg_.l2BytesPerGpu;
+        l2p.assoc = cfg_.l2Assoc;
+        l2p.banks = cfg_.l2Banks;
+        l2p.lookupLatency = cfg_.l2Latency;
+        l2p.mshrEntries = cfg_.l2MshrEntries;
+        chip.l2 = std::make_unique<mem::L2Cache>(engine_, prefix + ".l2",
+                                                 l2p, *chip.dram);
+
+        vm::GmmuParams gmmu_params;
+        gmmu_params.pwcEntries = cfg_.pwcEntries;
+        gmmu_params.pwcLatency = cfg_.pwcLatency;
+        gmmu_params.walkers = cfg_.pageWalkers;
+        chip.gmmu = std::make_unique<vm::Gmmu>(
+            engine_, prefix + ".gmmu", gmmu_params, pageTable_,
+            [this, g](const vm::WalkStep &step,
+                      std::function<void()> done) {
+                fetchPte(g, step, std::move(done));
+            });
+
+        vm::TlbParams l2tlb_params;
+        l2tlb_params.entries = cfg_.l2TlbEntries;
+        l2tlb_params.assoc = cfg_.l2TlbAssoc;
+        l2tlb_params.lookupLatency = cfg_.l2TlbLatency;
+        l2tlb_params.mshrEntries = cfg_.l2TlbMshrEntries;
+        chip.l2Tlb = std::make_unique<vm::Tlb>(
+            engine_, prefix + ".l2tlb", l2tlb_params,
+            [this, g](Addr vpn, vm::Tlb::Callback done) {
+                chips_[g].gmmu->walk(vpn, std::move(done));
+            });
+
+        CuParams cu_params;
+        cu_params.l1.sizeBytes = cfg_.l1Bytes;
+        cu_params.l1.assoc = cfg_.l1Assoc;
+        cu_params.l1.lookupLatency = cfg_.l1Latency;
+        cu_params.l1.mshrEntries = cfg_.l1MshrEntries;
+        cu_params.l1.sectorBytes =
+            cfg_.l1FillMode == config::L1FillMode::FullLine
+                ? kCacheLineBytes
+                : cfg_.netcrafter.trimGranularity;
+        cu_params.l1Tlb.entries = cfg_.l1TlbEntries;
+        cu_params.l1Tlb.assoc = cfg_.l1TlbEntries; // fully associative
+        cu_params.l1Tlb.lookupLatency = cfg_.l1TlbLatency;
+        cu_params.l1Tlb.mshrEntries = cfg_.l1TlbMshrEntries;
+        cu_params.issueWidth = cfg_.cuIssueWidth;
+        cu_params.maxResidentWaves = cfg_.maxWavesPerCu;
+
+        chip.cus.reserve(cfg_.cusPerGpu);
+        for (std::uint32_t c = 0; c < cfg_.cusPerGpu; ++c) {
+            chip.cus.push_back(std::make_unique<ComputeUnit>(
+                engine_, prefix + ".cu" + std::to_string(c), cu_params,
+                [this, g](mem::FillRequest req) {
+                    l1Fill(g, std::move(req));
+                },
+                [this, g](Addr vpn, vm::Tlb::Callback done) {
+                    chips_[g].l2Tlb->access(vpn, std::move(done));
+                },
+                [this, g] { refillCus(g); }));
+        }
+
+        network_->rdma(g).setRequestHandler(
+            [this, g](noc::PacketPtr req) {
+                handleRemoteRequest(g, std::move(req));
+            });
+        network_->rdma(g).setResponseHandler(
+            [this](noc::PacketPtr rsp) { handleResponse(std::move(rsp)); });
+    }
+}
+
+void
+MultiGpuSystem::place(Addr vaddr, GpuId owner)
+{
+    pageTable_.place(vaddr, owner);
+}
+
+void
+MultiGpuSystem::markPriority(noc::Packet &pkt)
+{
+    // The separate PTW partition (Figure 13) is part of NetCrafter; a
+    // bare characterization controller (forceController with every
+    // mechanism off, the Figure 8 reference) queues PTW flits with data
+    // like the baseline switch would.
+    const bool bare_controller =
+        cfg_.netcrafter.forceController &&
+        !cfg_.netcrafter.stitching && !cfg_.netcrafter.trimming &&
+        cfg_.netcrafter.sequencing == config::SequencingMode::Off;
+    switch (cfg_.netcrafter.sequencing) {
+      case config::SequencingMode::Off:
+      case config::SequencingMode::PrioritizePtw:
+        // PTW traffic is the latency-critical class (Observation 3);
+        // with sequencing off the flag still routes PTW flits to their
+        // separate CQ partition (Figure 13) for Selective Flit Pooling.
+        pkt.latencyCritical = pkt.isPtw() && !bare_controller;
+        break;
+      case config::SequencingMode::PrioritizeData:
+        pkt.latencyCritical =
+            !pkt.isPtw() &&
+            priorityRng_.chance(cfg_.netcrafter.priorityDataFraction);
+        break;
+    }
+}
+
+mem::SectorMask
+MultiGpuSystem::fullL1Mask() const
+{
+    const std::uint32_t sector_bytes =
+        cfg_.l1FillMode == config::L1FillMode::FullLine
+            ? kCacheLineBytes
+            : cfg_.netcrafter.trimGranularity;
+    return mem::fullMask(kCacheLineBytes / sector_bytes);
+}
+
+mem::SectorMask
+MultiGpuSystem::maskForRange(std::uint32_t offset,
+                             std::uint32_t bytes) const
+{
+    const std::uint32_t sector_bytes =
+        cfg_.l1FillMode == config::L1FillMode::FullLine
+            ? kCacheLineBytes
+            : cfg_.netcrafter.trimGranularity;
+    const std::uint32_t first = offset / sector_bytes;
+    const std::uint32_t last = (offset + bytes - 1) / sector_bytes;
+    mem::SectorMask mask = 0;
+    for (std::uint32_t s = first; s <= last; ++s)
+        mask |= 1ull << s;
+    return mask;
+}
+
+void
+MultiGpuSystem::l1Fill(GpuId g, mem::FillRequest req)
+{
+    const Addr line = req.line;
+    const GpuId owner = pageTable_.dataOwner(line);
+
+    if (req.isWrite) {
+        if (owner == g) {
+            chips_[g].l2->write(line, [done = std::move(req.done)] {
+                done(0);
+            });
+            return;
+        }
+        auto pkt = noc::makePacket(noc::PacketType::WriteReq, g, owner,
+                                   line);
+        markPriority(*pkt);
+        outstanding_[pkt->id] =
+            [done = std::move(req.done)](const noc::Packet &) {
+                done(0);
+            };
+        network_->sendPacket(std::move(pkt));
+        return;
+    }
+
+    if (owner == g) {
+        ++localReads_;
+        const mem::SectorMask mask =
+            cfg_.l1FillMode == config::L1FillMode::SectorAlways
+                ? maskForRange(req.offset, req.bytes)
+                : fullL1Mask();
+        chips_[g].l2->read(line, [done = std::move(req.done), mask] {
+            done(mask);
+        });
+        return;
+    }
+
+    ++remoteReads_;
+    auto pkt = noc::makePacket(noc::PacketType::ReadReq, g, owner, line);
+    pkt->bytesNeeded = static_cast<std::uint8_t>(
+        std::min<std::uint32_t>(req.bytes, kCacheLineBytes));
+    pkt->neededOffset = static_cast<std::uint8_t>(req.offset);
+    pkt->trimEligible =
+        cfg_.netcrafter.trimming &&
+        core::TrimEngine::fitsOneSector(req.offset, req.bytes,
+                                        cfg_.netcrafter.trimGranularity);
+    markPriority(*pkt);
+
+    const bool inter_cluster =
+        cfg_.clusterOf(g) != cfg_.clusterOf(owner);
+    if (inter_cluster)
+        remoteReadBytes_.sample(req.bytes);
+
+    const Tick t0 = engine_.now();
+    outstanding_[pkt->id] = [this, t0, inter_cluster,
+                             req = std::move(req)](
+                                const noc::Packet &rsp) {
+        if (inter_cluster)
+            interReadLatency_.sample(
+                static_cast<double>(engine_.now() - t0));
+        mem::SectorMask mask;
+        if (rsp.payloadBytes < kCacheLineBytes) {
+            // Trimmed (NetCrafter) or sector (SectorAlways) response:
+            // only the requested sectors arrived.
+            mask = maskForRange(rsp.neededOffset, rsp.bytesNeeded);
+        } else {
+            mask = fullL1Mask();
+        }
+        req.done(mask);
+    };
+    network_->sendPacket(std::move(pkt));
+}
+
+void
+MultiGpuSystem::fetchPte(GpuId g, const vm::WalkStep &step,
+                         std::function<void()> done)
+{
+    if (step.owner == g) {
+        chips_[g].l2->read(lineAddr(step.pteAddr), std::move(done));
+        return;
+    }
+    auto pkt = noc::makePacket(noc::PacketType::PageTableReq, g,
+                               step.owner, step.pteAddr);
+    markPriority(*pkt);
+    outstanding_[pkt->id] =
+        [done = std::move(done)](const noc::Packet &) { done(); };
+    network_->sendPacket(std::move(pkt));
+}
+
+void
+MultiGpuSystem::handleRemoteRequest(GpuId owner, noc::PacketPtr req)
+{
+    switch (req->type) {
+      case noc::PacketType::ReadReq: {
+        chips_[owner].l2->read(req->addr, [this, owner, req] {
+            auto rsp = noc::makePacket(noc::PacketType::ReadRsp, owner,
+                                       req->src, req->addr);
+            rsp->reqId = req->id;
+            rsp->bytesNeeded = req->bytesNeeded;
+            rsp->neededOffset = req->neededOffset;
+            rsp->trimEligible = req->trimEligible;
+            rsp->latencyCritical = req->latencyCritical;
+            if (cfg_.l1FillMode == config::L1FillMode::SectorAlways &&
+                req->bytesNeeded > 0) {
+                // Sector-cache baseline: the response carries only the
+                // requested sectors no matter which network it crosses.
+                const mem::SectorMask mask =
+                    maskForRange(req->neededOffset, req->bytesNeeded);
+                rsp->payloadBytes =
+                    static_cast<std::uint32_t>(std::popcount(mask)) *
+                    cfg_.netcrafter.trimGranularity;
+                rsp->trimmed = true;
+                rsp->trimSector = static_cast<std::uint8_t>(
+                    req->neededOffset / cfg_.netcrafter.trimGranularity);
+            }
+            network_->sendPacket(std::move(rsp));
+        });
+        break;
+      }
+      case noc::PacketType::WriteReq: {
+        chips_[owner].l2->write(req->addr, [this, owner, req] {
+            auto rsp = noc::makePacket(noc::PacketType::WriteRsp, owner,
+                                       req->src, req->addr);
+            rsp->reqId = req->id;
+            rsp->latencyCritical = req->latencyCritical;
+            network_->sendPacket(std::move(rsp));
+        });
+        break;
+      }
+      case noc::PacketType::PageTableReq: {
+        chips_[owner].l2->read(lineAddr(req->addr), [this, owner, req] {
+            auto rsp = noc::makePacket(noc::PacketType::PageTableRsp,
+                                       owner, req->src, req->addr);
+            rsp->reqId = req->id;
+            rsp->latencyCritical = req->latencyCritical;
+            network_->sendPacket(std::move(rsp));
+        });
+        break;
+      }
+      default:
+        NC_PANIC("response packet delivered to request handler: ",
+                 req->toString());
+    }
+}
+
+void
+MultiGpuSystem::handleResponse(noc::PacketPtr rsp)
+{
+    auto it = outstanding_.find(rsp->reqId);
+    NC_ASSERT(it != outstanding_.end(),
+              "response for unknown request: ", rsp->toString());
+    auto done = std::move(it->second);
+    outstanding_.erase(it);
+    done(*rsp);
+}
+
+void
+MultiGpuSystem::dispatchKernel(const workloads::Kernel &kernel,
+                               std::uint64_t kernel_seed)
+{
+    const workloads::KernelInfo info = kernel.info();
+    for (std::uint32_t cta = 0; cta < info.numCtas; ++cta) {
+        const GpuId home = kernel.ctaHome(cta, cfg_.numGpus());
+        NC_ASSERT(home < cfg_.numGpus(), "CTA scheduled to bad GPU");
+        for (std::uint32_t w = 0; w < info.wavesPerCta; ++w) {
+            WaveDesc desc;
+            desc.kernel = &kernel;
+            desc.cta = cta;
+            desc.wave = w;
+            desc.seed = kernel_seed;
+            chips_[home].pendingWaves.push_back(desc);
+        }
+    }
+    for (GpuId g = 0; g < cfg_.numGpus(); ++g)
+        refillCus(g);
+}
+
+void
+MultiGpuSystem::refillCus(GpuId g)
+{
+    GpuChip &chip = chips_[g];
+    if (chip.pendingWaves.empty())
+        return;
+    for (auto &cu : chip.cus) {
+        while (cu->hasFreeSlot() && !chip.pendingWaves.empty()) {
+            cu->startWavefront(chip.pendingWaves.front());
+            chip.pendingWaves.pop_front();
+        }
+        if (chip.pendingWaves.empty())
+            break;
+    }
+}
+
+void
+MultiGpuSystem::run(workloads::Workload &workload, double scale,
+                    Tick max_cycles)
+{
+    workloads::BuildContext ctx;
+    ctx.numGpus = cfg_.numGpus();
+    ctx.scale = scale;
+    ctx.seed = cfg_.seed;
+    ctx.placement = this;
+    workload.build(ctx);
+
+    std::uint64_t kernel_idx = 0;
+    for (const auto &kernel : workload.kernels()) {
+        const std::uint64_t kernel_seed =
+            cfg_.seed + 0x1000003ull * ++kernel_idx;
+        dispatchKernel(*kernel, kernel_seed);
+        // The event queue drains exactly when every wavefront retired
+        // and all induced traffic (acks, write-backs) finished: the
+        // inter-kernel barrier.
+        const bool drained = engine_.run(max_cycles);
+        if (!drained) {
+            NC_FATAL(workload.name(), ": kernel ", kernel_idx,
+                     " exceeded the cycle limit (", max_cycles,
+                     ") - livelock or undersized limit");
+        }
+    }
+}
+
+void
+MultiGpuSystem::dumpStats(std::ostream &os) const
+{
+    stats::Registry reg;
+    reg.counter("system.cycles").inc(engine_.now());
+    reg.counter("system.events").inc(engine_.eventsExecuted());
+    reg.counter("system.instructions").inc(totalInstructions());
+    reg.counter("system.remoteReads").inc(remoteReads_);
+    reg.counter("system.localReads").inc(localReads_);
+    reg.counter("network.interClusterFlits")
+        .inc(network_->interClusterFlits());
+    reg.counter("network.interClusterWireBytes")
+        .inc(network_->interClusterWireBytes());
+
+    for (GpuId g = 0; g < cfg_.numGpus(); ++g) {
+        const GpuChip &chip = chips_[g];
+        const std::string p = "gpu" + std::to_string(g) + ".";
+        std::uint64_t l1_acc = 0, l1_hit = 0, l1_miss = 0, instrs = 0;
+        for (const auto &cu : chip.cus) {
+            l1_acc += cu->l1().readAccesses();
+            l1_hit += cu->l1().readHits();
+            l1_miss += cu->l1().readMisses();
+            instrs += cu->instructions();
+        }
+        reg.counter(p + "instructions").inc(instrs);
+        reg.counter(p + "l1.readAccesses").inc(l1_acc);
+        reg.counter(p + "l1.readHits").inc(l1_hit);
+        reg.counter(p + "l1.readMisses").inc(l1_miss);
+        reg.counter(p + "l2.accesses").inc(chip.l2->accesses());
+        reg.counter(p + "l2.hits").inc(chip.l2->hits());
+        reg.counter(p + "l2.misses").inc(chip.l2->misses());
+        reg.counter(p + "l2.writebacks").inc(chip.l2->writebacks());
+        reg.counter(p + "l2tlb.hits").inc(chip.l2Tlb->hits());
+        reg.counter(p + "l2tlb.misses").inc(chip.l2Tlb->misses());
+        reg.counter(p + "gmmu.walks").inc(chip.gmmu->walksStarted());
+        reg.counter(p + "gmmu.pteFetches").inc(chip.gmmu->pteFetches());
+        reg.counter(p + "dram.accesses").inc(chip.dram->accesses());
+        reg.counter(p + "dram.bytes").inc(chip.dram->bytesAccessed());
+    }
+
+    for (ClusterId f = 0; f < cfg_.numClusters; ++f) {
+        for (ClusterId t = 0; t < cfg_.numClusters; ++t) {
+            if (f == t)
+                continue;
+            const auto *ctrl = network_->controller(f, t);
+            if (!ctrl)
+                continue;
+            const std::string p = "netcrafter." + std::to_string(f) +
+                                  "to" + std::to_string(t) + ".";
+            reg.counter(p + "flitsEjected")
+                .inc(ctrl->stats().flitsEjected);
+            reg.counter(p + "poolingArms")
+                .inc(ctrl->stats().poolingArms);
+            reg.counter(p + "stitched")
+                .inc(ctrl->stitchStats().candidatesAbsorbed);
+            reg.counter(p + "trimmedPackets")
+                .inc(ctrl->trimStats().packetsTrimmed);
+            reg.counter(p + "bytesTrimmed")
+                .inc(ctrl->trimStats().bytesTrimmed);
+        }
+    }
+    reg.dump(os);
+}
+
+std::uint64_t
+MultiGpuSystem::totalInstructions() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &chip : chips_)
+        for (const auto &cu : chip.cus)
+            sum += cu->instructions();
+    return sum;
+}
+
+std::uint64_t
+MultiGpuSystem::l1ReadAccesses() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &chip : chips_)
+        for (const auto &cu : chip.cus)
+            sum += cu->l1().readAccesses();
+    return sum;
+}
+
+std::uint64_t
+MultiGpuSystem::l1ReadMisses() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &chip : chips_)
+        for (const auto &cu : chip.cus)
+            sum += cu->l1().readMisses();
+    return sum;
+}
+
+double
+MultiGpuSystem::l1Mpki() const
+{
+    // MPKI per kilo *thread* instruction, the conventional granularity.
+    const std::uint64_t instrs = threadInstructions();
+    return instrs ? 1000.0 * static_cast<double>(l1ReadMisses()) /
+                        static_cast<double>(instrs)
+                  : 0.0;
+}
+
+std::uint64_t
+MultiGpuSystem::pageWalks() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &chip : chips_)
+        sum += chip.gmmu->walksStarted();
+    return sum;
+}
+
+double
+MultiGpuSystem::meanWalkLength() const
+{
+    double sum = 0;
+    std::uint32_t n = 0;
+    for (const auto &chip : chips_) {
+        if (chip.gmmu->walksStarted() > 0) {
+            sum += chip.gmmu->meanWalkLength();
+            ++n;
+        }
+    }
+    return n ? sum / n : 0.0;
+}
+
+} // namespace netcrafter::gpu

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The assembled non-uniform bandwidth multi-GPU system (Figure 2): GPUs
+ * (CUs + L1s + TLBs + GMMU + L2 + DRAM) on a hierarchical interconnect,
+ * with unified virtual memory, LASP placement, and — when enabled — the
+ * NetCrafter controllers inside the cluster switches.
+ *
+ * This is the library's main entry point: construct with a
+ * SystemConfig, run() a Workload, then read the statistics accessors.
+ */
+
+#ifndef NETCRAFTER_GPU_SYSTEM_HH
+#define NETCRAFTER_GPU_SYSTEM_HH
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/config/system_config.hh"
+#include "src/gpu/compute_unit.hh"
+#include "src/mem/dram.hh"
+#include "src/mem/l2_cache.hh"
+#include "src/noc/network.hh"
+#include "src/sim/engine.hh"
+#include "src/stats/stats.hh"
+#include "src/vm/gmmu.hh"
+#include "src/vm/page_table.hh"
+#include "src/vm/tlb.hh"
+#include "src/workloads/workload.hh"
+
+namespace netcrafter::gpu {
+
+/** A complete multi-GPU system. */
+class MultiGpuSystem : public workloads::PlacementDirectory
+{
+  public:
+    explicit MultiGpuSystem(const config::SystemConfig &cfg);
+    ~MultiGpuSystem() override;
+
+    /**
+     * Execute @p workload to completion (all kernels, barrier between
+     * them). @p scale multiplies problem sizes; @p max_cycles aborts a
+     * hung simulation.
+     */
+    void run(workloads::Workload &workload, double scale = 1.0,
+             Tick max_cycles = 2'000'000'000ull);
+
+    // PlacementDirectory -----------------------------------------------
+    void place(Addr vaddr, GpuId owner) override;
+
+    // Results ------------------------------------------------------------
+    /** Total execution time in cycles. */
+    Tick cycles() const { return engine_.now(); }
+
+    /** Wavefront memory instructions executed, all GPUs. */
+    std::uint64_t totalInstructions() const;
+
+    /** Per-thread instructions (wavefront instructions x 64 lanes). */
+    std::uint64_t
+    threadInstructions() const
+    {
+        return totalInstructions() * kWavefrontSize;
+    }
+
+    std::uint64_t l1ReadAccesses() const;
+    std::uint64_t l1ReadMisses() const;
+
+    /** L1 read misses per kilo wavefront instruction (Figures 16/17). */
+    double l1Mpki() const;
+
+    /** Latency of inter-cluster remote reads, cycles (Figures 5/15). */
+    const stats::Average &interClusterReadLatency() const
+    {
+        return interReadLatency_;
+    }
+
+    /**
+     * Bytes-needed census of inter-cluster read requests, bucketed
+     * <=16 / <=32 / <=48 / <64 / 64 (Figure 7).
+     */
+    const stats::Distribution &remoteReadBytesNeeded() const
+    {
+        return remoteReadBytes_;
+    }
+
+    const noc::Network &network() const { return *network_; }
+    const vm::PageTable &pageTable() const { return pageTable_; }
+    const config::SystemConfig &cfg() const { return cfg_; }
+    sim::Engine &engine() { return engine_; }
+
+    /** Aggregated GMMU walk count across GPUs. */
+    std::uint64_t pageWalks() const;
+
+    /** Mean PTE fetches per walk across GPUs. */
+    double meanWalkLength() const;
+
+    /** Remote (cross-GPU) read requests issued. */
+    std::uint64_t remoteReads() const { return remoteReads_; }
+
+    /** Local L2-satisfied read requests. */
+    std::uint64_t localReads() const { return localReads_; }
+
+    /** Requests still awaiting a response (0 after a completed run). */
+    std::size_t outstandingRequests() const { return outstanding_.size(); }
+
+    /**
+     * Export every statistic the system tracks into a Registry (counter
+     * names are hierarchical, e.g. "gpu0.l1.readMisses") and dump it.
+     */
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    struct GpuChip
+    {
+        std::unique_ptr<mem::Dram> dram;
+        std::unique_ptr<mem::L2Cache> l2;
+        std::unique_ptr<vm::Tlb> l2Tlb;
+        std::unique_ptr<vm::Gmmu> gmmu;
+        std::vector<std::unique_ptr<ComputeUnit>> cus;
+        std::deque<WaveDesc> pendingWaves;
+    };
+
+    void buildChips();
+    void markPriority(noc::Packet &pkt);
+    void handleRemoteRequest(GpuId owner, noc::PacketPtr req);
+    void handleResponse(noc::PacketPtr rsp);
+    void l1Fill(GpuId g, mem::FillRequest req);
+    void fetchPte(GpuId g, const vm::WalkStep &step,
+                  std::function<void()> done);
+    mem::SectorMask fullL1Mask() const;
+    mem::SectorMask maskForRange(std::uint32_t offset,
+                                 std::uint32_t bytes) const;
+    void dispatchKernel(const workloads::Kernel &kernel,
+                        std::uint64_t kernel_seed);
+    void refillCus(GpuId g);
+
+    config::SystemConfig cfg_;
+    sim::Engine engine_;
+    vm::PageTable pageTable_;
+    std::unique_ptr<noc::Network> network_;
+    std::vector<GpuChip> chips_;
+    Pcg32 priorityRng_;
+
+    /** request packet id -> response continuation. */
+    std::unordered_map<std::uint64_t,
+                       std::function<void(const noc::Packet &)>>
+        outstanding_;
+
+    stats::Average interReadLatency_;
+    stats::Distribution remoteReadBytes_;
+    std::uint64_t remoteReads_ = 0;
+    std::uint64_t localReads_ = 0;
+};
+
+} // namespace netcrafter::gpu
+
+#endif // NETCRAFTER_GPU_SYSTEM_HH

@@ -1,0 +1,108 @@
+#include "src/harness/runner.hh"
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "src/gpu/system.hh"
+#include "src/sim/logging.hh"
+#include "src/workloads/workload.hh"
+
+namespace netcrafter::harness {
+
+RunResult
+runWorkload(const std::string &workload_name,
+            const config::SystemConfig &cfg, double scale)
+{
+    const auto t_start = std::chrono::steady_clock::now();
+
+    auto workload = workloads::makeWorkload(workload_name);
+    gpu::MultiGpuSystem system(cfg);
+    system.run(*workload, scale * envScale());
+
+    RunResult r;
+    r.workload = workload_name;
+    r.cycles = system.cycles();
+    r.events = system.engine().eventsExecuted();
+    r.instructions = system.totalInstructions();
+    r.l1ReadAccesses = system.l1ReadAccesses();
+    r.l1ReadMisses = system.l1ReadMisses();
+    r.l1Mpki = system.l1Mpki();
+
+    const noc::Network &net = system.network();
+    noc::TrafficMonitor census = net.aggregateInterClusterTraffic();
+    r.interFlits = census.totalFlits();
+    r.interWireBytes = census.totalWireBytes();
+    r.interUsefulBytes = census.totalUsefulBytes();
+    r.interUtilization = net.interClusterUtilization();
+    r.ptwByteFraction = census.ptwByteFraction();
+    r.paddedFlitFraction = census.fractionQuarterOrThreeQuarterPadded();
+    if (census.totalFlits() > 0) {
+        r.quarterPaddedFraction =
+            static_cast<double>(census.flitsQuarterPadded()) /
+            static_cast<double>(census.totalFlits());
+        r.threeQuarterPaddedFraction =
+            static_cast<double>(census.flitsThreeQuarterPadded()) /
+            static_cast<double>(census.totalFlits());
+    }
+    r.stitchedFraction = census.stitchedFlitFraction();
+    r.stitchedPieces = census.stitchedPieces();
+
+    for (ClusterId from = 0; from < cfg.numClusters; ++from) {
+        for (ClusterId to = 0; to < cfg.numClusters; ++to) {
+            if (from == to)
+                continue;
+            const auto *ctrl = net.controller(from, to);
+            if (ctrl == nullptr)
+                continue;
+            r.trimmedPackets += ctrl->trimStats().packetsTrimmed;
+            r.bytesTrimmed += ctrl->trimStats().bytesTrimmed;
+            r.poolingArms += ctrl->stats().poolingArms;
+        }
+    }
+
+    r.avgInterReadLatency = system.interClusterReadLatency().mean();
+    r.interReads = system.interClusterReadLatency().count();
+    r.remoteReads = system.remoteReads();
+    r.localReads = system.localReads();
+    r.pageWalks = system.pageWalks();
+    r.meanWalkLength = system.meanWalkLength();
+
+    const auto &dist = system.remoteReadBytesNeeded();
+    for (std::size_t i = 0; i < 5; ++i)
+        r.bytesNeededFrac[i] = dist.fraction(i);
+
+    const auto t_end = std::chrono::steady_clock::now();
+    r.wallSeconds =
+        std::chrono::duration<double>(t_end - t_start).count();
+    return r;
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs) {
+        NC_ASSERT(x > 0, "geomean of non-positive value");
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+envScale()
+{
+    static const double scale = [] {
+        const char *env = std::getenv("NETCRAFTER_SCALE");
+        if (env == nullptr)
+            return 1.0;
+        const double v = std::atof(env);
+        return v > 0 ? v : 1.0;
+    }();
+    return scale;
+}
+
+} // namespace netcrafter::harness

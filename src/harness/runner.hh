@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Experiment harness: runs one (workload, configuration) pair and
+ * extracts every statistic the paper's figures need into a flat result
+ * record, so each bench binary just sweeps configs and prints rows.
+ */
+
+#ifndef NETCRAFTER_HARNESS_RUNNER_HH
+#define NETCRAFTER_HARNESS_RUNNER_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/config/system_config.hh"
+#include "src/sim/types.hh"
+
+namespace netcrafter::harness {
+
+/** Everything measured in one simulation run. */
+struct RunResult
+{
+    std::string workload;
+
+    /** End-to-end execution time, cycles. */
+    Tick cycles = 0;
+
+    /** Discrete events executed (simulator cost, not modelled time). */
+    std::uint64_t events = 0;
+
+    std::uint64_t instructions = 0;
+    std::uint64_t l1ReadAccesses = 0;
+    std::uint64_t l1ReadMisses = 0;
+    double l1Mpki = 0;
+
+    // Inter-cluster link census -----------------------------------------
+    std::uint64_t interFlits = 0;
+    std::uint64_t interWireBytes = 0;
+    std::uint64_t interUsefulBytes = 0;
+    double interUtilization = 0;
+    double ptwByteFraction = 0;
+
+    /** Fraction of flits ~25% or ~75% padded (Figure 6). */
+    double paddedFlitFraction = 0;
+    double quarterPaddedFraction = 0;
+    double threeQuarterPaddedFraction = 0;
+
+    /** Fraction of logical flits that travelled stitched (Figure 12). */
+    double stitchedFraction = 0;
+    std::uint64_t stitchedPieces = 0;
+
+    std::uint64_t trimmedPackets = 0;
+    std::uint64_t bytesTrimmed = 0;
+    std::uint64_t poolingArms = 0;
+
+    // Remote access behaviour -------------------------------------------
+    double avgInterReadLatency = 0;
+    std::uint64_t interReads = 0;
+    std::uint64_t remoteReads = 0;
+    std::uint64_t localReads = 0;
+    std::uint64_t pageWalks = 0;
+    double meanWalkLength = 0;
+
+    /** Bytes-needed census of inter-cluster reads:
+     *  <=16 / <=32 / <=48 / <64 / 64 fractions (Figure 7). */
+    std::array<double, 5> bytesNeededFrac{};
+
+    /** Host seconds the simulation took (diagnostics only). */
+    double wallSeconds = 0;
+};
+
+/**
+ * Simulate @p workload_name (a Table 3 abbreviation or "GEMM") under
+ * @p cfg. @p scale multiplies per-wavefront instruction counts.
+ */
+RunResult runWorkload(const std::string &workload_name,
+                      const config::SystemConfig &cfg,
+                      double scale = 1.0);
+
+/** Geometric mean of a sequence of positive ratios. */
+double geomean(const std::vector<double> &xs);
+
+/**
+ * Problem-size multiplier from the NETCRAFTER_SCALE environment
+ * variable (default 1.0) — lets CI shrink or enlarge every experiment.
+ */
+double envScale();
+
+} // namespace netcrafter::harness
+
+#endif // NETCRAFTER_HARNESS_RUNNER_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Simple HBM/GDDR model: fixed access latency plus a bandwidth token
+ * bucket (Table 2: 1 TB/s, 100 ns).
+ */
+
+#ifndef NETCRAFTER_MEM_DRAM_HH
+#define NETCRAFTER_MEM_DRAM_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+
+#include "src/sim/sim_object.hh"
+
+namespace netcrafter::mem {
+
+/** Per-GPU DRAM stack. */
+class Dram : public sim::SimObject
+{
+  public:
+    using Callback = std::function<void()>;
+
+    Dram(sim::Engine &engine, std::string name, Tick latency,
+         std::uint32_t bytes_per_cycle)
+        : SimObject(engine, std::move(name)), latency_(latency),
+          bytesPerCycle_(bytes_per_cycle)
+    {}
+
+    /**
+     * Perform an access of @p bytes. @p done (may be null for writes
+     * nobody waits on) fires when the data is available / committed.
+     */
+    void
+    access(std::uint32_t bytes, Callback done)
+    {
+        const Tick start = std::max(now(), nextFree_);
+        const Tick occupancy =
+            std::max<Tick>(1, divCeil(bytes, bytesPerCycle_));
+        nextFree_ = start + occupancy;
+        ++accesses_;
+        bytesAccessed_ += bytes;
+        if (done) {
+            engine().scheduleAbs(start + occupancy + latency_,
+                                 std::move(done));
+        }
+    }
+
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t bytesAccessed() const { return bytesAccessed_; }
+
+  private:
+    Tick latency_;
+    std::uint32_t bytesPerCycle_;
+    Tick nextFree_ = 0;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t bytesAccessed_ = 0;
+};
+
+} // namespace netcrafter::mem
+
+#endif // NETCRAFTER_MEM_DRAM_HH

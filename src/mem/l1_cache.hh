@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Per-CU write-through L1 vector cache (Table 2: 64 KB, 20-cycle lookup,
+ * 32-entry MSHR) with optional 16/8/4-byte sectoring. The L1 does not
+ * decide how much data a fill returns — the GPU system does (full line,
+ * trimmed sector, or sector-cache fill); the L1 simply installs whatever
+ * sector mask the fill delivered and replays waiters.
+ */
+
+#ifndef NETCRAFTER_MEM_L1_CACHE_HH
+#define NETCRAFTER_MEM_L1_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "src/mem/mshr.hh"
+#include "src/mem/tag_array.hh"
+#include "src/sim/sim_object.hh"
+
+namespace netcrafter::mem {
+
+/** Configuration for one L1 vector cache. */
+struct L1Params
+{
+    std::uint64_t sizeBytes = 64 * 1024;
+    std::uint32_t assoc = 4;
+    Tick lookupLatency = 20;
+    std::size_t mshrEntries = 32;
+
+    /** Sector size; kCacheLineBytes for an unsectored cache. */
+    std::uint32_t sectorBytes = kCacheLineBytes;
+};
+
+/** A miss forwarded below the L1 (to the local L2 or a remote GPU). */
+struct FillRequest
+{
+    Addr line = 0;
+
+    /** First byte the wavefront needs, relative to the line. */
+    std::uint32_t offset = 0;
+
+    /** Distinct bytes the wavefront needs from the line. */
+    std::uint32_t bytes = 0;
+
+    /** Sectors the L1 wants installed (subset may arrive). */
+    SectorMask neededSectors = 0;
+
+    bool isWrite = false;
+
+    /**
+     * Completion: @p filled is the sector mask actually delivered
+     * (ignored for writes). Must be invoked exactly once.
+     */
+    std::function<void(SectorMask filled)> done;
+};
+
+/**
+ * The L1 vector cache. access() returns false when the MSHR file is
+ * exhausted; the CU retries next cycle (modelling issue stall).
+ */
+class L1Cache : public sim::SimObject
+{
+  public:
+    using Callback = std::function<void()>;
+    using FillFn = std::function<void(FillRequest)>;
+
+    L1Cache(sim::Engine &engine, std::string name, const L1Params &params,
+            FillFn below);
+
+    /**
+     * Issue a coalesced access to @p line needing the byte span
+     * [@p offset, @p offset + @p bytes). Reads call @p done when the
+     * data is in the cache; writes complete (for the wavefront) at
+     * acceptance — the write-through ack only frees the tracking slot.
+     *
+     * @return false when no MSHR/write slot is available (retry later).
+     */
+    bool access(Addr line, std::uint32_t offset, std::uint32_t bytes,
+                bool is_write, Callback done);
+
+    std::uint64_t readAccesses() const { return readAccesses_; }
+    std::uint64_t readHits() const { return readHits_; }
+    std::uint64_t readMisses() const { return readMisses_; }
+    std::uint64_t writeAccesses() const { return writeAccesses_; }
+    std::uint64_t rejections() const { return rejections_; }
+
+    /** Misses per kilo "accesses" need instruction counts; the CU owns
+     *  those, so it reads raw miss counts from here. */
+
+  private:
+    struct Waiter
+    {
+        SectorMask needed;
+        std::uint32_t offset;
+        std::uint32_t bytes;
+        Callback done;
+    };
+
+    void handleFill(Addr line, SectorMask filled);
+    void retryAccess(Addr line, const Waiter &waiter);
+
+    L1Params params_;
+    TagArray tags_;
+    FillFn below_;
+    Mshr<Waiter> mshr_;
+    std::size_t outstandingWrites_ = 0;
+
+    std::uint64_t readAccesses_ = 0;
+    std::uint64_t readHits_ = 0;
+    std::uint64_t readMisses_ = 0;
+    std::uint64_t writeAccesses_ = 0;
+    std::uint64_t rejections_ = 0;
+};
+
+} // namespace netcrafter::mem
+
+#endif // NETCRAFTER_MEM_L1_CACHE_HH

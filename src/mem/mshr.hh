@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Miss Status Holding Register file: tracks outstanding misses per block
+ * address and merges secondary misses onto the primary one.
+ */
+
+#ifndef NETCRAFTER_MEM_MSHR_HH
+#define NETCRAFTER_MEM_MSHR_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/logging.hh"
+#include "src/sim/types.hh"
+
+namespace netcrafter::mem {
+
+/**
+ * MSHR file keyed by block address. @tparam Payload is whatever the
+ * cache needs to resume a waiting access when the fill arrives.
+ */
+template <typename Payload>
+class Mshr
+{
+  public:
+    explicit Mshr(std::size_t entries) : entries_(entries) {}
+
+    /** True when no new primary miss can be tracked. */
+    bool full() const { return table_.size() >= entries_; }
+
+    /** True when a miss for @p addr is already outstanding. */
+    bool
+    outstanding(Addr addr) const
+    {
+        return table_.find(addr) != table_.end();
+    }
+
+    /**
+     * Register a primary miss for @p addr. Requires !outstanding(addr)
+     * and !full().
+     */
+    void
+    allocate(Addr addr, Payload payload)
+    {
+        NC_ASSERT(!outstanding(addr), "duplicate MSHR allocation");
+        NC_ASSERT(!full(), "MSHR overflow");
+        table_[addr].push_back(std::move(payload));
+        ++allocations_;
+    }
+
+    /** Merge a secondary miss onto an outstanding entry. */
+    void
+    merge(Addr addr, Payload payload)
+    {
+        auto it = table_.find(addr);
+        NC_ASSERT(it != table_.end(), "merge without outstanding entry");
+        it->second.push_back(std::move(payload));
+        ++merges_;
+    }
+
+    /** Retire the entry for @p addr, returning all waiting payloads. */
+    std::vector<Payload>
+    release(Addr addr)
+    {
+        auto it = table_.find(addr);
+        NC_ASSERT(it != table_.end(), "release without outstanding entry");
+        std::vector<Payload> waiters = std::move(it->second);
+        table_.erase(it);
+        return waiters;
+    }
+
+    std::size_t size() const { return table_.size(); }
+    std::size_t capacity() const { return entries_; }
+    std::uint64_t allocations() const { return allocations_; }
+    std::uint64_t merges() const { return merges_; }
+
+  private:
+    std::size_t entries_;
+    std::unordered_map<Addr, std::vector<Payload>> table_;
+    std::uint64_t allocations_ = 0;
+    std::uint64_t merges_ = 0;
+};
+
+} // namespace netcrafter::mem
+
+#endif // NETCRAFTER_MEM_MSHR_HH

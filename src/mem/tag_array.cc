@@ -1,0 +1,145 @@
+#include "src/mem/tag_array.hh"
+
+#include "src/sim/logging.hh"
+
+namespace netcrafter::mem {
+
+TagArray::TagArray(std::uint64_t size_bytes, std::uint32_t assoc,
+                   std::uint32_t line_bytes, std::uint32_t sector_bytes)
+    : assoc_(assoc), lineBytes_(line_bytes), sectorBytes_(sector_bytes),
+      sectorsPerLine_(line_bytes / sector_bytes)
+{
+    NC_ASSERT(sector_bytes > 0 && line_bytes % sector_bytes == 0,
+              "sector size must divide line size");
+    const std::uint64_t lines = size_bytes / line_bytes;
+    NC_ASSERT(lines >= assoc_, "cache smaller than one set");
+    numSets_ = static_cast<std::uint32_t>(lines / assoc_);
+    NC_ASSERT(numSets_ > 0, "cache must have at least one set");
+    ways_.resize(static_cast<std::size_t>(numSets_) * assoc_);
+}
+
+std::uint32_t
+TagArray::setOf(Addr line) const
+{
+    return static_cast<std::uint32_t>((line / lineBytes_) % numSets_);
+}
+
+const TagArray::Way *
+TagArray::findWay(Addr line) const
+{
+    const std::size_t base =
+        static_cast<std::size_t>(setOf(line)) * assoc_;
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        const Way &way = ways_[base + w];
+        if (way.valid != 0 && way.line == line)
+            return &way;
+    }
+    return nullptr;
+}
+
+TagArray::Way *
+TagArray::findWay(Addr line)
+{
+    return const_cast<Way *>(
+        static_cast<const TagArray *>(this)->findWay(line));
+}
+
+bool
+TagArray::present(Addr line) const
+{
+    return findWay(line) != nullptr;
+}
+
+SectorMask
+TagArray::validSectors(Addr line) const
+{
+    const Way *way = findWay(line);
+    return way ? way->valid : 0;
+}
+
+bool
+TagArray::covers(Addr line, SectorMask needed) const
+{
+    return (validSectors(line) & needed) == needed;
+}
+
+Eviction
+TagArray::fill(Addr line, SectorMask mask)
+{
+    NC_ASSERT(mask != 0, "fill with empty sector mask");
+    ++fills_;
+    ++useClock_;
+    if (Way *way = findWay(line)) {
+        way->valid |= mask;
+        way->lastUse = useClock_;
+        return Eviction{};
+    }
+
+    const std::size_t base =
+        static_cast<std::size_t>(setOf(line)) * assoc_;
+    Way *victim = &ways_[base];
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        Way &way = ways_[base + w];
+        if (way.valid == 0) {
+            victim = &way;
+            break;
+        }
+        if (way.lastUse < victim->lastUse)
+            victim = &way;
+    }
+
+    Eviction ev;
+    if (victim->valid != 0) {
+        ev.valid = true;
+        ev.line = victim->line;
+        ev.dirty = victim->dirty;
+        ++evictions_;
+    }
+    victim->line = line;
+    victim->valid = mask;
+    victim->dirty = false;
+    victim->lastUse = useClock_;
+    return ev;
+}
+
+void
+TagArray::touch(Addr line)
+{
+    if (Way *way = findWay(line))
+        way->lastUse = ++useClock_;
+}
+
+void
+TagArray::markDirty(Addr line)
+{
+    if (Way *way = findWay(line))
+        way->dirty = true;
+}
+
+bool
+TagArray::invalidate(Addr line)
+{
+    if (Way *way = findWay(line)) {
+        way->valid = 0;
+        way->dirty = false;
+        way->line = kAddrInvalid;
+        return true;
+    }
+    return false;
+}
+
+SectorMask
+TagArray::sectorsForRange(std::uint32_t offset, std::uint32_t bytes) const
+{
+    NC_ASSERT(bytes > 0 && offset + bytes <= lineBytes_,
+              "byte range outside line: offset=", offset, " bytes=",
+              bytes);
+    const std::uint32_t first = offset / sectorBytes_;
+    const std::uint32_t last = (offset + bytes - 1) / sectorBytes_;
+    SectorMask mask = 0;
+    for (std::uint32_t s = first; s <= last; ++s)
+        mask |= 1ull << s;
+    return mask;
+}
+
+} // namespace netcrafter::mem

@@ -1,0 +1,40 @@
+#include "src/noc/flit_trace.hh"
+
+namespace netcrafter::noc {
+
+FlitTracer::FlitTracer(sim::Engine &engine, std::ostream &os)
+    : engine_(engine), os_(os)
+{
+    os_ << header() << "\n";
+}
+
+const char *
+FlitTracer::header()
+{
+    return "tick,link,packet_id,type,src,dst,seq,num_flits,"
+           "occupied_bytes,used_bytes,stitched_pieces,latency_critical,"
+           "trimmed";
+}
+
+std::function<void(const Flit &)>
+FlitTracer::observer(std::string link_name)
+{
+    return [this, link = std::move(link_name)](const Flit &flit) {
+        record(link, flit);
+    };
+}
+
+void
+FlitTracer::record(const std::string &link, const Flit &flit)
+{
+    const Packet &pkt = *flit.pkt;
+    os_ << engine_.now() << ',' << link << ',' << pkt.id << ','
+        << packetTypeName(pkt.type) << ',' << pkt.src << ',' << pkt.dst
+        << ',' << flit.seq << ',' << flit.numFlits << ','
+        << flit.occupiedBytes << ',' << flit.usedBytes() << ','
+        << flit.stitched.size() << ',' << (pkt.latencyCritical ? 1 : 0)
+        << ',' << (pkt.trimmed ? 1 : 0) << '\n';
+    ++rows_;
+}
+
+} // namespace netcrafter::noc

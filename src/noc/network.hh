@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Builds the hierarchical multi-GPU interconnect of Figure 2: per-cluster
+ * switches with high-bandwidth GPU-facing ports, lower-bandwidth
+ * switch-to-switch links between clusters, per-GPU RDMA endpoints, and —
+ * when any NetCrafter mechanism is enabled — a NetCrafter controller on
+ * every inter-cluster egress port plus an un-stitching engine on every
+ * inter-cluster ingress port.
+ */
+
+#ifndef NETCRAFTER_NOC_NETWORK_HH
+#define NETCRAFTER_NOC_NETWORK_HH
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/config/system_config.hh"
+#include "src/core/controller.hh"
+#include "src/noc/link.hh"
+#include "src/noc/rdma.hh"
+#include "src/noc/switch.hh"
+#include "src/noc/traffic_monitor.hh"
+#include "src/sim/sim_object.hh"
+
+namespace netcrafter::noc {
+
+/** The assembled interconnect. */
+class Network : public sim::SimObject
+{
+  public:
+    Network(sim::Engine &engine, const config::SystemConfig &cfg);
+
+    /** The RDMA endpoint of GPU @p gpu. */
+    RdmaEngine &rdma(GpuId gpu) { return *rdmas_.at(gpu); }
+
+    /** Cluster switch @p cluster. */
+    Switch &clusterSwitch(ClusterId cluster)
+    {
+        return *switches_.at(cluster);
+    }
+
+    /** Inject @p pkt at its source GPU's RDMA engine. */
+    void sendPacket(PacketPtr pkt);
+
+    /** Census of the directed inter-cluster link @p from -> @p to. */
+    const TrafficMonitor &interClusterMonitor(ClusterId from,
+                                              ClusterId to) const;
+
+    /** The directed inter-cluster link @p from -> @p to. */
+    const Link &interClusterLink(ClusterId from, ClusterId to) const;
+
+    /** Mean utilization across all inter-cluster links (Figure 4). */
+    double interClusterUtilization() const;
+
+    /** Aggregate census over all inter-cluster links. */
+    TrafficMonitor aggregateInterClusterTraffic() const;
+
+    /** Controller on cluster @p from's port toward @p to, or nullptr. */
+    const core::NetCrafterController *controller(ClusterId from,
+                                                 ClusterId to) const;
+
+    /** Sum of flits carried by all inter-cluster links. */
+    std::uint64_t interClusterFlits() const;
+
+    /** Sum of wire bytes carried by all inter-cluster links. */
+    std::uint64_t interClusterWireBytes() const;
+
+    const config::SystemConfig &cfg() const { return cfg_; }
+
+  private:
+    struct InterLink
+    {
+        std::unique_ptr<Link> link;
+        std::unique_ptr<TrafficMonitor> monitor;
+        std::unique_ptr<core::NetCrafterController> controller;
+        std::unique_ptr<core::Unstitcher> unstitcher;
+    };
+
+    config::SystemConfig cfg_;
+    std::vector<std::unique_ptr<RdmaEngine>> rdmas_;
+    std::vector<std::unique_ptr<Switch>> switches_;
+    std::vector<std::unique_ptr<Link>> gpuLinks_;
+    std::map<std::pair<ClusterId, ClusterId>, InterLink> interLinks_;
+};
+
+} // namespace netcrafter::noc
+
+#endif // NETCRAFTER_NOC_NETWORK_HH

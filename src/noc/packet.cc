@@ -1,0 +1,65 @@
+#include "src/noc/packet.hh"
+
+#include <atomic>
+#include <sstream>
+
+namespace netcrafter::noc {
+
+namespace {
+
+std::uint64_t nextPacketId = 1;
+
+} // namespace
+
+const char *
+packetTypeName(PacketType type)
+{
+    switch (type) {
+      case PacketType::ReadReq:
+        return "ReadReq";
+      case PacketType::WriteReq:
+        return "WriteReq";
+      case PacketType::PageTableReq:
+        return "PTReq";
+      case PacketType::ReadRsp:
+        return "ReadRsp";
+      case PacketType::WriteRsp:
+        return "WriteRsp";
+      case PacketType::PageTableRsp:
+        return "PTRsp";
+    }
+    return "?";
+}
+
+std::string
+Packet::toString() const
+{
+    std::ostringstream os;
+    os << packetTypeName(type) << "#" << id << " " << src << "->" << dst
+       << " addr=0x" << std::hex << addr << std::dec
+       << " bytes=" << totalBytes();
+    if (trimmed)
+        os << " trimmed(sector=" << static_cast<int>(trimSector) << ")";
+    return os.str();
+}
+
+PacketPtr
+makePacket(PacketType type, GpuId src, GpuId dst, Addr addr)
+{
+    auto pkt = std::make_shared<Packet>();
+    pkt->id = nextPacketId++;
+    pkt->type = type;
+    pkt->src = src;
+    pkt->dst = dst;
+    pkt->addr = addr;
+    pkt->payloadBytes = defaultPayloadBytes(type);
+    return pkt;
+}
+
+void
+resetPacketIds()
+{
+    nextPacketId = 1;
+}
+
+} // namespace netcrafter::noc

@@ -1,0 +1,81 @@
+#include "src/noc/traffic_monitor.hh"
+
+#include <cstring>
+
+namespace netcrafter::noc {
+
+void
+TrafficMonitor::observe(const Flit &flit)
+{
+    ++totalFlits_;
+    totalWireBytes_ += flit.capacity;
+    const std::uint16_t used = flit.usedBytes();
+    // "Useful" bytes exclude the 3B ID+Size metadata added for partially
+    // stitched pieces, so byte-savings numbers account for that overhead.
+    std::uint16_t useful = flit.occupiedBytes;
+    for (const auto &piece : flit.stitched)
+        useful += piece.bytes;
+    totalUsefulBytes_ += useful;
+
+    const auto type_idx = static_cast<std::size_t>(flit.pkt->type);
+    ++flitsByType_[type_idx];
+    bytesByType_[type_idx] += flit.occupiedBytes;
+    if (flit.isHead())
+        ++packetsByType_[type_idx];
+    if (flit.pkt->isPtw())
+        ptwBytes_ += flit.occupiedBytes;
+
+    for (const auto &piece : flit.stitched) {
+        const auto piece_idx = static_cast<std::size_t>(piece.pkt->type);
+        ++flitsByType_[piece_idx];
+        bytesByType_[piece_idx] += piece.bytes;
+        if (piece.seq == 0)
+            ++packetsByType_[piece_idx];
+        if (piece.pkt->isPtw())
+            ptwBytes_ += piece.bytes;
+    }
+
+    const std::uint16_t padded = flit.capacity - used;
+    if (padded > 0)
+        ++flitsWithPadding_;
+    // Figure 6 buckets: a quarter padded (e.g. 4/16B) and three quarters
+    // padded (e.g. 12/16B). Use halves of the capacity as boundaries so
+    // the same census works for 8B flits.
+    const double frac = static_cast<double>(padded) / flit.capacity;
+    if (frac > 0.0 && frac <= 0.5)
+        ++quarterPadded_;
+    else if (frac > 0.5)
+        ++threeQuarterPadded_;
+
+    if (flit.isStitched()) {
+        ++stitchedParentFlits_;
+        stitchedPieces_ += flit.stitched.size();
+    }
+}
+
+void
+TrafficMonitor::merge(const TrafficMonitor &other)
+{
+    totalFlits_ += other.totalFlits_;
+    totalWireBytes_ += other.totalWireBytes_;
+    totalUsefulBytes_ += other.totalUsefulBytes_;
+    ptwBytes_ += other.ptwBytes_;
+    quarterPadded_ += other.quarterPadded_;
+    threeQuarterPadded_ += other.threeQuarterPadded_;
+    flitsWithPadding_ += other.flitsWithPadding_;
+    stitchedParentFlits_ += other.stitchedParentFlits_;
+    stitchedPieces_ += other.stitchedPieces_;
+    for (std::size_t i = 0; i < kNumPacketTypes; ++i) {
+        flitsByType_[i] += other.flitsByType_[i];
+        bytesByType_[i] += other.bytesByType_[i];
+        packetsByType_[i] += other.packetsByType_[i];
+    }
+}
+
+void
+TrafficMonitor::reset()
+{
+    *this = TrafficMonitor();
+}
+
+} // namespace netcrafter::noc

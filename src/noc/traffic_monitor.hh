@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Per-link traffic census used to regenerate Figures 6, 9, 12 and 20:
+ * flit/byte counts per traffic category, padding occupancy buckets, PTW
+ * versus data volume, and stitching effectiveness.
+ */
+
+#ifndef NETCRAFTER_NOC_TRAFFIC_MONITOR_HH
+#define NETCRAFTER_NOC_TRAFFIC_MONITOR_HH
+
+#include <array>
+#include <cstdint>
+
+#include "src/noc/flit.hh"
+#include "src/noc/packet.hh"
+
+namespace netcrafter::noc {
+
+/** Accumulates a census of every flit it observes on a link. */
+class TrafficMonitor
+{
+  public:
+    /** Record one flit crossing the observed link. */
+    void observe(const Flit &flit);
+
+    // --- Totals ----------------------------------------------------------
+    std::uint64_t totalFlits() const { return totalFlits_; }
+    std::uint64_t totalWireBytes() const { return totalWireBytes_; }
+    std::uint64_t totalUsefulBytes() const { return totalUsefulBytes_; }
+    std::uint64_t totalPaddedBytes() const
+    {
+        return totalWireBytes_ - totalUsefulBytes_;
+    }
+
+    // --- Per-category ------------------------------------------------------
+    std::uint64_t flitsOfType(PacketType t) const
+    {
+        return flitsByType_[static_cast<std::size_t>(t)];
+    }
+    std::uint64_t bytesOfType(PacketType t) const
+    {
+        return bytesByType_[static_cast<std::size_t>(t)];
+    }
+    std::uint64_t packetsOfType(PacketType t) const
+    {
+        return packetsByType_[static_cast<std::size_t>(t)];
+    }
+
+    /** Useful bytes of PTW-related traffic (Figure 9 numerator). */
+    std::uint64_t ptwBytes() const { return ptwBytes_; }
+
+    /** Useful bytes of data (non-PTW) traffic. */
+    std::uint64_t dataBytes() const
+    {
+        return totalUsefulBytes_ - ptwBytes_;
+    }
+
+    /** Fraction of useful bytes that are PTW-related. */
+    double
+    ptwByteFraction() const
+    {
+        return totalUsefulBytes_
+                   ? static_cast<double>(ptwBytes_) / totalUsefulBytes_
+                   : 0.0;
+    }
+
+    // --- Padding census (Figure 6) ---------------------------------------
+    /** Flits whose padded fraction is ~25% (e.g. 4 of 16 bytes). */
+    std::uint64_t flitsQuarterPadded() const { return quarterPadded_; }
+
+    /** Flits whose padded fraction is ~75% (e.g. 12 of 16 bytes). */
+    std::uint64_t flitsThreeQuarterPadded() const
+    {
+        return threeQuarterPadded_;
+    }
+
+    /** Flits with any padding at all. */
+    std::uint64_t flitsWithPadding() const { return flitsWithPadding_; }
+
+    /** Fraction of flits with ~25% or ~75% padding (Figure 6 metric). */
+    double
+    fractionQuarterOrThreeQuarterPadded() const
+    {
+        return totalFlits_ ? static_cast<double>(quarterPadded_ +
+                                                 threeQuarterPadded_) /
+                                 totalFlits_
+                           : 0.0;
+    }
+
+    // --- Stitching (Figures 12, 20) ---------------------------------------
+    /** Wire flits that carried stitched pieces. */
+    std::uint64_t stitchedParentFlits() const
+    {
+        return stitchedParentFlits_;
+    }
+
+    /** Candidate flits absorbed into parents (flits saved). */
+    std::uint64_t stitchedPieces() const { return stitchedPieces_; }
+
+    /**
+     * Fraction of logical flits that travelled stitched inside another
+     * flit instead of on their own (Figure 12 metric).
+     */
+    double
+    stitchedFlitFraction() const
+    {
+        std::uint64_t logical = totalFlits_ + stitchedPieces_;
+        return logical ? static_cast<double>(stitchedPieces_) / logical
+                       : 0.0;
+    }
+
+    /** Add another monitor's counts into this one (aggregation). */
+    void merge(const TrafficMonitor &other);
+
+    void reset();
+
+  private:
+    std::uint64_t totalFlits_ = 0;
+    std::uint64_t totalWireBytes_ = 0;
+    std::uint64_t totalUsefulBytes_ = 0;
+    std::uint64_t ptwBytes_ = 0;
+    std::uint64_t quarterPadded_ = 0;
+    std::uint64_t threeQuarterPadded_ = 0;
+    std::uint64_t flitsWithPadding_ = 0;
+    std::uint64_t stitchedParentFlits_ = 0;
+    std::uint64_t stitchedPieces_ = 0;
+    std::array<std::uint64_t, kNumPacketTypes> flitsByType_{};
+    std::array<std::uint64_t, kNumPacketTypes> bytesByType_{};
+    std::array<std::uint64_t, kNumPacketTypes> packetsByType_{};
+};
+
+} // namespace netcrafter::noc
+
+#endif // NETCRAFTER_NOC_TRAFFIC_MONITOR_HH

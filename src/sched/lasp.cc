@@ -1,0 +1,42 @@
+#include "src/sched/lasp.hh"
+
+namespace netcrafter::sched {
+
+void
+placeBuffer(workloads::PlacementDirectory &placement, Addr base,
+            std::uint64_t bytes, BufferPattern pattern,
+            std::uint32_t num_gpus, GpuId shared_home)
+{
+    const std::uint64_t pages = divCeil(bytes, kPageBytes);
+    const std::uint64_t pages_per_gpu =
+        std::max<std::uint64_t>(1, divCeil(pages, num_gpus));
+    for (std::uint64_t p = 0; p < pages; ++p) {
+        const Addr va = base + p * kPageBytes;
+        GpuId owner = shared_home;
+        switch (pattern) {
+          case BufferPattern::Chunked:
+            owner = static_cast<GpuId>(
+                std::min<std::uint64_t>(p / pages_per_gpu, num_gpus - 1));
+            break;
+          case BufferPattern::Interleaved:
+            owner = static_cast<GpuId>(p % num_gpus);
+            break;
+          case BufferPattern::Shared:
+            owner = shared_home;
+            break;
+        }
+        placement.place(va, owner);
+    }
+}
+
+GpuId
+blockHome(std::uint32_t cta, std::uint32_t num_ctas,
+          std::uint32_t num_gpus)
+{
+    const std::uint32_t per_gpu =
+        std::max(1u, (num_ctas + num_gpus - 1) / num_gpus);
+    const GpuId home = cta / per_gpu;
+    return home >= num_gpus ? num_gpus - 1 : home;
+}
+
+} // namespace netcrafter::sched

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * LASP-style locality-aware scheduling and placement (Khairy et al.,
+ * adopted as the baseline in Section 2.2). Kernel data structures are
+ * classified by access pattern; CTAs are block-scheduled onto GPUs and
+ * the corresponding data pages placed locally.
+ */
+
+#ifndef NETCRAFTER_SCHED_LASP_HH
+#define NETCRAFTER_SCHED_LASP_HH
+
+#include <cstdint>
+
+#include "src/sim/types.hh"
+#include "src/workloads/workload.hh"
+
+namespace netcrafter::sched {
+
+/** LASP buffer classification. */
+enum class BufferPattern : std::uint8_t
+{
+    /**
+     * Accessed by the CTAs that own the matching index range: place in
+     * contiguous chunks aligned with the CTA block distribution.
+     */
+    Chunked,
+
+    /** Accessed irregularly by all CTAs: interleave pages round-robin. */
+    Interleaved,
+
+    /** Small shared/broadcast structure: place on one GPU. */
+    Shared,
+};
+
+/**
+ * Place the pages of buffer [@p base, @p base + @p bytes) according to
+ * @p pattern across @p num_gpus GPUs, registering with @p placement.
+ */
+void placeBuffer(workloads::PlacementDirectory &placement, Addr base,
+                 std::uint64_t bytes, BufferPattern pattern,
+                 std::uint32_t num_gpus, GpuId shared_home = 0);
+
+/**
+ * Block-distributed CTA scheduling: CTA @p cta of @p num_ctas goes to
+ * its matching GPU chunk (the default Kernel::ctaHome policy).
+ */
+GpuId blockHome(std::uint32_t cta, std::uint32_t num_ctas,
+                std::uint32_t num_gpus);
+
+} // namespace netcrafter::sched
+
+#endif // NETCRAFTER_SCHED_LASP_HH

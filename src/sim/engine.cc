@@ -1,0 +1,34 @@
+#include "src/sim/engine.hh"
+
+#include "src/sim/logging.hh"
+
+namespace netcrafter::sim {
+
+void
+Engine::scheduleAbs(Tick when, EventFn fn)
+{
+    NC_ASSERT(when >= now_, "event scheduled in the past: when=", when,
+              " now=", now_);
+    queue_.schedule(when, std::move(fn));
+}
+
+bool
+Engine::run(Tick limit)
+{
+    stopRequested_ = false;
+    while (!queue_.empty()) {
+        if (queue_.nextTick() > limit)
+            return false;
+        Tick when = 0;
+        EventFn fn = queue_.pop(when);
+        NC_ASSERT(when >= now_, "event queue went backwards");
+        now_ = when;
+        ++eventsExecuted_;
+        fn();
+        if (stopRequested_)
+            return false;
+    }
+    return true;
+}
+
+} // namespace netcrafter::sim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The simulation engine: owns the event queue and the notion of "now".
+ */
+
+#ifndef NETCRAFTER_SIM_ENGINE_HH
+#define NETCRAFTER_SIM_ENGINE_HH
+
+#include <cstdint>
+
+#include "src/sim/event_queue.hh"
+#include "src/sim/types.hh"
+
+namespace netcrafter::sim {
+
+/**
+ * Single-threaded discrete-event simulation engine. Components schedule
+ * callbacks at future ticks; run() drains the queue in time order.
+ *
+ * All times are in core clock cycles at 1 GHz (Table 2), so 1 cycle = 1 ns.
+ */
+class Engine
+{
+  public:
+    Engine() = default;
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /** Current simulated time in cycles. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p fn to fire @p delay cycles from now. */
+    void
+    schedule(Tick delay, EventFn fn)
+    {
+        queue_.schedule(now_ + delay, std::move(fn));
+    }
+
+    /** Schedule @p fn at an absolute tick (must not be in the past). */
+    void scheduleAbs(Tick when, EventFn fn);
+
+    /**
+     * Run until the event queue drains or @p limit cycles elapse.
+     * @return true if the queue drained, false if the limit was hit.
+     */
+    bool run(Tick limit = kTickNever);
+
+    /** Request that run() return after the current event completes. */
+    void stop() { stopRequested_ = true; }
+
+    /** Total events executed since construction. */
+    std::uint64_t eventsExecuted() const { return eventsExecuted_; }
+
+    /** Pending event count (for tests and diagnostics). */
+    std::size_t pendingEvents() const { return queue_.size(); }
+
+  private:
+    EventQueue queue_;
+    Tick now_ = 0;
+    bool stopRequested_ = false;
+    std::uint64_t eventsExecuted_ = 0;
+};
+
+} // namespace netcrafter::sim
+
+#endif // NETCRAFTER_SIM_ENGINE_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The discrete-event queue at the heart of the simulator.
+ */
+
+#ifndef NETCRAFTER_SIM_EVENT_QUEUE_HH
+#define NETCRAFTER_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/sim/types.hh"
+
+namespace netcrafter::sim {
+
+/** Callback type executed when an event fires. */
+using EventFn = std::function<void()>;
+
+/**
+ * A min-heap of (tick, sequence) ordered events. Events scheduled for the
+ * same tick fire in insertion order (FIFO), which keeps component behaviour
+ * deterministic and easy to reason about.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Schedule @p fn to run at absolute time @p when. */
+    void
+    schedule(Tick when, EventFn fn)
+    {
+        heap_.push_back(Entry{when, nextSeq_++, std::move(fn)});
+        siftUp(heap_.size() - 1);
+    }
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
+    /** Tick of the earliest pending event. Requires !empty(). */
+    Tick nextTick() const { return heap_.front().when; }
+
+    /** Remove and return the earliest event's callback. Requires !empty(). */
+    EventFn
+    pop(Tick &when_out)
+    {
+        Entry top = std::move(heap_.front());
+        when_out = top.when;
+        heap_.front() = std::move(heap_.back());
+        heap_.pop_back();
+        if (!heap_.empty())
+            siftDown(0);
+        return std::move(top.fn);
+    }
+
+    /** Drop all pending events. */
+    void
+    clear()
+    {
+        heap_.clear();
+        nextSeq_ = 0;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventFn fn;
+
+        bool
+        before(const Entry &other) const
+        {
+            return when < other.when ||
+                   (when == other.when && seq < other.seq);
+        }
+    };
+
+    void
+    siftUp(std::size_t i)
+    {
+        while (i > 0) {
+            std::size_t parent = (i - 1) / 2;
+            if (!heap_[i].before(heap_[parent]))
+                break;
+            std::swap(heap_[i], heap_[parent]);
+            i = parent;
+        }
+    }
+
+    void
+    siftDown(std::size_t i)
+    {
+        const std::size_t n = heap_.size();
+        for (;;) {
+            std::size_t l = 2 * i + 1;
+            std::size_t r = 2 * i + 2;
+            std::size_t best = i;
+            if (l < n && heap_[l].before(heap_[best]))
+                best = l;
+            if (r < n && heap_[r].before(heap_[best]))
+                best = r;
+            if (best == i)
+                break;
+            std::swap(heap_[i], heap_[best]);
+            i = best;
+        }
+    }
+
+    std::vector<Entry> heap_;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace netcrafter::sim
+
+#endif // NETCRAFTER_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,48 @@
+#include "src/sim/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace netcrafter {
+
+bool
+quietLogging()
+{
+    static const bool quiet = std::getenv("NETCRAFTER_QUIET") != nullptr;
+    return quiet;
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << "\n  at " << file << ":" << line
+              << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << "\n  at " << file << ":" << line
+              << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!quietLogging())
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!quietLogging())
+        std::cerr << "info: " << msg << std::endl;
+}
+
+} // namespace detail
+} // namespace netcrafter

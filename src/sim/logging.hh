@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Error-reporting helpers following the gem5 idiom: panic() for simulator
+ * bugs (aborts), fatal() for user/configuration errors (exit(1)), warn()
+ * and inform() for non-fatal diagnostics.
+ */
+
+#ifndef NETCRAFTER_SIM_LOGGING_HH
+#define NETCRAFTER_SIM_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace netcrafter {
+
+namespace detail {
+
+/** Concatenate a parameter pack into a string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** True when NETCRAFTER_QUIET is set; silences warn()/inform(). */
+bool quietLogging();
+
+} // namespace netcrafter
+
+/**
+ * Report an internal simulator bug and abort. Use for conditions that can
+ * never happen regardless of user input.
+ */
+#define NC_PANIC(...)                                                        \
+    ::netcrafter::detail::panicImpl(__FILE__, __LINE__,                      \
+                                    ::netcrafter::detail::concat(__VA_ARGS__))
+
+/**
+ * Report a user/configuration error and exit(1). Use for conditions caused
+ * by invalid parameters rather than simulator bugs.
+ */
+#define NC_FATAL(...)                                                        \
+    ::netcrafter::detail::fatalImpl(__FILE__, __LINE__,                      \
+                                    ::netcrafter::detail::concat(__VA_ARGS__))
+
+/** Non-fatal warning about questionable behaviour. */
+#define NC_WARN(...)                                                         \
+    ::netcrafter::detail::warnImpl(::netcrafter::detail::concat(__VA_ARGS__))
+
+/** Informative status message. */
+#define NC_INFORM(...)                                                       \
+    ::netcrafter::detail::informImpl(                                        \
+        ::netcrafter::detail::concat(__VA_ARGS__))
+
+/** Panic unless @p cond holds. */
+#define NC_ASSERT(cond, ...)                                                 \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            NC_PANIC("assertion failed: " #cond " ", __VA_ARGS__);           \
+        }                                                                    \
+    } while (0)
+
+#endif // NETCRAFTER_SIM_LOGGING_HH

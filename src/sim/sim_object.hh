@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Base class for named simulation components.
+ */
+
+#ifndef NETCRAFTER_SIM_SIM_OBJECT_HH
+#define NETCRAFTER_SIM_SIM_OBJECT_HH
+
+#include <string>
+#include <utility>
+
+#include "src/sim/engine.hh"
+
+namespace netcrafter::sim {
+
+/**
+ * A named component attached to an engine. Provides the scheduling
+ * helpers every model needs and a hierarchical name for diagnostics.
+ */
+class SimObject
+{
+  public:
+    SimObject(Engine &engine, std::string name)
+        : engine_(engine), name_(std::move(name))
+    {}
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    /** Hierarchical instance name, e.g. "gpu1.l2cache". */
+    const std::string &name() const { return name_; }
+
+    /** The engine this object is attached to. */
+    Engine &engine() const { return engine_; }
+
+    /** Current simulated time. */
+    Tick now() const { return engine_.now(); }
+
+  protected:
+    /** Schedule a member callback @p delay cycles from now. */
+    void
+    schedule(Tick delay, EventFn fn)
+    {
+        engine_.schedule(delay, std::move(fn));
+    }
+
+  private:
+    Engine &engine_;
+    std::string name_;
+};
+
+} // namespace netcrafter::sim
+
+#endif // NETCRAFTER_SIM_SIM_OBJECT_HH

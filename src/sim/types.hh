@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef NETCRAFTER_SIM_TYPES_HH
+#define NETCRAFTER_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace netcrafter {
+
+/** Simulation time, measured in core clock cycles (1 GHz). */
+using Tick = std::uint64_t;
+
+/** A virtual or physical memory address. */
+using Addr = std::uint64_t;
+
+/** Identifier of a GPU (chiplet) in the multi-GPU system. */
+using GpuId = std::uint32_t;
+
+/** Identifier of a GPU cluster (group of GPUs on a high-BW network). */
+using ClusterId = std::uint32_t;
+
+/** Sentinel meaning "no tick" / "never". */
+inline constexpr Tick kTickNever = std::numeric_limits<Tick>::max();
+
+/** Sentinel for an invalid address. */
+inline constexpr Addr kAddrInvalid = std::numeric_limits<Addr>::max();
+
+/** Sentinel for an invalid GPU id. */
+inline constexpr GpuId kGpuInvalid = std::numeric_limits<GpuId>::max();
+
+/** Bytes per cache line throughout the system (Table 2). */
+inline constexpr std::uint32_t kCacheLineBytes = 64;
+
+/** Bytes per OS/GPU page. */
+inline constexpr std::uint32_t kPageBytes = 4096;
+
+/** Threads per wavefront (AMD terminology; warp = 32 on NVIDIA). */
+inline constexpr std::uint32_t kWavefrontSize = 64;
+
+/** Align @p addr down to a multiple of @p align (power of two). */
+constexpr Addr
+alignDown(Addr addr, std::uint64_t align)
+{
+    return addr & ~(align - 1);
+}
+
+/** Align @p addr up to a multiple of @p align (power of two). */
+constexpr Addr
+alignUp(Addr addr, std::uint64_t align)
+{
+    return (addr + align - 1) & ~(align - 1);
+}
+
+/** Cache-line base address containing @p addr. */
+constexpr Addr
+lineAddr(Addr addr)
+{
+    return alignDown(addr, kCacheLineBytes);
+}
+
+/** Page base address containing @p addr. */
+constexpr Addr
+pageAddr(Addr addr)
+{
+    return alignDown(addr, kPageBytes);
+}
+
+/** Integer ceiling division. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace netcrafter
+
+#endif // NETCRAFTER_SIM_TYPES_HH

@@ -1,0 +1,39 @@
+#include "src/stats/stats.hh"
+
+#include <iomanip>
+
+namespace netcrafter::stats {
+
+std::uint64_t
+Registry::sumCounters(const std::string &prefix) const
+{
+    std::uint64_t sum = 0;
+    for (auto it = counters_.lower_bound(prefix); it != counters_.end();
+         ++it) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0)
+            break;
+        sum += it->second.value();
+    }
+    return sum;
+}
+
+void
+Registry::dump(std::ostream &os) const
+{
+    for (const auto &[name, c] : counters_)
+        os << name << " = " << c.value() << "\n";
+    for (const auto &[name, a] : averages_) {
+        os << name << " : mean=" << a.mean() << " min=" << a.min()
+           << " max=" << a.max() << " n=" << a.count() << "\n";
+    }
+    for (const auto &[name, d] : distributions_) {
+        os << name << " : total=" << d.total();
+        for (std::size_t i = 0; i < d.bounds().size(); ++i) {
+            os << " <=" << d.bounds()[i] << ":" << std::setprecision(4)
+               << d.fraction(i);
+        }
+        os << " over:" << d.fraction(d.bounds().size()) << "\n";
+    }
+}
+
+} // namespace netcrafter::stats

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Lightweight statistics primitives: scalar counters, averages, and
+ * fixed-bucket distributions, grouped into named registries so harness
+ * code can dump everything a component recorded.
+ */
+
+#ifndef NETCRAFTER_STATS_STATS_HH
+#define NETCRAFTER_STATS_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/sim/types.hh"
+
+namespace netcrafter::stats {
+
+/** A monotonically increasing scalar statistic. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running mean / min / max of a sampled quantity (e.g. latency). */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+        min_ = count_ == 1 ? v : std::min(min_, v);
+        max_ = count_ == 1 ? v : std::max(max_, v);
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    void
+    reset()
+    {
+        sum_ = 0;
+        count_ = 0;
+        min_ = 0;
+        max_ = 0;
+    }
+
+  private:
+    double sum_ = 0;
+    std::uint64_t count_ = 0;
+    double min_ = 0;
+    double max_ = 0;
+};
+
+/**
+ * A histogram over user-supplied bucket upper bounds. A sample v lands in
+ * the first bucket whose bound is >= v; samples above the last bound land
+ * in the overflow bucket.
+ */
+class Distribution
+{
+  public:
+    Distribution() = default;
+
+    explicit Distribution(std::vector<double> upper_bounds)
+        : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0)
+    {}
+
+    void
+    sample(double v)
+    {
+        std::size_t i = 0;
+        while (i < bounds_.size() && v > bounds_[i])
+            ++i;
+        ++counts_[i];
+        ++total_;
+    }
+
+    std::uint64_t total() const { return total_; }
+    const std::vector<double> &bounds() const { return bounds_; }
+    std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+
+    /** Fraction of samples in bucket @p i, 0 if no samples. */
+    double
+    fraction(std::size_t i) const
+    {
+        return total_ ? static_cast<double>(counts_.at(i)) / total_ : 0.0;
+    }
+
+    void
+    reset()
+    {
+        std::fill(counts_.begin(), counts_.end(), 0);
+        total_ = 0;
+    }
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * A flat name -> value registry. Components register the statistics they
+ * expose; the harness dumps or queries them after a run. Names are
+ * hierarchical by convention ("gpu0.l1.misses").
+ */
+class Registry
+{
+  public:
+    Counter &counter(const std::string &name) { return counters_[name]; }
+    Average &average(const std::string &name) { return averages_[name]; }
+
+    Distribution &
+    distribution(const std::string &name, std::vector<double> bounds = {})
+    {
+        auto it = distributions_.find(name);
+        if (it == distributions_.end()) {
+            it = distributions_
+                     .emplace(name, Distribution(std::move(bounds)))
+                     .first;
+        }
+        return it->second;
+    }
+
+    /** Sum of all counters whose name starts with @p prefix. */
+    std::uint64_t sumCounters(const std::string &prefix) const;
+
+    /** Dump every statistic in a stable, human-readable format. */
+    void dump(std::ostream &os) const;
+
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, Average> &averages() const
+    {
+        return averages_;
+    }
+
+    void
+    reset()
+    {
+        counters_.clear();
+        averages_.clear();
+        distributions_.clear();
+    }
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Average> averages_;
+    std::map<std::string, Distribution> distributions_;
+};
+
+} // namespace netcrafter::stats
+
+#endif // NETCRAFTER_STATS_STATS_HH

@@ -1,0 +1,119 @@
+#include "src/vm/gmmu.hh"
+
+#include "src/sim/logging.hh"
+
+namespace netcrafter::vm {
+
+int
+PageWalkCache::deepestMatch(Addr vaddr)
+{
+    ++lookups_;
+    for (int level = kPageTableLevels - 1; level >= 1; --level) {
+        auto it = map_.find(key(level, vaddr));
+        if (it != map_.end()) {
+            ++hits_;
+            // Refresh recency: a matching entry is hot.
+            lru_.erase(it->second);
+            lru_.push_front(it->first);
+            it->second = lru_.begin();
+            return level;
+        }
+    }
+    return 0;
+}
+
+void
+PageWalkCache::insert(int level, Addr vaddr)
+{
+    const Addr k = key(level, vaddr);
+    auto it = map_.find(k);
+    if (it != map_.end()) {
+        lru_.erase(it->second);
+        lru_.push_front(k);
+        it->second = lru_.begin();
+        return;
+    }
+    if (map_.size() >= entries_) {
+        map_.erase(lru_.back());
+        lru_.pop_back();
+    }
+    lru_.push_front(k);
+    map_[k] = lru_.begin();
+}
+
+Gmmu::Gmmu(sim::Engine &engine, std::string name,
+           const GmmuParams &params, const PageTable &page_table,
+           PteFetchFn fetch)
+    : SimObject(engine, std::move(name)), params_(params),
+      pageTable_(page_table), fetch_(std::move(fetch)),
+      pwc_(params.pwcEntries)
+{
+    NC_ASSERT(fetch_ != nullptr, "GMMU needs a PTE fetch path");
+}
+
+void
+Gmmu::walk(Addr vpn, Callback done)
+{
+    auto it = waiters_.find(vpn);
+    if (it != waiters_.end()) {
+        it->second.push_back(std::move(done));
+        return;
+    }
+    waiters_[vpn].push_back(std::move(done));
+    queued_.push_back(vpn);
+    ++walksStarted_;
+    beginNextWalk();
+}
+
+void
+Gmmu::beginNextWalk()
+{
+    if (activeWalkers_ >= params_.walkers || queued_.empty())
+        return;
+    const Addr vpn = queued_.front();
+    queued_.pop_front();
+    ++activeWalkers_;
+    // PWC lookup determines where the walk starts.
+    schedule(params_.pwcLatency, [this, vpn] {
+        const Addr vaddr = vpn * kPageBytes;
+        const int deepest = pwc_.deepestMatch(vaddr);
+        runWalk(vpn, deepest + 1);
+    });
+}
+
+void
+Gmmu::runWalk(Addr vpn, int level)
+{
+    const Addr vaddr = vpn * kPageBytes;
+    if (level > kPageTableLevels) {
+        finishWalk(vpn);
+        return;
+    }
+    ++pteFetches_;
+    const WalkStep step = pageTable_.step(level, vaddr);
+    fetch_(step, [this, vpn, level] {
+        const Addr vaddr = vpn * kPageBytes;
+        if (level < kPageTableLevels)
+            pwc_.insert(level, vaddr);
+        runWalk(vpn, level + 1);
+    });
+}
+
+void
+Gmmu::finishWalk(Addr vpn)
+{
+    ++walksCompleted_;
+    Translation t;
+    t.owner = pageTable_.dataOwner(vpn * kPageBytes);
+    auto it = waiters_.find(vpn);
+    NC_ASSERT(it != waiters_.end(), "walk finished with no waiters");
+    auto waiters = std::move(it->second);
+    waiters_.erase(it);
+    NC_ASSERT(activeWalkers_ > 0, "walker underflow");
+    --activeWalkers_;
+    for (auto &done : waiters)
+        done(t);
+    beginNextWalk();
+}
+
+} // namespace netcrafter::vm

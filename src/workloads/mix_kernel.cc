@@ -1,0 +1,117 @@
+#include "src/workloads/mix_kernel.hh"
+
+#include "src/sim/logging.hh"
+
+namespace netcrafter::workloads {
+
+MixKernel::MixKernel(KernelInfo shape, std::vector<AccessStream> streams,
+                     std::uint32_t compute_delay)
+    : shape_(shape), streams_(std::move(streams)),
+      computeDelay_(compute_delay)
+{
+    NC_ASSERT(!streams_.empty(), "MixKernel needs at least one stream");
+    for (const auto &s : streams_) {
+        NC_ASSERT(s.elems > 0, "stream over empty buffer");
+        totalWeight_ += s.weight;
+    }
+}
+
+const AccessStream &
+MixKernel::pickStream(Pcg32 &rng) const
+{
+    double r = rng.uniform() * totalWeight_;
+    for (const auto &s : streams_) {
+        if (r < s.weight)
+            return s;
+        r -= s.weight;
+    }
+    return streams_.back();
+}
+
+bool
+MixKernel::generate(std::uint32_t cta, std::uint32_t wave,
+                    std::uint32_t idx, Pcg32 &rng, Instruction &out) const
+{
+    if (cta >= shape_.numCtas || wave >= shape_.wavesPerCta ||
+        idx >= shape_.instructionsPerWave)
+        return false;
+
+    const AccessStream &s = pickStream(rng);
+    out = Instruction();
+    out.elemBytes = s.elemBytes;
+    out.isWrite = s.write;
+    out.computeDelay = computeDelay_;
+
+    // A stable linear position for this wavefront instruction, used by
+    // the deterministic (non-random) patterns.
+    const std::uint64_t wave_linear =
+        static_cast<std::uint64_t>(cta) * shape_.wavesPerCta + wave;
+    const std::uint64_t pos =
+        wave_linear * shape_.instructionsPerWave + idx;
+
+    switch (s.kind) {
+      case AccessStream::Kind::Adjacent: {
+        const std::uint64_t start =
+            (pos * kWavefrontSize) % s.elems;
+        for (std::uint32_t lane = 0; lane < kWavefrontSize; ++lane) {
+            const std::uint64_t e = (start + lane) % s.elems;
+            out.addrs[lane] = s.base + e * s.elemBytes;
+        }
+        break;
+      }
+      case AccessStream::Kind::Random: {
+        const std::uint32_t group =
+            std::max<std::uint32_t>(1, s.lanesPerPage);
+        const std::uint64_t elems_per_page = kPageBytes / s.elemBytes;
+        const std::uint64_t pages =
+            std::max<std::uint64_t>(1, s.elems / elems_per_page);
+        const std::uint64_t hot_pages = std::max<std::uint64_t>(
+            1, std::min(s.hotElems, s.elems) / elems_per_page);
+        std::uint64_t page = 0;
+        for (std::uint32_t lane = 0; lane < kWavefrontSize; ++lane) {
+            if (lane % group == 0) {
+                if (s.hotFraction > 0 && rng.chance(s.hotFraction))
+                    page = rng.next64() % hot_pages;
+                else
+                    page = rng.next64() % pages;
+            }
+            const std::uint64_t e = page * elems_per_page +
+                                    rng.next64() % elems_per_page;
+            out.addrs[lane] = s.base + (e % s.elems) * s.elemBytes;
+        }
+        break;
+      }
+      case AccessStream::Kind::Strided: {
+        const std::uint64_t start = (pos * 7919) % s.elems;
+        for (std::uint32_t lane = 0; lane < kWavefrontSize; ++lane) {
+            const std::uint64_t e = (start + lane * s.stride) % s.elems;
+            out.addrs[lane] = s.base + e * s.elemBytes;
+        }
+        break;
+      }
+      case AccessStream::Kind::PartitionedRandom: {
+        const std::uint32_t group =
+            std::max<std::uint32_t>(1, s.lanesPerPage);
+        const std::uint64_t chunk =
+            std::max<std::uint64_t>(1, s.elems / shape_.numCtas);
+        const std::uint64_t lo = chunk * cta;
+        std::uint64_t anchor = 0;
+        for (std::uint32_t lane = 0; lane < kWavefrontSize; ++lane) {
+            if (lane % group == 0)
+                anchor = lo + rng.next64() % chunk;
+            const std::uint64_t page_lo =
+                alignDown(anchor * s.elemBytes, kPageBytes) /
+                s.elemBytes;
+            const std::uint64_t elems_per_page =
+                kPageBytes / s.elemBytes;
+            const std::uint64_t e =
+                page_lo + rng.next64() % elems_per_page;
+            out.addrs[lane] = s.base + (e % s.elems) * s.elemBytes;
+        }
+        break;
+      }
+    }
+    return true;
+}
+
+} // namespace netcrafter::workloads

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * A composable kernel generator. Each Table 3 application is modelled as
+ * one or more MixKernels: every wavefront instruction draws one access
+ * stream (weighted) and generates 64 per-thread addresses in that
+ * stream's pattern. The four stream kinds reproduce the paper's access
+ * classes (random / adjacent / gather-scatter strided / partitioned) and
+ * with LASP placement produce the app-class remote-traffic and
+ * bytes-per-line profiles of Figures 6, 7 and 9.
+ */
+
+#ifndef NETCRAFTER_WORKLOADS_MIX_KERNEL_HH
+#define NETCRAFTER_WORKLOADS_MIX_KERNEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/workloads/workload.hh"
+
+namespace netcrafter::workloads {
+
+/** One logical data-structure access stream within a kernel. */
+struct AccessStream
+{
+    enum class Kind : std::uint8_t
+    {
+        /** All 64 lanes hit consecutive elements (full-line usage). */
+        Adjacent,
+
+        /** Each lane hits a uniformly random element. */
+        Random,
+
+        /**
+         * Lanes stride through the buffer (column accesses / gather /
+         * scatter): 64 distinct lines, few bytes needed per line.
+         */
+        Strided,
+
+        /**
+         * Random accesses confined to this CTA's chunk of the buffer —
+         * with chunked placement these stay on the home GPU.
+         */
+        PartitionedRandom,
+    };
+
+    Kind kind = Kind::Adjacent;
+
+    /** Buffer base virtual address. */
+    Addr base = 0;
+
+    /** Elements in the buffer. */
+    std::uint64_t elems = 0;
+
+    /** Bytes per element (4 or 8). */
+    std::uint8_t elemBytes = 4;
+
+    /** Elements between lanes for Strided. */
+    std::uint64_t stride = 1024;
+
+    /**
+     * For Random/PartitionedRandom: lanes per randomly chosen page.
+     * Groups of this many lanes land on distinct random lines of one
+     * page, modelling the page-level locality real irregular kernels
+     * retain (raising the data:PTW traffic ratio toward Figure 9's).
+     */
+    std::uint8_t lanesPerPage = 8;
+
+    /**
+     * For Random: probability an access group targets the hot region
+     * (the first hotElems elements). Hot lines get revisited at varying
+     * offsets, giving full-line fills cross-access spatial reuse that
+     * sector-everywhere fills forfeit (the Figures 14/16 contrast
+     * between Trimming and the sector-cache baseline).
+     */
+    double hotFraction = 0;
+
+    /** Elements in the hot region. */
+    std::uint64_t hotElems = 64 * 1024;
+
+    bool write = false;
+
+    /** Relative probability an instruction uses this stream. */
+    double weight = 1.0;
+};
+
+/** A kernel defined by its shape and weighted access streams. */
+class MixKernel : public Kernel
+{
+  public:
+    MixKernel(KernelInfo shape, std::vector<AccessStream> streams,
+              std::uint32_t compute_delay = 8);
+
+    KernelInfo info() const override { return shape_; }
+
+    bool generate(std::uint32_t cta, std::uint32_t wave,
+                  std::uint32_t idx, Pcg32 &rng,
+                  Instruction &out) const override;
+
+  private:
+    const AccessStream &pickStream(Pcg32 &rng) const;
+
+    KernelInfo shape_;
+    std::vector<AccessStream> streams_;
+    std::uint32_t computeDelay_;
+    double totalWeight_ = 0;
+};
+
+} // namespace netcrafter::workloads
+
+#endif // NETCRAFTER_WORKLOADS_MIX_KERNEL_HH

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Workload model interface. The paper evaluates real OpenCL kernels on
+ * MGPUSim; this reproduction models each application as a generator of
+ * per-wavefront memory instructions whose access pattern, footprint,
+ * data sharing, and bytes-per-wavefront statistics match the app class
+ * (Table 3). Compute is abstracted as inter-instruction delay; the full
+ * memory path (coalescer, L1/TLB, network, L2, DRAM) is simulated
+ * cycle-level.
+ */
+
+#ifndef NETCRAFTER_WORKLOADS_WORKLOAD_HH
+#define NETCRAFTER_WORKLOADS_WORKLOAD_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/random.hh"
+#include "src/sim/types.hh"
+
+namespace netcrafter::workloads {
+
+/** One wavefront memory instruction: 64 per-thread addresses. */
+struct Instruction
+{
+    /** Per-thread addresses; kAddrInvalid marks inactive lanes. */
+    std::array<Addr, kWavefrontSize> addrs;
+
+    /** Bytes accessed per thread (4 or 8 typical). */
+    std::uint8_t elemBytes = 4;
+
+    bool isWrite = false;
+
+    /** Compute cycles the wavefront spends before the next instruction. */
+    std::uint32_t computeDelay = 4;
+
+    Instruction() { addrs.fill(kAddrInvalid); }
+};
+
+/** Shape of one kernel launch. */
+struct KernelInfo
+{
+    std::uint32_t numCtas = 0;
+    std::uint32_t wavesPerCta = 1;
+    std::uint32_t instructionsPerWave = 0;
+};
+
+/**
+ * One kernel of a workload. Instruction generation must be a pure
+ * function of (cta, wave, index, rng) so results are deterministic
+ * regardless of simulation interleaving; each wavefront gets its own
+ * seeded rng stream.
+ */
+class Kernel
+{
+  public:
+    virtual ~Kernel() = default;
+
+    virtual KernelInfo info() const = 0;
+
+    /**
+     * LASP CTA scheduling: the home GPU this CTA should run on
+     * (Section 2.2). The default block-distributes CTAs.
+     */
+    virtual GpuId
+    ctaHome(std::uint32_t cta, std::uint32_t num_gpus) const
+    {
+        const std::uint32_t per_gpu =
+            std::max(1u, (info().numCtas + num_gpus - 1) / num_gpus);
+        return std::min(cta / per_gpu, num_gpus - 1);
+    }
+
+    /**
+     * Generate instruction @p idx of wavefront (@p cta, @p wave).
+     * @return false when the wavefront has no instruction @p idx.
+     */
+    virtual bool generate(std::uint32_t cta, std::uint32_t wave,
+                          std::uint32_t idx, Pcg32 &rng,
+                          Instruction &out) const = 0;
+};
+
+/** Data placement directives a workload registers for its buffers. */
+class PlacementDirectory
+{
+  public:
+    virtual ~PlacementDirectory() = default;
+
+    /** Place the page containing @p vaddr on @p owner. */
+    virtual void place(Addr vaddr, GpuId owner) = 0;
+};
+
+/** Build-time context handed to Workload::build. */
+struct BuildContext
+{
+    std::uint32_t numGpus = 4;
+
+    /** Problem size multiplier (1.0 = default evaluation size). */
+    double scale = 1.0;
+
+    /** Seed for the workload's own randomized construction. */
+    std::uint64_t seed = 1;
+
+    PlacementDirectory *placement = nullptr;
+
+    /** Bump allocator for virtual address space. */
+    Addr nextVa = 0x1'0000'0000ull;
+
+    /** Allocate @p bytes of page-aligned virtual address space. */
+    Addr
+    alloc(std::uint64_t bytes)
+    {
+        Addr base = nextVa;
+        nextVa = alignUp(nextVa + bytes, kPageBytes);
+        return base;
+    }
+};
+
+/** A complete application: placement plus a sequence of kernels. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Short name as in Table 3 (e.g. "GUPS"). */
+    virtual std::string name() const = 0;
+
+    /** Access pattern label as in Table 3 (e.g. "Random"). */
+    virtual std::string pattern() const = 0;
+
+    /**
+     * Allocate buffers, register LASP data placement, and construct the
+     * kernel sequence. Called exactly once before simulation.
+     */
+    virtual void build(BuildContext &ctx) = 0;
+
+    /** Kernels executed in order, with a barrier between them. */
+    virtual const std::vector<std::unique_ptr<Kernel>> &kernels() const = 0;
+};
+
+using WorkloadPtr = std::unique_ptr<Workload>;
+
+/** Factory returning a fresh instance of every Table 3 application. */
+std::vector<WorkloadPtr> makeAllWorkloads();
+
+/** Factory by Table 3 abbreviation (GUPS, MT, ... RNET18). */
+WorkloadPtr makeWorkload(const std::string &name);
+
+/** Names of all Table 3 applications, in the paper's order. */
+std::vector<std::string> workloadNames();
+
+/** Large-GEMM workload used in the Figure 17 granularity study. */
+WorkloadPtr makeGemmWorkload();
+
+} // namespace netcrafter::workloads
+
+#endif // NETCRAFTER_WORKLOADS_WORKLOAD_HH

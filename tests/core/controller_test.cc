@@ -1,0 +1,257 @@
+/** @file Integration tests for the NetCrafter controller. */
+
+#include <gtest/gtest.h>
+
+#include "src/core/controller.hh"
+#include "src/sim/engine.hh"
+
+namespace netcrafter::core {
+namespace {
+
+using noc::FlitBuffer;
+using noc::FlitPtr;
+using noc::makePacket;
+using noc::PacketPtr;
+using noc::PacketType;
+using noc::segmentPacket;
+
+/** Cluster of a GPU id in the default 2x2 topology. */
+ClusterId
+clusterOf(GpuId g)
+{
+    return g / 2;
+}
+
+struct ControllerFixture : ::testing::Test
+{
+    sim::Engine engine;
+    FlitBuffer out{1024};
+    config::NetCrafterConfig cfg;
+    int switchWakes = 0;
+
+    std::unique_ptr<NetCrafterController>
+    makeController()
+    {
+        return std::make_unique<NetCrafterController>(
+            engine, "ctrl", cfg, [](GpuId g) { return clusterOf(g); },
+            std::vector<ClusterId>{1}, out, 1,
+            [this] { ++switchWakes; });
+    }
+
+    /** Feed every flit of @p pkt into the controller. */
+    void
+    feed(NetCrafterController &ctrl, const PacketPtr &pkt)
+    {
+        for (auto &f : segmentPacket(pkt, 16))
+            ASSERT_TRUE(ctrl.tryAccept(std::move(f)));
+    }
+
+    std::vector<FlitPtr>
+    drain()
+    {
+        std::vector<FlitPtr> flits;
+        while (!out.empty())
+            flits.push_back(out.pop());
+        return flits;
+    }
+};
+
+TEST_F(ControllerFixture, PassThroughWithoutMechanisms)
+{
+    cfg = config::NetCrafterConfig{};
+    auto ctrl = makeController();
+    feed(*ctrl, makePacket(PacketType::ReadRsp, 0, 2, 0x40));
+    engine.run();
+    EXPECT_EQ(drain().size(), 5u);
+    EXPECT_EQ(ctrl->stats().flitsEjected, 5u);
+}
+
+TEST_F(ControllerFixture, EgressRateIsOneFlitPerCycle)
+{
+    cfg = config::NetCrafterConfig{};
+    auto ctrl = makeController();
+    feed(*ctrl, makePacket(PacketType::ReadRsp, 0, 2, 0x40));
+    const Tick start = engine.now();
+    engine.run();
+    EXPECT_GE(engine.now() - start, 5u);
+}
+
+TEST_F(ControllerFixture, TrimsEligibleResponses)
+{
+    cfg.trimming = true;
+    auto ctrl = makeController();
+    auto pkt = makePacket(PacketType::ReadRsp, 0, 2, 0x40);
+    pkt->trimEligible = true;
+    pkt->bytesNeeded = 8;
+    pkt->neededOffset = 32;
+    feed(*ctrl, pkt);
+    engine.run();
+    auto flits = drain();
+    EXPECT_EQ(flits.size(), 2u); // 20 bytes -> 2 flits
+    EXPECT_TRUE(pkt->trimmed);
+    EXPECT_EQ(ctrl->trimStats().packetsTrimmed, 1u);
+    EXPECT_EQ(ctrl->trimStats().bytesTrimmed, 48u);
+}
+
+TEST_F(ControllerFixture, DoesNotTrimIneligible)
+{
+    cfg.trimming = true;
+    auto ctrl = makeController();
+    auto pkt = makePacket(PacketType::ReadRsp, 0, 2, 0x40);
+    pkt->trimEligible = false; // wavefront needs > one sector
+    feed(*ctrl, pkt);
+    engine.run();
+    EXPECT_EQ(drain().size(), 5u);
+    EXPECT_FALSE(pkt->trimmed);
+}
+
+TEST_F(ControllerFixture, StitchesRequestsIntoResponseTails)
+{
+    cfg.stitching = true;
+    auto ctrl = makeController();
+    // A steady mix: response tails (12 free bytes) find 12B read
+    // requests to absorb while both classes hold entries.
+    std::uint32_t raw = 0;
+    for (int i = 0; i < 6; ++i) {
+        auto rsp = makePacket(PacketType::ReadRsp, 0, 2, 0x40 + i * 64);
+        auto req = makePacket(PacketType::ReadReq, 1, 3, 0x80 + i * 64);
+        raw += 5 + 1;
+        feed(*ctrl, rsp);
+        feed(*ctrl, req);
+    }
+    engine.run();
+    auto flits = drain();
+    EXPECT_LT(flits.size(), raw);
+    std::size_t pieces = 0;
+    for (const auto &f : flits)
+        pieces += f->stitched.size();
+    EXPECT_GT(pieces, 0u);
+    EXPECT_EQ(flits.size() + pieces, raw);
+    EXPECT_EQ(ctrl->stitchStats().candidatesAbsorbed, pieces);
+}
+
+TEST_F(ControllerFixture, SequencingEjectsPtwFirst)
+{
+    cfg.sequencing = config::SequencingMode::PrioritizePtw;
+    auto ctrl = makeController();
+    // Queue a large data packet, then a PTW request behind it.
+    feed(*ctrl, makePacket(PacketType::WriteReq, 0, 2, 0x40));
+    auto pt = makePacket(PacketType::PageTableReq, 0, 3, 0x80);
+    pt->latencyCritical = true;
+    feed(*ctrl, pt);
+    engine.run();
+    auto flits = drain();
+    ASSERT_EQ(flits.size(), 6u);
+    // The PTW flit overtakes the write packet's flits.
+    EXPECT_TRUE(flits[0]->pkt->isPtw());
+}
+
+TEST_F(ControllerFixture, AdmissionControlRefusesWhenFull)
+{
+    cfg.clusterQueueEntries = 4;
+    cfg.stitching = true;
+    cfg.flitPooling = true; // keep flits inside briefly
+    auto ctrl = makeController();
+    int accepted = 0;
+    for (int i = 0; i < 8; ++i) {
+        auto pkt = makePacket(PacketType::ReadReq, 0, 2, 0x40 + i * 64);
+        auto flit = segmentPacket(pkt, 16).front();
+        accepted += ctrl->tryAccept(std::move(flit)) ? 1 : 0;
+    }
+    EXPECT_LE(accepted, 4);
+    engine.run();
+    EXPECT_GT(switchWakes, 0);
+}
+
+TEST_F(ControllerFixture, PoolingDefersUntilCandidateArrives)
+{
+    cfg.stitching = true;
+    cfg.flitPooling = true;
+    cfg.poolingWindow = 64;
+    auto ctrl = makeController();
+
+    // A response tail (12 free bytes) heads its partition while the
+    // write-request class still has work: its tails (15B wire as
+    // partial candidates) do not fit, so the response tail pools,
+    // deferring while the writes keep the link busy.
+    feed(*ctrl, makePacket(PacketType::ReadRsp, 0, 2, 0x40));
+    feed(*ctrl, makePacket(PacketType::WriteReq, 0, 2, 0x80));
+    feed(*ctrl, makePacket(PacketType::WriteReq, 0, 2, 0xC0));
+    engine.run();
+    auto flits = drain();
+    // Everything is eventually ejected, possibly stitched together.
+    std::uint32_t logical = 0;
+    for (const auto &f : flits)
+        logical += 1 + static_cast<std::uint32_t>(f->stitched.size());
+    EXPECT_EQ(logical, 15u);
+    EXPECT_GT(ctrl->stats().poolingArms, 0u);
+}
+
+TEST_F(ControllerFixture, SelectivePoolingNeverDefersPtw)
+{
+    cfg.stitching = true;
+    cfg.flitPooling = true;
+    cfg.selectivePooling = true;
+    auto ctrl = makeController();
+    auto pt = makePacket(PacketType::PageTableReq, 0, 2, 0x40);
+    pt->latencyCritical = true;
+    feed(*ctrl, pt);
+    engine.run();
+    EXPECT_EQ(drain().size(), 1u);
+    EXPECT_EQ(ctrl->stats().poolingArms, 0u);
+}
+
+TEST_F(ControllerFixture, ReStitchingFillsRemainingSpace)
+{
+    cfg.stitching = true;
+    auto ctrl = makeController();
+    feed(*ctrl, makePacket(PacketType::ReadRsp, 0, 2, 0x40)); // tail 12 free
+    // Three 4B write acks: whichever parent goes first (the ack at the
+    // head of its partition or the response tail) absorbs the others —
+    // a parent keeps stitching while free bytes remain (step 4h).
+    for (int i = 0; i < 3; ++i)
+        feed(*ctrl, makePacket(PacketType::WriteRsp, 0, 2, 0x80 + i * 64));
+    engine.run();
+    auto flits = drain();
+    std::size_t pieces = 0;
+    bool multi_piece_parent = false;
+    for (const auto &f : flits) {
+        pieces += f->stitched.size();
+        multi_piece_parent |= f->stitched.size() >= 2;
+    }
+    EXPECT_EQ(flits.size() + pieces, 8u); // conservation
+    EXPECT_GE(pieces, 2u);
+    EXPECT_TRUE(multi_piece_parent);
+}
+
+TEST_F(ControllerFixture, UnstitcherReversesControllerOutput)
+{
+    cfg.stitching = true;
+    auto ctrl = makeController();
+    std::uint32_t expected_bytes = 0;
+    for (int i = 0; i < 6; ++i) {
+        auto rsp = makePacket(PacketType::ReadRsp, 0, 2, 0x40 + i * 64);
+        auto req = makePacket(PacketType::ReadReq, 1, 3, 0x80 + i * 64);
+        expected_bytes += rsp->totalBytes() + req->totalBytes();
+        feed(*ctrl, rsp);
+        feed(*ctrl, req);
+    }
+    engine.run();
+
+    Unstitcher unstitcher;
+    std::vector<FlitPtr> wire = drain();
+    std::vector<FlitPtr> restored;
+    for (auto &f : wire)
+        unstitcher.process(std::move(f), restored);
+    EXPECT_EQ(restored.size(), 36u); // 6 x (5 + 1) logical flits
+    std::uint32_t bytes = 0;
+    for (const auto &f : restored) {
+        EXPECT_FALSE(f->isStitched());
+        bytes += f->occupiedBytes;
+    }
+    EXPECT_EQ(bytes, expected_bytes);
+    EXPECT_GT(unstitcher.stats().unstitched, 0u);
+}
+
+} // namespace
+} // namespace netcrafter::core

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * End-to-end validation of the Figure 11 flit-stream transformation:
+ * a mixed stream of packets passes through the NetCrafter controller
+ * (trim + stitch) and the receiving un-stitcher; every packet's bytes
+ * arrive intact while the wire flit count shrinks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/core/controller.hh"
+#include "src/sim/engine.hh"
+#include "src/sim/random.hh"
+
+namespace netcrafter::core {
+namespace {
+
+using noc::FlitBuffer;
+using noc::FlitPtr;
+using noc::makePacket;
+using noc::PacketPtr;
+using noc::PacketType;
+using noc::segmentPacket;
+
+struct StreamFixture : ::testing::Test
+{
+    sim::Engine engine;
+    FlitBuffer out{4096};
+    config::NetCrafterConfig cfg;
+
+    std::unique_ptr<NetCrafterController>
+    makeController()
+    {
+        cfg.clusterQueueEntries = 4096;
+        return std::make_unique<NetCrafterController>(
+            engine, "ctrl", cfg, [](GpuId g) { return g / 2; },
+            std::vector<ClusterId>{1}, out, 1, nullptr);
+    }
+};
+
+TEST_F(StreamFixture, Figure11MixedStream)
+{
+    cfg.stitching = true;
+    cfg.trimming = true;
+    auto ctrl = makeController();
+
+    Pcg32 rng(11);
+    std::map<std::uint64_t, std::uint32_t> expected_bytes;
+    std::uint32_t raw_flits = 0;
+
+    // A paper-like mix: read responses (some trim-eligible), write
+    // requests, write acks, reads and PTW traffic.
+    for (int i = 0; i < 100; ++i) {
+        PacketPtr pkt;
+        switch (rng.below(6)) {
+          case 0:
+            pkt = makePacket(PacketType::ReadRsp, 0, 2, i * 64);
+            if (rng.chance(0.5)) {
+                pkt->trimEligible = true;
+                pkt->bytesNeeded = 8;
+                pkt->neededOffset =
+                    static_cast<std::uint8_t>(16 * rng.below(4));
+            }
+            break;
+          case 1:
+            pkt = makePacket(PacketType::WriteReq, 0, 2, i * 64);
+            break;
+          case 2:
+            pkt = makePacket(PacketType::WriteRsp, 0, 3, i * 64);
+            break;
+          case 3:
+            pkt = makePacket(PacketType::ReadReq, 1, 3, i * 64);
+            break;
+          case 4:
+            pkt = makePacket(PacketType::PageTableReq, 0, 2, i * 64);
+            pkt->latencyCritical = true;
+            break;
+          default:
+            pkt = makePacket(PacketType::PageTableRsp, 1, 2, i * 64);
+            pkt->latencyCritical = true;
+            break;
+        }
+        auto flits = segmentPacket(pkt, 16);
+        raw_flits += flits.size();
+        for (auto &f : flits)
+            ASSERT_TRUE(ctrl->tryAccept(std::move(f)));
+        // expected_bytes uses the post-trim size, recorded below after
+        // the controller had a chance to trim; store the packet now.
+        expected_bytes[pkt->id] = 0; // placeholder; updated after run
+        engine.run();
+    }
+    engine.run();
+
+    // Collect the wire stream and un-stitch it.
+    Unstitcher unstitcher;
+    std::vector<FlitPtr> restored;
+    std::uint32_t wire_flits = 0;
+    while (!out.empty()) {
+        ++wire_flits;
+        unstitcher.process(out.pop(), restored);
+    }
+
+    // Wire flits must be fewer than the raw segmentation (trimming and
+    // stitching both shrink the stream).
+    EXPECT_LT(wire_flits, raw_flits);
+
+    // Reassemble: per packet, received bytes == totalBytes() exactly.
+    std::map<std::uint64_t, std::uint32_t> received;
+    std::map<std::uint64_t, PacketPtr> packets;
+    for (const auto &f : restored) {
+        EXPECT_FALSE(f->isStitched());
+        received[f->pkt->id] += f->occupiedBytes;
+        packets[f->pkt->id] = f->pkt;
+    }
+    EXPECT_EQ(received.size(), expected_bytes.size());
+    for (const auto &[id, bytes] : received) {
+        EXPECT_EQ(bytes, packets[id]->totalBytes())
+            << packets[id]->toString();
+    }
+}
+
+TEST_F(StreamFixture, BackToBackResponseTailsStitch)
+{
+    // The paper's first Figure 11 scenario: the tails of two
+    // back-to-back read responses share one wire flit via ID+Size
+    // metadata.
+    cfg.stitching = true;
+    auto ctrl = makeController();
+    for (auto &f :
+         segmentPacket(makePacket(PacketType::ReadRsp, 0, 2, 0x40), 16))
+        ASSERT_TRUE(ctrl->tryAccept(std::move(f)));
+    for (auto &f :
+         segmentPacket(makePacket(PacketType::ReadRsp, 0, 2, 0x80), 16))
+        ASSERT_TRUE(ctrl->tryAccept(std::move(f)));
+    engine.run();
+
+    std::uint32_t wire = 0;
+    bool partial_piece = false;
+    while (!out.empty()) {
+        auto f = out.pop();
+        ++wire;
+        for (const auto &p : f->stitched)
+            partial_piece |= !p.wholePacket;
+    }
+    EXPECT_EQ(wire, 9u); // 10 raw flits, tails merged
+    EXPECT_TRUE(partial_piece);
+}
+
+} // namespace
+} // namespace netcrafter::core

@@ -1,0 +1,120 @@
+/** @file Unit tests for the Trim Engine. */
+
+#include <gtest/gtest.h>
+
+#include "src/core/trim_engine.hh"
+
+namespace netcrafter::core {
+namespace {
+
+using noc::makePacket;
+using noc::PacketType;
+
+noc::PacketPtr
+eligibleRsp()
+{
+    auto pkt = makePacket(PacketType::ReadRsp, 0, 2, 0x40);
+    pkt->interCluster = true;
+    pkt->trimEligible = true;
+    pkt->bytesNeeded = 8;
+    pkt->neededOffset = 16;
+    return pkt;
+}
+
+TEST(TrimEngine, TrimsEligibleInterClusterReadResponses)
+{
+    TrimEngine trim(16);
+    auto pkt = eligibleRsp();
+    ASSERT_TRUE(trim.shouldTrim(*pkt));
+    trim.trim(*pkt);
+    EXPECT_TRUE(pkt->trimmed);
+    EXPECT_EQ(pkt->payloadBytes, 16u);
+    EXPECT_EQ(pkt->totalBytes(), 20u);
+    EXPECT_EQ(pkt->trimSector, 1u); // offset 16 / granularity 16
+    EXPECT_EQ(trim.stats().packetsTrimmed, 1u);
+    EXPECT_EQ(trim.stats().bytesTrimmed, 48u);
+}
+
+TEST(TrimEngine, OnlyReadResponses)
+{
+    TrimEngine trim(16);
+    auto pkt = eligibleRsp();
+    pkt->type = PacketType::WriteReq;
+    EXPECT_FALSE(trim.shouldTrim(*pkt));
+    pkt->type = PacketType::PageTableRsp;
+    EXPECT_FALSE(trim.shouldTrim(*pkt));
+}
+
+TEST(TrimEngine, OnlyInterCluster)
+{
+    TrimEngine trim(16);
+    auto pkt = eligibleRsp();
+    pkt->interCluster = false;
+    EXPECT_FALSE(trim.shouldTrim(*pkt));
+}
+
+TEST(TrimEngine, OnlyWhenRequesterFlaggedEligibility)
+{
+    TrimEngine trim(16);
+    auto pkt = eligibleRsp();
+    pkt->trimEligible = false;
+    EXPECT_FALSE(trim.shouldTrim(*pkt));
+}
+
+TEST(TrimEngine, NeverTrimsTwice)
+{
+    TrimEngine trim(16);
+    auto pkt = eligibleRsp();
+    trim.trim(*pkt);
+    EXPECT_FALSE(trim.shouldTrim(*pkt));
+}
+
+TEST(TrimEngine, NoTrimWhenPayloadAlreadySmall)
+{
+    TrimEngine trim(16);
+    auto pkt = eligibleRsp();
+    pkt->payloadBytes = 16;
+    EXPECT_FALSE(trim.shouldTrim(*pkt));
+}
+
+TEST(TrimEngine, FitsOneSectorBoundaryCases)
+{
+    // Within the first 16B sector.
+    EXPECT_TRUE(TrimEngine::fitsOneSector(0, 16, 16));
+    EXPECT_TRUE(TrimEngine::fitsOneSector(12, 4, 16));
+    // Straddles sectors 0 and 1.
+    EXPECT_FALSE(TrimEngine::fitsOneSector(12, 8, 16));
+    // Exactly one later sector.
+    EXPECT_TRUE(TrimEngine::fitsOneSector(48, 16, 16));
+    // Bigger than a sector.
+    EXPECT_FALSE(TrimEngine::fitsOneSector(0, 17, 16));
+    // Degenerate.
+    EXPECT_FALSE(TrimEngine::fitsOneSector(0, 0, 16));
+}
+
+TEST(TrimEngine, GranularityFour)
+{
+    TrimEngine trim(4);
+    auto pkt = eligibleRsp();
+    pkt->bytesNeeded = 4;
+    pkt->neededOffset = 60;
+    ASSERT_TRUE(trim.shouldTrim(*pkt));
+    trim.trim(*pkt);
+    EXPECT_EQ(pkt->payloadBytes, 4u);
+    EXPECT_EQ(pkt->trimSector, 15u);
+    EXPECT_EQ(pkt->totalBytes(), 8u); // 4B header + 4B sector: 1 flit
+}
+
+TEST(TrimEngine, SectorIndexFromOffset)
+{
+    TrimEngine trim(16);
+    for (std::uint32_t offset : {0u, 16u, 32u, 48u}) {
+        auto pkt = eligibleRsp();
+        pkt->neededOffset = static_cast<std::uint8_t>(offset);
+        trim.trim(*pkt);
+        EXPECT_EQ(pkt->trimSector, offset / 16);
+    }
+}
+
+} // namespace
+} // namespace netcrafter::core

@@ -1,0 +1,114 @@
+/** @file Unit tests for the wavefront memory coalescer. */
+
+#include <gtest/gtest.h>
+
+#include "src/gpu/coalescer.hh"
+
+namespace netcrafter::gpu {
+namespace {
+
+using workloads::Instruction;
+
+TEST(Coalescer, AdjacentLanesMergeIntoFullLines)
+{
+    Instruction instr;
+    instr.elemBytes = 4;
+    for (std::uint32_t i = 0; i < kWavefrontSize; ++i)
+        instr.addrs[i] = 0x1000 + i * 4;
+    auto accesses = coalesce(instr);
+    // 64 lanes x 4B = 256B = 4 full lines.
+    ASSERT_EQ(accesses.size(), 4u);
+    for (const auto &a : accesses) {
+        EXPECT_EQ(a.offset, 0u);
+        EXPECT_EQ(a.bytes, 64u);
+        EXPECT_FALSE(a.isWrite);
+    }
+}
+
+TEST(Coalescer, StridedLanesNeedFewBytesPerLine)
+{
+    Instruction instr;
+    instr.elemBytes = 4;
+    for (std::uint32_t i = 0; i < kWavefrontSize; ++i)
+        instr.addrs[i] = 0x10000 + static_cast<Addr>(i) * 1024;
+    auto accesses = coalesce(instr);
+    ASSERT_EQ(accesses.size(), kWavefrontSize);
+    for (const auto &a : accesses)
+        EXPECT_EQ(a.bytes, 4u);
+}
+
+TEST(Coalescer, DuplicateAddressesCollapse)
+{
+    Instruction instr;
+    instr.elemBytes = 4;
+    for (std::uint32_t i = 0; i < kWavefrontSize; ++i)
+        instr.addrs[i] = 0x2000;
+    auto accesses = coalesce(instr);
+    ASSERT_EQ(accesses.size(), 1u);
+    EXPECT_EQ(accesses[0].bytes, 4u);
+    EXPECT_EQ(accesses[0].offset, 0u);
+}
+
+TEST(Coalescer, SpanCoversFirstToLastTouchedByte)
+{
+    Instruction instr;
+    instr.elemBytes = 4;
+    instr.addrs[0] = 0x1000 + 8;
+    instr.addrs[1] = 0x1000 + 40;
+    auto accesses = coalesce(instr);
+    ASSERT_EQ(accesses.size(), 1u);
+    EXPECT_EQ(accesses[0].offset, 8u);
+    EXPECT_EQ(accesses[0].bytes, 36u); // 8 .. 43
+}
+
+TEST(Coalescer, InactiveLanesSkipped)
+{
+    Instruction instr;
+    instr.elemBytes = 8;
+    instr.addrs[0] = 0x4000;
+    instr.addrs[5] = 0x8000;
+    auto accesses = coalesce(instr);
+    EXPECT_EQ(accesses.size(), 2u);
+}
+
+TEST(Coalescer, AllInactiveYieldsNothing)
+{
+    Instruction instr;
+    EXPECT_TRUE(coalesce(instr).empty());
+}
+
+TEST(Coalescer, WriteFlagPropagates)
+{
+    Instruction instr;
+    instr.isWrite = true;
+    instr.elemBytes = 4;
+    instr.addrs[0] = 0x40;
+    auto accesses = coalesce(instr);
+    ASSERT_EQ(accesses.size(), 1u);
+    EXPECT_TRUE(accesses[0].isWrite);
+}
+
+TEST(Coalescer, ElementAtLineEndClamps)
+{
+    Instruction instr;
+    instr.elemBytes = 8;
+    instr.addrs[0] = 0x1000 + 60; // 8B element would straddle
+    auto accesses = coalesce(instr);
+    ASSERT_EQ(accesses.size(), 1u);
+    EXPECT_EQ(accesses[0].offset, 60u);
+    EXPECT_EQ(accesses[0].bytes, 4u); // clamped to the line
+}
+
+TEST(Coalescer, LinesAreAligned)
+{
+    Instruction instr;
+    instr.elemBytes = 4;
+    instr.addrs[0] = 0x12345;
+    auto accesses = coalesce(instr);
+    ASSERT_EQ(accesses.size(), 1u);
+    EXPECT_EQ(accesses[0].line % kCacheLineBytes, 0u);
+    EXPECT_EQ(accesses[0].line, lineAddr(0x12345));
+}
+
+} // namespace
+} // namespace netcrafter::gpu

@@ -1,0 +1,94 @@
+/** @file Tests for MultiGpuSystem APIs beyond the end-to-end suite. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/gpu/system.hh"
+#include "src/workloads/workload.hh"
+
+namespace netcrafter::gpu {
+namespace {
+
+config::SystemConfig
+tiny()
+{
+    config::SystemConfig cfg = config::baselineConfig();
+    cfg.cusPerGpu = 4;
+    cfg.maxWavesPerCu = 2;
+    return cfg;
+}
+
+TEST(MultiGpuSystem, DumpStatsCoversSubsystems)
+{
+    auto wl = workloads::makeWorkload("SPMV");
+    MultiGpuSystem sys(tiny());
+    sys.run(*wl, 0.2);
+
+    std::ostringstream os;
+    sys.dumpStats(os);
+    const std::string out = os.str();
+    for (const char *key :
+         {"system.cycles", "system.instructions",
+          "network.interClusterFlits", "gpu0.l1.readMisses",
+          "gpu3.l2.accesses", "gpu0.gmmu.walks", "gpu2.dram.bytes",
+          "gpu1.l2tlb.misses"}) {
+        EXPECT_NE(out.find(key), std::string::npos) << key;
+    }
+}
+
+TEST(MultiGpuSystem, DumpStatsIncludesControllersWhenEnabled)
+{
+    config::SystemConfig cfg = config::netcrafterConfig();
+    cfg.cusPerGpu = 4;
+    cfg.maxWavesPerCu = 2;
+    auto wl = workloads::makeWorkload("GUPS");
+    MultiGpuSystem sys(cfg);
+    sys.run(*wl, 0.2);
+
+    std::ostringstream os;
+    sys.dumpStats(os);
+    EXPECT_NE(os.str().find("netcrafter.0to1.flitsEjected"),
+              std::string::npos);
+    EXPECT_NE(os.str().find("netcrafter.1to0.trimmedPackets"),
+              std::string::npos);
+}
+
+TEST(MultiGpuSystem, PlacementDirectoryFeedsPageTable)
+{
+    MultiGpuSystem sys(tiny());
+    sys.place(0x9'0000'0000ull, 3);
+    EXPECT_EQ(sys.pageTable().dataOwner(0x9'0000'0000ull), 3u);
+}
+
+TEST(MultiGpuSystem, LocalAndRemoteReadsBothHappen)
+{
+    auto wl = workloads::makeWorkload("SPMV");
+    MultiGpuSystem sys(tiny());
+    sys.run(*wl, 0.2);
+    EXPECT_GT(sys.localReads(), 0u);
+    EXPECT_GT(sys.remoteReads(), 0u);
+    EXPECT_GT(sys.pageWalks(), 0u);
+    EXPECT_GE(sys.meanWalkLength(), 1.0);
+    EXPECT_LE(sys.meanWalkLength(), 4.0);
+}
+
+TEST(MultiGpuSystem, ThreadInstructionsScaleByWavefront)
+{
+    auto wl = workloads::makeWorkload("BS");
+    MultiGpuSystem sys(tiny());
+    sys.run(*wl, 0.2);
+    EXPECT_EQ(sys.threadInstructions(),
+              sys.totalInstructions() * kWavefrontSize);
+}
+
+TEST(MultiGpuSystem, CycleLimitIsFatal)
+{
+    auto wl = workloads::makeWorkload("GUPS");
+    MultiGpuSystem sys(tiny());
+    EXPECT_EXIT(sys.run(*wl, 0.2, /*max_cycles=*/10),
+                ::testing::ExitedWithCode(1), "cycle limit");
+}
+
+} // namespace
+} // namespace netcrafter::gpu

@@ -1,0 +1,64 @@
+/** @file Tests for the experiment harness utilities. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/harness/runner.hh"
+#include "src/harness/table.hh"
+
+namespace netcrafter::harness {
+namespace {
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer-name", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    // Separator line present.
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, ShortRowsPadded)
+{
+    Table t({"a", "b", "c"});
+    t.addRow({"only"});
+    std::ostringstream os;
+    t.print(os); // must not crash
+    EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+TEST(Table, FormatHelpers)
+{
+    EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::fmt(2.0, 0), "2");
+    EXPECT_EQ(Table::pct(0.42, 1), "42.0%");
+    EXPECT_EQ(Table::pct(1.0, 0), "100%");
+}
+
+TEST(Geomean, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Geomean, NonPositiveDies)
+{
+    EXPECT_DEATH(geomean({1.0, 0.0}), "non-positive");
+}
+
+TEST(EnvScale, DefaultsToOne)
+{
+    // NETCRAFTER_SCALE is not set in the test environment.
+    EXPECT_GT(envScale(), 0.0);
+}
+
+} // namespace
+} // namespace netcrafter::harness

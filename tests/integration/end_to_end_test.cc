@@ -1,0 +1,218 @@
+/**
+ * @file
+ * End-to-end integration tests: whole-system simulations at small scale
+ * validating the paper's directional claims and cross-cutting
+ * invariants (determinism, conservation, mechanism effects).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/gpu/system.hh"
+#include "src/workloads/workload.hh"
+
+namespace netcrafter {
+namespace {
+
+/** A shrunken Table 2 system that keeps integration tests fast. */
+config::SystemConfig
+tinyConfig()
+{
+    config::SystemConfig cfg = config::baselineConfig();
+    cfg.cusPerGpu = 8;
+    cfg.maxWavesPerCu = 4;
+    return cfg;
+}
+
+constexpr double kTinyScale = 0.34; // ~2 instructions per wavefront
+
+struct RunOutcome
+{
+    Tick cycles;
+    std::uint64_t interFlits;
+    std::uint64_t interWireBytes;
+    std::uint64_t instructions;
+    std::size_t outstanding;
+    std::uint64_t trimmed;
+    std::uint64_t stitched;
+    double mpki;
+};
+
+RunOutcome
+simulate(const std::string &app, const config::SystemConfig &cfg,
+         double scale = kTinyScale)
+{
+    auto wl = workloads::makeWorkload(app);
+    gpu::MultiGpuSystem sys(cfg);
+    sys.run(*wl, scale);
+    RunOutcome out;
+    out.cycles = sys.cycles();
+    out.interFlits = sys.network().interClusterFlits();
+    out.interWireBytes = sys.network().interClusterWireBytes();
+    out.instructions = sys.totalInstructions();
+    out.outstanding = sys.outstandingRequests();
+    out.mpki = sys.l1Mpki();
+    out.trimmed = 0;
+    out.stitched = 0;
+    for (ClusterId f = 0; f < cfg.numClusters; ++f) {
+        for (ClusterId t = 0; t < cfg.numClusters; ++t) {
+            const auto *ctrl = sys.network().controller(f, t);
+            if (!ctrl)
+                continue;
+            out.trimmed += ctrl->trimStats().packetsTrimmed;
+            out.stitched += ctrl->stitchStats().candidatesAbsorbed;
+        }
+    }
+    return out;
+}
+
+/** Every Table 3 app (plus GEMM) completes under every major config. */
+class AllWorkloads : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(AllWorkloads, CompletesOnBaseline)
+{
+    auto out = simulate(GetParam(), tinyConfig());
+    EXPECT_GT(out.cycles, 0u);
+    EXPECT_GT(out.instructions, 0u);
+    EXPECT_EQ(out.outstanding, 0u); // every request got its response
+}
+
+TEST_P(AllWorkloads, CompletesUnderFullNetCrafter)
+{
+    config::SystemConfig cfg = config::netcrafterConfig();
+    cfg.cusPerGpu = 8;
+    cfg.maxWavesPerCu = 4;
+    auto out = simulate(GetParam(), cfg);
+    EXPECT_GT(out.cycles, 0u);
+    EXPECT_EQ(out.outstanding, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table3, AllWorkloads,
+    ::testing::Values("GUPS", "MT", "MIS", "IM2COL", "ATAX", "BS",
+                      "MM2", "MVT", "SPMV", "PR", "SR", "SYR2K",
+                      "VGG16", "LENET", "RNET18", "GEMM"));
+
+TEST(EndToEnd, DeterministicAcrossRuns)
+{
+    auto a = simulate("GUPS", tinyConfig());
+    auto b = simulate("GUPS", tinyConfig());
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.interFlits, b.interFlits);
+    EXPECT_EQ(a.instructions, b.instructions);
+}
+
+TEST(EndToEnd, SeedChangesSchedule)
+{
+    config::SystemConfig cfg = tinyConfig();
+    auto a = simulate("GUPS", cfg);
+    cfg.seed = 999;
+    auto b = simulate("GUPS", cfg);
+    EXPECT_NE(a.cycles, b.cycles);
+}
+
+TEST(EndToEnd, IdealBandwidthIsFaster)
+{
+    config::SystemConfig ideal = config::idealConfig();
+    ideal.cusPerGpu = 8;
+    ideal.maxWavesPerCu = 4;
+    auto base = simulate("GUPS", tinyConfig());
+    auto fast = simulate("GUPS", ideal);
+    EXPECT_LT(fast.cycles, base.cycles);
+}
+
+TEST(EndToEnd, TrimmingShrinksInterClusterTraffic)
+{
+    config::SystemConfig cfg = tinyConfig();
+    cfg.netcrafter.trimming = true;
+    cfg.l1FillMode = config::L1FillMode::TrimInterCluster;
+    auto base = simulate("GUPS", tinyConfig());
+    auto trim = simulate("GUPS", cfg);
+    EXPECT_GT(trim.trimmed, 0u);
+    EXPECT_LT(trim.interFlits, base.interFlits);
+    EXPECT_LT(trim.interWireBytes, base.interWireBytes);
+}
+
+TEST(EndToEnd, StitchingShrinksWireFlits)
+{
+    config::SystemConfig cfg = tinyConfig();
+    cfg.netcrafter.stitching = true;
+    auto base = simulate("GUPS", tinyConfig());
+    auto stitch = simulate("GUPS", cfg);
+    EXPECT_GT(stitch.stitched, 0u);
+    EXPECT_LT(stitch.interFlits, base.interFlits);
+}
+
+TEST(EndToEnd, SequencingAloneChangesNoTrafficVolume)
+{
+    config::SystemConfig cfg = tinyConfig();
+    cfg.netcrafter.sequencing = config::SequencingMode::PrioritizePtw;
+    auto base = simulate("GUPS", tinyConfig());
+    auto seq = simulate("GUPS", cfg);
+    // Sequencing reorders; it neither adds nor removes flits.
+    EXPECT_NEAR(static_cast<double>(seq.interFlits),
+                static_cast<double>(base.interFlits),
+                0.02 * static_cast<double>(base.interFlits));
+}
+
+TEST(EndToEnd, SectorCacheRaisesMpkiAboveTrimming)
+{
+    config::SystemConfig trim_cfg = tinyConfig();
+    trim_cfg.netcrafter.trimming = true;
+    trim_cfg.l1FillMode = config::L1FillMode::TrimInterCluster;
+    config::SystemConfig sector_cfg = tinyConfig();
+    sector_cfg.l1FillMode = config::L1FillMode::SectorAlways;
+
+    // PR has hot-line reuse: full-line fills pay off.
+    const double scale = 1.0;
+    auto base = simulate("PR", tinyConfig(), scale);
+    auto trim = simulate("PR", trim_cfg, scale);
+    auto sector = simulate("PR", sector_cfg, scale);
+    EXPECT_GE(trim.mpki, base.mpki * 0.999);
+    EXPECT_GT(sector.mpki, trim.mpki);
+}
+
+TEST(EndToEnd, EightByteFlitsStillComplete)
+{
+    config::SystemConfig cfg = tinyConfig();
+    cfg.flitBytes = 8;
+    auto out = simulate("MVT", cfg);
+    EXPECT_GT(out.interFlits, 0u);
+    EXPECT_EQ(out.outstanding, 0u);
+}
+
+TEST(EndToEnd, HomogeneousBandwidthWorks)
+{
+    config::SystemConfig cfg = tinyConfig();
+    cfg.intraClusterGBps = 32;
+    cfg.interClusterGBps = 32;
+    auto out = simulate("SPMV", cfg);
+    EXPECT_EQ(out.outstanding, 0u);
+}
+
+TEST(EndToEnd, PartitionedWorkloadBarelyUsesNetwork)
+{
+    auto bs = simulate("BS", tinyConfig());
+    auto gups = simulate("GUPS", tinyConfig());
+    EXPECT_LT(bs.interFlits, gups.interFlits / 10);
+}
+
+TEST(EndToEnd, KernelBarriersExecuteAllKernels)
+{
+    // PR runs two kernels; instructions must roughly double a single
+    // kernel's worth (same shape per kernel).
+    auto wl = workloads::makeWorkload("PR");
+    gpu::MultiGpuSystem sys(tinyConfig());
+    sys.run(*wl, kTinyScale);
+    const auto &kernels = wl->kernels();
+    ASSERT_EQ(kernels.size(), 2u);
+    const auto info = kernels[0]->info();
+    const std::uint64_t per_kernel =
+        static_cast<std::uint64_t>(info.numCtas) * info.wavesPerCta *
+        info.instructionsPerWave;
+    EXPECT_EQ(sys.totalInstructions(), 2 * per_kernel);
+}
+
+} // namespace
+} // namespace netcrafter

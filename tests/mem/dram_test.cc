@@ -1,0 +1,61 @@
+/** @file Unit tests for the DRAM latency/bandwidth model. */
+
+#include <gtest/gtest.h>
+
+#include "src/mem/dram.hh"
+#include "src/sim/engine.hh"
+
+namespace netcrafter::mem {
+namespace {
+
+TEST(Dram, FixedLatencyApplies)
+{
+    sim::Engine engine;
+    Dram dram(engine, "dram", 100, 1024);
+    Tick done = 0;
+    dram.access(64, [&] { done = engine.now(); });
+    engine.run();
+    EXPECT_EQ(done, 101u); // 1 occupancy cycle + 100 latency
+}
+
+TEST(Dram, BandwidthSerializesAccesses)
+{
+    sim::Engine engine;
+    Dram dram(engine, "dram", 100, 64); // 64 B/cycle
+    std::vector<Tick> done;
+    for (int i = 0; i < 4; ++i)
+        dram.access(64, [&] { done.push_back(engine.now()); });
+    engine.run();
+    ASSERT_EQ(done.size(), 4u);
+    // Each 64B access occupies one cycle of bandwidth back-to-back.
+    EXPECT_EQ(done[1] - done[0], 1u);
+    EXPECT_EQ(done[3] - done[0], 3u);
+}
+
+TEST(Dram, LargeAccessOccupiesLonger)
+{
+    sim::Engine engine;
+    Dram dram(engine, "dram", 10, 64);
+    Tick first = 0, second = 0;
+    dram.access(640, [&] { first = engine.now(); });  // 10 cycles BW
+    dram.access(64, [&] { second = engine.now(); });
+    engine.run();
+    EXPECT_EQ(first, 20u);        // 10 occupancy + 10 latency
+    EXPECT_EQ(second, 21u);       // queued behind the big one
+}
+
+TEST(Dram, NullCallbackWritesStillConsumeBandwidth)
+{
+    sim::Engine engine;
+    Dram dram(engine, "dram", 10, 64);
+    dram.access(64, nullptr);
+    Tick done = 0;
+    dram.access(64, [&] { done = engine.now(); });
+    engine.run();
+    EXPECT_EQ(done, 12u); // second access starts at cycle 1
+    EXPECT_EQ(dram.accesses(), 2u);
+    EXPECT_EQ(dram.bytesAccessed(), 128u);
+}
+
+} // namespace
+} // namespace netcrafter::mem

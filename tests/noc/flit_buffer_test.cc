@@ -1,0 +1,87 @@
+/** @file Unit tests for the bounded flit FIFO. */
+
+#include <gtest/gtest.h>
+
+#include "src/noc/flit_buffer.hh"
+
+namespace netcrafter::noc {
+namespace {
+
+FlitPtr
+mkFlit()
+{
+    static std::uint64_t addr = 0;
+    auto pkt = makePacket(PacketType::ReadReq, 0, 1, addr += 64);
+    return segmentPacket(pkt, 16).front();
+}
+
+TEST(FlitBuffer, CapacityEnforced)
+{
+    FlitBuffer buf(2);
+    EXPECT_TRUE(buf.tryPush(mkFlit()));
+    EXPECT_TRUE(buf.tryPush(mkFlit()));
+    EXPECT_TRUE(buf.full());
+    EXPECT_FALSE(buf.tryPush(mkFlit()));
+    EXPECT_EQ(buf.size(), 2u);
+}
+
+TEST(FlitBuffer, FifoOrder)
+{
+    FlitBuffer buf(8);
+    auto a = mkFlit();
+    auto b = mkFlit();
+    const Flit *pa = a.get();
+    const Flit *pb = b.get();
+    buf.tryPush(std::move(a));
+    buf.tryPush(std::move(b));
+    EXPECT_EQ(buf.pop().get(), pa);
+    EXPECT_EQ(buf.pop().get(), pb);
+    EXPECT_TRUE(buf.empty());
+}
+
+TEST(FlitBuffer, HooksFire)
+{
+    FlitBuffer buf(4);
+    int pushes = 0, pops = 0;
+    buf.setOnPush([&] { ++pushes; });
+    buf.setOnPop([&] { ++pops; });
+    buf.tryPush(mkFlit());
+    buf.tryPush(mkFlit());
+    buf.pop();
+    EXPECT_EQ(pushes, 2);
+    EXPECT_EQ(pops, 1);
+}
+
+TEST(FlitBuffer, FailedPushDoesNotFireHook)
+{
+    FlitBuffer buf(1);
+    int pushes = 0;
+    buf.setOnPush([&] { ++pushes; });
+    buf.tryPush(mkFlit());
+    buf.tryPush(mkFlit()); // full, dropped by caller
+    EXPECT_EQ(pushes, 1);
+}
+
+TEST(FlitBuffer, TracksStats)
+{
+    FlitBuffer buf(4);
+    buf.tryPush(mkFlit());
+    buf.tryPush(mkFlit());
+    buf.tryPush(mkFlit());
+    buf.pop();
+    EXPECT_EQ(buf.pushes(), 3u);
+    EXPECT_EQ(buf.maxOccupancy(), 3u);
+}
+
+TEST(FlitBuffer, FrontPeeksWithoutRemoving)
+{
+    FlitBuffer buf(4);
+    auto f = mkFlit();
+    const Flit *pf = f.get();
+    buf.tryPush(std::move(f));
+    EXPECT_EQ(buf.front().get(), pf);
+    EXPECT_EQ(buf.size(), 1u);
+}
+
+} // namespace
+} // namespace netcrafter::noc

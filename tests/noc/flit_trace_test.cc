@@ -1,0 +1,80 @@
+/** @file Tests for the CSV flit tracer. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/noc/flit_trace.hh"
+#include "src/noc/link.hh"
+
+namespace netcrafter::noc {
+namespace {
+
+TEST(FlitTracer, WritesHeaderAndRows)
+{
+    sim::Engine engine;
+    std::ostringstream os;
+    FlitTracer tracer(engine, os);
+    auto observe = tracer.observer("test-link");
+
+    auto pkt = makePacket(PacketType::ReadRsp, 0, 2, 0x40);
+    pkt->trimmed = true;
+    for (auto &f : segmentPacket(pkt, 16))
+        observe(*f);
+
+    EXPECT_EQ(tracer.rows(), 5u);
+    const std::string out = os.str();
+    EXPECT_EQ(out.find(FlitTracer::header()), 0u);
+    EXPECT_NE(out.find("test-link"), std::string::npos);
+    EXPECT_NE(out.find("ReadRsp"), std::string::npos);
+    // Every row ends with the trimmed flag = 1.
+    std::istringstream lines(out);
+    std::string line;
+    std::getline(lines, line); // header
+    int rows = 0;
+    while (std::getline(lines, line)) {
+        EXPECT_EQ(line.back(), '1');
+        ++rows;
+    }
+    EXPECT_EQ(rows, 5);
+}
+
+TEST(FlitTracer, AttachesToLinks)
+{
+    sim::Engine engine;
+    std::ostringstream os;
+    FlitTracer tracer(engine, os);
+    FlitBuffer src(16), dst(16);
+    Link link(engine, "l", src, dst, 1);
+    link.setObserver(tracer.observer("wire"));
+
+    auto pkt = makePacket(PacketType::ReadReq, 0, 1, 0x80);
+    src.tryPush(segmentPacket(pkt, 16).front());
+    engine.run();
+    EXPECT_EQ(tracer.rows(), 1u);
+    // The row carries the simulated timestamp, not zero.
+    EXPECT_NE(os.str().find("\n1,wire,"), std::string::npos);
+}
+
+TEST(FlitTracer, RecordsStitchedPieceCount)
+{
+    sim::Engine engine;
+    std::ostringstream os;
+    FlitTracer tracer(engine, os);
+    auto observe = tracer.observer("x");
+
+    auto parent = segmentPacket(
+        makePacket(PacketType::ReadRsp, 0, 2, 0x40), 16).back();
+    StitchedPiece piece;
+    piece.pkt = makePacket(PacketType::WriteRsp, 0, 2, 0x80);
+    piece.bytes = 4;
+    piece.wholePacket = true;
+    parent->stitched.push_back(piece);
+    observe(*parent);
+
+    // ...,occupied(4),used(8),pieces(1),...
+    EXPECT_NE(os.str().find(",4,8,1,"), std::string::npos);
+}
+
+} // namespace
+} // namespace netcrafter::noc

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Parameterized property: link throughput matches its configured
+ * flits/cycle exactly across the bandwidth points used in the paper's
+ * Figure 22 sweep, and the GB/s -> flits/cycle conversion composes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/config/system_config.hh"
+#include "src/noc/link.hh"
+#include "src/sim/engine.hh"
+
+namespace netcrafter::noc {
+namespace {
+
+class LinkBandwidth : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(LinkBandwidth, ThroughputMatchesConfiguredRate)
+{
+    const std::uint32_t rate = GetParam();
+    sim::Engine engine;
+    FlitBuffer src(4096), dst(4096);
+    Link link(engine, "l", src, dst, rate);
+
+    const std::uint32_t n = rate * 64;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        auto pkt = makePacket(PacketType::ReadReq, 0, 1, i * 64);
+        src.tryPush(segmentPacket(pkt, 16).front());
+    }
+    engine.run();
+    EXPECT_EQ(dst.size(), n);
+    // n flits at `rate` per cycle: 64 busy cycles (+1 start-up).
+    EXPECT_EQ(link.busyCycles(), 64u);
+    EXPECT_LE(engine.now(), 66u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, LinkBandwidth,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u, 16u,
+                                           32u));
+
+class BandwidthConversion
+    : public ::testing::TestWithParam<std::pair<double, std::uint32_t>>
+{
+};
+
+TEST_P(BandwidthConversion, PaperBandwidthPointsAt16BFlit)
+{
+    config::SystemConfig cfg;
+    cfg.flitBytes = 16;
+    cfg.interClusterGBps = GetParam().first;
+    EXPECT_EQ(cfg.interFlitsPerCycle(), GetParam().second);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Figure22Points, BandwidthConversion,
+    ::testing::Values(std::make_pair(16.0, 1u), std::make_pair(32.0, 2u),
+                      std::make_pair(64.0, 4u),
+                      std::make_pair(128.0, 8u),
+                      std::make_pair(256.0, 16u),
+                      std::make_pair(512.0, 32u),
+                      // 50-100 GB/s Frontier range rounds sensibly.
+                      std::make_pair(50.0, 3u),
+                      std::make_pair(100.0, 6u)));
+
+} // namespace
+} // namespace netcrafter::noc

@@ -1,0 +1,180 @@
+/** @file Integration tests for the assembled hierarchical network. */
+
+#include <gtest/gtest.h>
+
+#include "src/noc/network.hh"
+#include "src/sim/engine.hh"
+
+namespace netcrafter::noc {
+namespace {
+
+struct NetworkFixture : ::testing::Test
+{
+    sim::Engine engine;
+    config::SystemConfig cfg = config::baselineConfig();
+};
+
+TEST_F(NetworkFixture, IntraClusterPacketDelivered)
+{
+    Network net(engine, cfg);
+    PacketPtr got;
+    net.rdma(1).setRequestHandler([&](PacketPtr pkt) { got = pkt; });
+
+    auto pkt = makePacket(PacketType::ReadReq, 0, 1, 0x1000);
+    net.sendPacket(pkt);
+    engine.run();
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(got->id, pkt->id);
+    EXPECT_FALSE(got->interCluster);
+    // GPU 0 and 1 share cluster 0: nothing crossed an inter link.
+    EXPECT_EQ(net.interClusterFlits(), 0u);
+}
+
+TEST_F(NetworkFixture, InterClusterPacketCrossesSlowLink)
+{
+    Network net(engine, cfg);
+    PacketPtr got;
+    net.rdma(2).setRequestHandler([&](PacketPtr pkt) { got = pkt; });
+
+    auto pkt = makePacket(PacketType::WriteReq, 0, 2, 0x2000);
+    net.sendPacket(pkt);
+    engine.run();
+    ASSERT_NE(got, nullptr);
+    EXPECT_TRUE(got->interCluster);
+    EXPECT_EQ(net.interClusterFlits(), 5u); // WriteReq is 5 flits
+    EXPECT_EQ(net.interClusterMonitor(0, 1).totalFlits(), 5u);
+    EXPECT_EQ(net.interClusterMonitor(1, 0).totalFlits(), 0u);
+}
+
+TEST_F(NetworkFixture, RoundTripRequestResponse)
+{
+    Network net(engine, cfg);
+    net.rdma(3).setRequestHandler([&](PacketPtr req) {
+        auto rsp =
+            makePacket(PacketType::ReadRsp, 3, req->src, req->addr);
+        rsp->reqId = req->id;
+        net.sendPacket(std::move(rsp));
+    });
+    PacketPtr rsp;
+    net.rdma(0).setResponseHandler([&](PacketPtr pkt) { rsp = pkt; });
+
+    auto req = makePacket(PacketType::ReadReq, 0, 3, 0x3000);
+    net.sendPacket(req);
+    engine.run();
+    ASSERT_NE(rsp, nullptr);
+    EXPECT_EQ(rsp->reqId, req->id);
+    // Both directions used.
+    EXPECT_GT(net.interClusterMonitor(0, 1).totalFlits(), 0u);
+    EXPECT_GT(net.interClusterMonitor(1, 0).totalFlits(), 0u);
+}
+
+TEST_F(NetworkFixture, NoControllersWithoutNetCrafter)
+{
+    Network net(engine, cfg);
+    EXPECT_EQ(net.controller(0, 1), nullptr);
+    EXPECT_EQ(net.controller(1, 0), nullptr);
+}
+
+TEST_F(NetworkFixture, ControllersPresentWithNetCrafter)
+{
+    cfg = config::netcrafterConfig();
+    Network net(engine, cfg);
+    EXPECT_NE(net.controller(0, 1), nullptr);
+    EXPECT_NE(net.controller(1, 0), nullptr);
+}
+
+TEST_F(NetworkFixture, StitchedTrafficIsUnstitchedBeforeEndpoints)
+{
+    cfg = config::netcrafterConfig();
+    Network net(engine, cfg);
+    int delivered = 0;
+    net.rdma(2).setRequestHandler([&](PacketPtr) { ++delivered; });
+
+    // Many small single-flit packets: prime stitching targets. The RDMA
+    // engine asserts no stitched flit reaches it.
+    for (int i = 0; i < 50; ++i) {
+        net.sendPacket(
+            makePacket(PacketType::ReadReq, 0, 2, 0x1000 + i * 64));
+    }
+    engine.run();
+    EXPECT_EQ(delivered, 50);
+}
+
+TEST_F(NetworkFixture, InterClusterLatencyExceedsIntraCluster)
+{
+    Network net(engine, cfg);
+    Tick intra_done = 0, inter_done = 0;
+    net.rdma(1).setRequestHandler(
+        [&](PacketPtr) { intra_done = engine.now(); });
+    net.rdma(2).setRequestHandler(
+        [&](PacketPtr) { inter_done = engine.now(); });
+
+    net.sendPacket(makePacket(PacketType::ReadReq, 0, 1, 0x40));
+    net.sendPacket(makePacket(PacketType::ReadReq, 0, 2, 0x80));
+    engine.run();
+    EXPECT_GT(intra_done, 0u);
+    EXPECT_GT(inter_done, intra_done); // extra hop through second switch
+}
+
+TEST_F(NetworkFixture, EightByteFlitsDoubleTheFlitCount)
+{
+    cfg.flitBytes = 8;
+    Network net(engine, cfg);
+    net.rdma(2).setResponseHandler([](PacketPtr) {});
+    net.sendPacket(makePacket(PacketType::ReadRsp, 0, 2, 0x40));
+    engine.run();
+    // 68 bytes at 8B/flit = 9 flits.
+    EXPECT_EQ(net.interClusterFlits(), 9u);
+}
+
+TEST_F(NetworkFixture, UtilizationAveragesDirections)
+{
+    Network net(engine, cfg);
+    net.rdma(2).setRequestHandler([](PacketPtr) {});
+    for (int i = 0; i < 20; ++i)
+        net.sendPacket(makePacket(PacketType::WriteReq, 0, 2, i * 64));
+    engine.run();
+    EXPECT_GT(net.interClusterUtilization(), 0.0);
+    EXPECT_LT(net.interClusterUtilization(), 1.0);
+}
+
+TEST_F(NetworkFixture, AggregateCensusSumsDirections)
+{
+    Network net(engine, cfg);
+    net.rdma(2).setRequestHandler([&](PacketPtr req) {
+        auto rsp =
+            makePacket(PacketType::WriteRsp, 2, req->src, req->addr);
+        rsp->reqId = req->id;
+        net.sendPacket(std::move(rsp));
+    });
+    net.rdma(0).setResponseHandler([](PacketPtr) {});
+    net.sendPacket(makePacket(PacketType::WriteReq, 0, 2, 0x40));
+    engine.run();
+    auto agg = net.aggregateInterClusterTraffic();
+    EXPECT_EQ(agg.totalFlits(),
+              net.interClusterMonitor(0, 1).totalFlits() +
+                  net.interClusterMonitor(1, 0).totalFlits());
+    EXPECT_EQ(agg.totalFlits(), 6u); // 5 req + 1 rsp
+}
+
+TEST_F(NetworkFixture, ThreeClusterTopologyRoutes)
+{
+    cfg.numClusters = 3;
+    cfg.gpusPerCluster = 2;
+    Network net(engine, cfg);
+    int got = 0;
+    net.rdma(4).setRequestHandler([&](PacketPtr) { ++got; });
+    net.rdma(2).setRequestHandler([&](PacketPtr) { ++got; });
+
+    net.sendPacket(makePacket(PacketType::ReadReq, 0, 4, 0x40));
+    net.sendPacket(makePacket(PacketType::ReadReq, 0, 2, 0x80));
+    engine.run();
+    EXPECT_EQ(got, 2);
+    // Direct links used, not multi-hop.
+    EXPECT_GT(net.interClusterMonitor(0, 2).totalFlits(), 0u);
+    EXPECT_GT(net.interClusterMonitor(0, 1).totalFlits(), 0u);
+    EXPECT_EQ(net.interClusterMonitor(1, 2).totalFlits(), 0u);
+}
+
+} // namespace
+} // namespace netcrafter::noc

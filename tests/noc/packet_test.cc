@@ -1,0 +1,105 @@
+/** @file Unit tests for the packet model (Table 1 invariants). */
+
+#include <gtest/gtest.h>
+
+#include "src/noc/packet.hh"
+
+namespace netcrafter::noc {
+namespace {
+
+TEST(Packet, HeaderBytesMatchPaper)
+{
+    // 12B (4B metadata + 8B address) for requests and PT responses;
+    // 4B for read/write responses (footnote 2 of the paper).
+    EXPECT_EQ(headerBytes(PacketType::ReadReq), 12u);
+    EXPECT_EQ(headerBytes(PacketType::WriteReq), 12u);
+    EXPECT_EQ(headerBytes(PacketType::PageTableReq), 12u);
+    EXPECT_EQ(headerBytes(PacketType::PageTableRsp), 12u);
+    EXPECT_EQ(headerBytes(PacketType::ReadRsp), 4u);
+    EXPECT_EQ(headerBytes(PacketType::WriteRsp), 4u);
+}
+
+TEST(Packet, DefaultPayloadsMatchPaper)
+{
+    EXPECT_EQ(defaultPayloadBytes(PacketType::ReadReq), 0u);
+    EXPECT_EQ(defaultPayloadBytes(PacketType::WriteReq), 64u);
+    EXPECT_EQ(defaultPayloadBytes(PacketType::PageTableReq), 0u);
+    EXPECT_EQ(defaultPayloadBytes(PacketType::ReadRsp), 64u);
+    EXPECT_EQ(defaultPayloadBytes(PacketType::WriteRsp), 0u);
+    EXPECT_EQ(defaultPayloadBytes(PacketType::PageTableRsp), 0u);
+}
+
+TEST(Packet, TotalBytesRequiredMatchTable1)
+{
+    auto total = [](PacketType t) {
+        return makePacket(t, 0, 1, 0)->totalBytes();
+    };
+    EXPECT_EQ(total(PacketType::ReadReq), 12u);
+    EXPECT_EQ(total(PacketType::WriteReq), 76u);
+    EXPECT_EQ(total(PacketType::PageTableReq), 12u);
+    EXPECT_EQ(total(PacketType::ReadRsp), 68u);
+    EXPECT_EQ(total(PacketType::WriteRsp), 4u);
+    EXPECT_EQ(total(PacketType::PageTableRsp), 12u);
+}
+
+TEST(Packet, IdsAreUniqueAndResettable)
+{
+    resetPacketIds();
+    auto a = makePacket(PacketType::ReadReq, 0, 1, 0);
+    auto b = makePacket(PacketType::ReadReq, 0, 1, 0);
+    EXPECT_NE(a->id, b->id);
+    EXPECT_EQ(a->id + 1, b->id);
+    resetPacketIds();
+    auto c = makePacket(PacketType::ReadReq, 0, 1, 0);
+    EXPECT_EQ(c->id, a->id);
+}
+
+TEST(Packet, PtwClassification)
+{
+    EXPECT_TRUE(isPtwType(PacketType::PageTableReq));
+    EXPECT_TRUE(isPtwType(PacketType::PageTableRsp));
+    EXPECT_FALSE(isPtwType(PacketType::ReadReq));
+    EXPECT_FALSE(isPtwType(PacketType::ReadRsp));
+    EXPECT_TRUE(makePacket(PacketType::PageTableReq, 0, 1, 0)->isPtw());
+}
+
+TEST(Packet, ResponseClassification)
+{
+    EXPECT_TRUE(isResponseType(PacketType::ReadRsp));
+    EXPECT_TRUE(isResponseType(PacketType::WriteRsp));
+    EXPECT_TRUE(isResponseType(PacketType::PageTableRsp));
+    EXPECT_FALSE(isResponseType(PacketType::ReadReq));
+    EXPECT_FALSE(isResponseType(PacketType::WriteReq));
+    EXPECT_FALSE(isResponseType(PacketType::PageTableReq));
+}
+
+TEST(Packet, TrimReducesTotalBytes)
+{
+    auto pkt = makePacket(PacketType::ReadRsp, 0, 1, 0x40);
+    EXPECT_EQ(pkt->totalBytes(), 68u);
+    pkt->payloadBytes = 16;
+    pkt->trimmed = true;
+    EXPECT_EQ(pkt->totalBytes(), 20u);
+}
+
+TEST(Packet, ToStringMentionsTypeAndTrim)
+{
+    auto pkt = makePacket(PacketType::ReadRsp, 2, 3, 0x1000);
+    EXPECT_NE(pkt->toString().find("ReadRsp"), std::string::npos);
+    pkt->trimmed = true;
+    pkt->trimSector = 2;
+    EXPECT_NE(pkt->toString().find("trimmed"), std::string::npos);
+}
+
+TEST(Packet, TypeNamesAreDistinct)
+{
+    EXPECT_STREQ(packetTypeName(PacketType::ReadReq), "ReadReq");
+    EXPECT_STREQ(packetTypeName(PacketType::WriteReq), "WriteReq");
+    EXPECT_STREQ(packetTypeName(PacketType::PageTableReq), "PTReq");
+    EXPECT_STREQ(packetTypeName(PacketType::ReadRsp), "ReadRsp");
+    EXPECT_STREQ(packetTypeName(PacketType::WriteRsp), "WriteRsp");
+    EXPECT_STREQ(packetTypeName(PacketType::PageTableRsp), "PTRsp");
+}
+
+} // namespace
+} // namespace netcrafter::noc

@@ -1,0 +1,99 @@
+/** @file Unit tests for the per-link traffic census. */
+
+#include <gtest/gtest.h>
+
+#include "src/noc/traffic_monitor.hh"
+
+namespace netcrafter::noc {
+namespace {
+
+std::vector<FlitPtr>
+flitsOf(PacketType type)
+{
+    return segmentPacket(makePacket(type, 0, 1, 0x40), 16);
+}
+
+TEST(TrafficMonitor, CountsFlitsAndBytes)
+{
+    TrafficMonitor mon;
+    for (auto &f : flitsOf(PacketType::ReadRsp))
+        mon.observe(*f);
+    EXPECT_EQ(mon.totalFlits(), 5u);
+    EXPECT_EQ(mon.totalWireBytes(), 80u);
+    EXPECT_EQ(mon.totalUsefulBytes(), 68u);
+    EXPECT_EQ(mon.totalPaddedBytes(), 12u);
+    EXPECT_EQ(mon.flitsOfType(PacketType::ReadRsp), 5u);
+    EXPECT_EQ(mon.packetsOfType(PacketType::ReadRsp), 1u);
+}
+
+TEST(TrafficMonitor, PaddingBuckets)
+{
+    TrafficMonitor mon;
+    // ReadReq: 12/16 used -> 25% padded.
+    mon.observe(*flitsOf(PacketType::ReadReq).front());
+    // WriteRsp: 4/16 used -> 75% padded.
+    mon.observe(*flitsOf(PacketType::WriteRsp).front());
+    // Full flit: 0% padded.
+    mon.observe(*flitsOf(PacketType::ReadRsp).front());
+    EXPECT_EQ(mon.flitsQuarterPadded(), 1u);
+    EXPECT_EQ(mon.flitsThreeQuarterPadded(), 1u);
+    EXPECT_EQ(mon.flitsWithPadding(), 2u);
+    EXPECT_DOUBLE_EQ(mon.fractionQuarterOrThreeQuarterPadded(),
+                     2.0 / 3.0);
+}
+
+TEST(TrafficMonitor, PtwBytesSeparated)
+{
+    TrafficMonitor mon;
+    mon.observe(*flitsOf(PacketType::PageTableReq).front()); // 12B
+    mon.observe(*flitsOf(PacketType::ReadReq).front());      // 12B
+    EXPECT_EQ(mon.ptwBytes(), 12u);
+    EXPECT_EQ(mon.dataBytes(), 12u);
+    EXPECT_DOUBLE_EQ(mon.ptwByteFraction(), 0.5);
+}
+
+TEST(TrafficMonitor, StitchedPiecesAttributedToTheirTypes)
+{
+    TrafficMonitor mon;
+    auto rsp_tail = flitsOf(PacketType::ReadRsp).back();
+    StitchedPiece piece;
+    piece.pkt = makePacket(PacketType::PageTableReq, 0, 1, 0x80);
+    piece.bytes = 12;
+    piece.wholePacket = true;
+    rsp_tail->stitched.push_back(piece);
+
+    mon.observe(*rsp_tail);
+    EXPECT_EQ(mon.totalFlits(), 1u);
+    EXPECT_EQ(mon.stitchedParentFlits(), 1u);
+    EXPECT_EQ(mon.stitchedPieces(), 1u);
+    EXPECT_EQ(mon.flitsOfType(PacketType::PageTableReq), 1u);
+    EXPECT_EQ(mon.bytesOfType(PacketType::PageTableReq), 12u);
+    EXPECT_EQ(mon.ptwBytes(), 12u);
+    // Useful: 4 (tail) + 12 (piece); wire: 16.
+    EXPECT_EQ(mon.totalUsefulBytes(), 16u);
+    EXPECT_GT(mon.stitchedFlitFraction(), 0.0);
+}
+
+TEST(TrafficMonitor, MergeAddsCounts)
+{
+    TrafficMonitor a, b;
+    a.observe(*flitsOf(PacketType::ReadReq).front());
+    b.observe(*flitsOf(PacketType::WriteRsp).front());
+    b.observe(*flitsOf(PacketType::PageTableRsp).front());
+    a.merge(b);
+    EXPECT_EQ(a.totalFlits(), 3u);
+    EXPECT_EQ(a.flitsOfType(PacketType::WriteRsp), 1u);
+    EXPECT_EQ(a.flitsOfType(PacketType::PageTableRsp), 1u);
+}
+
+TEST(TrafficMonitor, ResetClears)
+{
+    TrafficMonitor mon;
+    mon.observe(*flitsOf(PacketType::ReadReq).front());
+    mon.reset();
+    EXPECT_EQ(mon.totalFlits(), 0u);
+    EXPECT_EQ(mon.totalWireBytes(), 0u);
+}
+
+} // namespace
+} // namespace netcrafter::noc

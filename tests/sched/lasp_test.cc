@@ -1,0 +1,97 @@
+/** @file Unit tests for LASP placement and CTA scheduling. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/sched/lasp.hh"
+
+namespace netcrafter::sched {
+namespace {
+
+struct RecordingPlacement : workloads::PlacementDirectory
+{
+    std::map<Addr, GpuId> pages;
+
+    void
+    place(Addr vaddr, GpuId owner) override
+    {
+        pages[pageAddr(vaddr)] = owner;
+    }
+};
+
+TEST(Lasp, ChunkedPlacementSplitsEvenly)
+{
+    RecordingPlacement rec;
+    const Addr base = 0x1'0000'0000ull;
+    const std::uint64_t bytes = 16 * kPageBytes;
+    placeBuffer(rec, base, bytes, BufferPattern::Chunked, 4);
+    ASSERT_EQ(rec.pages.size(), 16u);
+    // First quarter on GPU 0, last quarter on GPU 3.
+    EXPECT_EQ(rec.pages[base], 0u);
+    EXPECT_EQ(rec.pages[base + 3 * kPageBytes], 0u);
+    EXPECT_EQ(rec.pages[base + 4 * kPageBytes], 1u);
+    EXPECT_EQ(rec.pages[base + 15 * kPageBytes], 3u);
+}
+
+TEST(Lasp, InterleavedPlacementRoundRobins)
+{
+    RecordingPlacement rec;
+    const Addr base = 0x2'0000'0000ull;
+    placeBuffer(rec, base, 8 * kPageBytes, BufferPattern::Interleaved,
+                4);
+    for (std::uint64_t p = 0; p < 8; ++p)
+        EXPECT_EQ(rec.pages[base + p * kPageBytes], p % 4);
+}
+
+TEST(Lasp, SharedPlacementPinsToOneGpu)
+{
+    RecordingPlacement rec;
+    const Addr base = 0x3'0000'0000ull;
+    placeBuffer(rec, base, 4 * kPageBytes, BufferPattern::Shared, 4, 2);
+    for (std::uint64_t p = 0; p < 4; ++p)
+        EXPECT_EQ(rec.pages[base + p * kPageBytes], 2u);
+}
+
+TEST(Lasp, PartialPagesStillPlaced)
+{
+    RecordingPlacement rec;
+    placeBuffer(rec, 0x4'0000'0000ull, 100, BufferPattern::Chunked, 4);
+    EXPECT_EQ(rec.pages.size(), 1u);
+}
+
+TEST(Lasp, BlockHomeDistributesCtas)
+{
+    // 16 CTAs over 4 GPUs: 4 per GPU.
+    EXPECT_EQ(blockHome(0, 16, 4), 0u);
+    EXPECT_EQ(blockHome(3, 16, 4), 0u);
+    EXPECT_EQ(blockHome(4, 16, 4), 1u);
+    EXPECT_EQ(blockHome(15, 16, 4), 3u);
+}
+
+TEST(Lasp, BlockHomeClampsTail)
+{
+    // 5 CTAs over 4 GPUs: per-GPU ceil = 2; CTA 4 -> GPU 2 (valid).
+    EXPECT_LT(blockHome(4, 5, 4), 4u);
+    // Degenerate: more GPUs than CTAs.
+    EXPECT_EQ(blockHome(0, 1, 4), 0u);
+}
+
+TEST(Lasp, ChunkedAlignsWithBlockHome)
+{
+    // A CTA reading "its" chunk of a chunked buffer lands on the same
+    // GPU the pages were placed on.
+    RecordingPlacement rec;
+    const Addr base = 0x5'0000'0000ull;
+    const std::uint32_t num_ctas = 16;
+    const std::uint64_t bytes = num_ctas * kPageBytes;
+    placeBuffer(rec, base, bytes, BufferPattern::Chunked, 4);
+    for (std::uint32_t cta = 0; cta < num_ctas; ++cta) {
+        const Addr cta_page = base + cta * kPageBytes;
+        EXPECT_EQ(rec.pages[cta_page], blockHome(cta, num_ctas, 4))
+            << "cta " << cta;
+    }
+}
+
+} // namespace
+} // namespace netcrafter::sched

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Property test: the event queue agrees with a reference model
+ * (std::multimap ordered by (tick, insertion sequence)) on delivery
+ * order under randomized workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/sim/event_queue.hh"
+#include "src/sim/random.hh"
+
+namespace netcrafter::sim {
+namespace {
+
+TEST(EventQueueProperty, MatchesReferenceModel)
+{
+    Pcg32 rng(404);
+    for (int trial = 0; trial < 20; ++trial) {
+        EventQueue q;
+        std::multimap<std::pair<Tick, std::uint64_t>, int> reference;
+        std::uint64_t seq = 0;
+        std::vector<int> fired;
+
+        int next_id = 0;
+        // Interleave pushes and pops randomly.
+        for (int op = 0; op < 2000; ++op) {
+            if (q.empty() || rng.chance(0.6)) {
+                const Tick when = rng.below(1000);
+                const int id = next_id++;
+                q.schedule(when, [&fired, id] { fired.push_back(id); });
+                reference.emplace(std::make_pair(when, seq++), id);
+            } else {
+                Tick when = 0;
+                q.pop(when)();
+                auto it = reference.begin();
+                ASSERT_EQ(fired.back(), it->second);
+                ASSERT_EQ(when, it->first.first);
+                reference.erase(it);
+            }
+        }
+        while (!q.empty()) {
+            Tick when = 0;
+            q.pop(when)();
+            auto it = reference.begin();
+            ASSERT_EQ(fired.back(), it->second);
+            reference.erase(it);
+        }
+        EXPECT_TRUE(reference.empty());
+    }
+}
+
+TEST(EventQueueProperty, ClearEmptiesEverything)
+{
+    EventQueue q;
+    for (int i = 0; i < 100; ++i)
+        q.schedule(i, [] {});
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+}
+
+} // namespace
+} // namespace netcrafter::sim

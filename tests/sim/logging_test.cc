@@ -1,0 +1,62 @@
+/** @file Tests for the logging/error-reporting helpers. */
+
+#include <gtest/gtest.h>
+
+#include "src/sim/logging.hh"
+#include "src/sim/types.hh"
+
+namespace netcrafter {
+namespace {
+
+TEST(Logging, ConcatFormatsMixedTypes)
+{
+    EXPECT_EQ(detail::concat("x=", 42, " y=", 1.5), "x=42 y=1.5");
+    EXPECT_EQ(detail::concat(), "");
+    EXPECT_EQ(detail::concat("solo"), "solo");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(NC_PANIC("broken: ", 7), "panic: broken: 7");
+}
+
+TEST(LoggingDeath, FatalExitsWithCodeOne)
+{
+    EXPECT_EXIT(NC_FATAL("bad config ", "x"),
+                ::testing::ExitedWithCode(1), "fatal: bad config x");
+}
+
+TEST(LoggingDeath, AssertPassesAndFails)
+{
+    NC_ASSERT(1 + 1 == 2, "math works"); // no effect
+    EXPECT_DEATH(NC_ASSERT(false, "ctx=", 5), "assertion failed");
+}
+
+TEST(Types, AlignmentHelpers)
+{
+    EXPECT_EQ(alignDown(0x1234, 0x100), 0x1200u);
+    EXPECT_EQ(alignUp(0x1234, 0x100), 0x1300u);
+    EXPECT_EQ(alignUp(0x1200, 0x100), 0x1200u);
+    EXPECT_EQ(lineAddr(0x12345), 0x12340u);
+    EXPECT_EQ(pageAddr(0x12345), 0x12000u);
+}
+
+TEST(Types, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 16), 0u);
+    EXPECT_EQ(divCeil(1, 16), 1u);
+    EXPECT_EQ(divCeil(16, 16), 1u);
+    EXPECT_EQ(divCeil(17, 16), 2u);
+    EXPECT_EQ(divCeil(68, 16), 5u);
+}
+
+TEST(Types, Constants)
+{
+    EXPECT_EQ(kCacheLineBytes, 64u);
+    EXPECT_EQ(kPageBytes, 4096u);
+    EXPECT_EQ(kWavefrontSize, 64u);
+    EXPECT_GT(kTickNever, 0u);
+}
+
+} // namespace
+} // namespace netcrafter

@@ -1,0 +1,134 @@
+/** @file Unit tests for the statistics primitives. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/stats/stats.hh"
+
+namespace netcrafter::stats {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Average, TracksMeanMinMax)
+{
+    Average a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(10);
+    a.sample(20);
+    a.sample(30);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.mean(), 20.0);
+    EXPECT_DOUBLE_EQ(a.min(), 10.0);
+    EXPECT_DOUBLE_EQ(a.max(), 30.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 60.0);
+}
+
+TEST(Average, SingleSampleIsMinAndMax)
+{
+    Average a;
+    a.sample(-5);
+    EXPECT_DOUBLE_EQ(a.min(), -5.0);
+    EXPECT_DOUBLE_EQ(a.max(), -5.0);
+}
+
+TEST(Average, ResetClears)
+{
+    Average a;
+    a.sample(1);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Distribution, BucketsByUpperBound)
+{
+    Distribution d({16, 32, 48, 63});
+    d.sample(4);   // <=16
+    d.sample(16);  // <=16
+    d.sample(17);  // <=32
+    d.sample(48);  // <=48
+    d.sample(63);  // <=63
+    d.sample(64);  // overflow
+    EXPECT_EQ(d.total(), 6u);
+    EXPECT_EQ(d.bucket(0), 2u);
+    EXPECT_EQ(d.bucket(1), 1u);
+    EXPECT_EQ(d.bucket(2), 1u);
+    EXPECT_EQ(d.bucket(3), 1u);
+    EXPECT_EQ(d.bucket(4), 1u);
+    EXPECT_DOUBLE_EQ(d.fraction(0), 2.0 / 6.0);
+}
+
+TEST(Distribution, EmptyFractionsAreZero)
+{
+    Distribution d({1, 2});
+    EXPECT_DOUBLE_EQ(d.fraction(0), 0.0);
+    EXPECT_DOUBLE_EQ(d.fraction(2), 0.0);
+}
+
+TEST(Distribution, ResetKeepsBounds)
+{
+    Distribution d({10});
+    d.sample(5);
+    d.reset();
+    EXPECT_EQ(d.total(), 0u);
+    d.sample(5);
+    EXPECT_EQ(d.bucket(0), 1u);
+}
+
+TEST(Registry, CountersPersistByName)
+{
+    Registry reg;
+    reg.counter("a.x").inc(3);
+    reg.counter("a.x").inc(4);
+    EXPECT_EQ(reg.counter("a.x").value(), 7u);
+}
+
+TEST(Registry, SumCountersByPrefix)
+{
+    Registry reg;
+    reg.counter("gpu0.l1.misses").inc(5);
+    reg.counter("gpu1.l1.misses").inc(7);
+    reg.counter("gpu0.l2.misses").inc(100);
+    EXPECT_EQ(reg.sumCounters("gpu0."), 105u);
+    EXPECT_EQ(reg.sumCounters("gpu"), 112u);
+    EXPECT_EQ(reg.sumCounters("zzz"), 0u);
+}
+
+TEST(Registry, DistributionKeepsFirstBounds)
+{
+    Registry reg;
+    auto &d = reg.distribution("lat", {10, 20});
+    d.sample(15);
+    auto &d2 = reg.distribution("lat", {999});
+    EXPECT_EQ(&d, &d2);
+    EXPECT_EQ(d2.bounds().size(), 2u);
+}
+
+TEST(Registry, DumpContainsEverything)
+{
+    Registry reg;
+    reg.counter("cnt").inc(9);
+    reg.average("avg").sample(2.5);
+    reg.distribution("dist", {1}).sample(0.5);
+    std::ostringstream os;
+    reg.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("cnt = 9"), std::string::npos);
+    EXPECT_NE(out.find("avg"), std::string::npos);
+    EXPECT_NE(out.find("dist"), std::string::npos);
+}
+
+} // namespace
+} // namespace netcrafter::stats

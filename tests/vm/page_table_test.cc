@@ -1,0 +1,99 @@
+/** @file Unit tests for the radix page table and PTE placement. */
+
+#include <gtest/gtest.h>
+
+#include "src/vm/page_table.hh"
+
+namespace netcrafter::vm {
+namespace {
+
+TEST(PageTable, PlacementIsPerPage)
+{
+    PageTable pt(4);
+    pt.place(0x1'0000'0000ull, 2);
+    EXPECT_EQ(pt.dataOwner(0x1'0000'0000ull), 2u);
+    EXPECT_EQ(pt.dataOwner(0x1'0000'0FFFull), 2u); // same 4K page
+    EXPECT_TRUE(pt.isPlaced(0x1'0000'0000ull));
+    EXPECT_FALSE(pt.isPlaced(0x1'0000'1000ull));
+}
+
+TEST(PageTable, UnplacedPagesInterleave)
+{
+    PageTable pt(4);
+    const GpuId o0 = pt.dataOwner(0x2'0000'0000ull);
+    const GpuId o1 = pt.dataOwner(0x2'0000'1000ull);
+    const GpuId o2 = pt.dataOwner(0x2'0000'2000ull);
+    EXPECT_LT(o0, 4u);
+    // Consecutive pages round-robin.
+    EXPECT_EQ((o0 + 1) % 4, o1);
+    EXPECT_EQ((o1 + 1) % 4, o2);
+}
+
+TEST(PageTable, LeafPtePageCoLocatedWithFirstDataPage)
+{
+    PageTable pt(4);
+    const Addr region_base = 0x1'0000'0000ull; // 2MB-aligned
+    pt.place(region_base, 3);
+    // Later placements in the same 2MB region do not move the PTE page.
+    pt.place(region_base + kPageBytes, 1);
+
+    WalkStep leaf = pt.step(kPageTableLevels, region_base);
+    EXPECT_EQ(leaf.owner, 3u);
+    WalkStep leaf2 =
+        pt.step(kPageTableLevels, region_base + 5 * kPageBytes);
+    EXPECT_EQ(leaf2.owner, 3u); // same region -> same PTE page owner
+}
+
+TEST(PageTable, StepsHaveDistinctAddressesPerLevel)
+{
+    PageTable pt(4);
+    const Addr va = 0x1'2345'6000ull;
+    std::set<Addr> addrs;
+    for (int level = 1; level <= kPageTableLevels; ++level) {
+        WalkStep s = pt.step(level, va);
+        EXPECT_GE(s.pteAddr, kPteRegionBase);
+        EXPECT_LT(s.owner, 4u);
+        addrs.insert(s.pteAddr);
+    }
+    EXPECT_EQ(addrs.size(), 4u);
+}
+
+TEST(PageTable, NeighbouringPagesSharePteCacheLine)
+{
+    PageTable pt(4);
+    const Addr va = 0x1'0000'0000ull;
+    WalkStep a = pt.step(kPageTableLevels, va);
+    WalkStep b = pt.step(kPageTableLevels, va + kPageBytes);
+    EXPECT_EQ(b.pteAddr - a.pteAddr, kPteBytes);
+    EXPECT_EQ(lineAddr(a.pteAddr), lineAddr(b.pteAddr));
+}
+
+TEST(PageTable, PrefixShiftsNineBitsPerLevel)
+{
+    const Addr va = 0x0000'7FFF'FFFF'F000ull;
+    EXPECT_EQ(PageTable::prefix(4, va), va >> 12);
+    EXPECT_EQ(PageTable::prefix(3, va), va >> 21);
+    EXPECT_EQ(PageTable::prefix(2, va), va >> 30);
+    EXPECT_EQ(PageTable::prefix(1, va), va >> 39);
+}
+
+TEST(PageTable, DistinctRegionsGetDistinctLeafPages)
+{
+    PageTable pt(4);
+    const Addr va1 = 0x1'0000'0000ull;
+    const Addr va2 = va1 + (2ull << 20); // next 2MB region
+    WalkStep a = pt.step(kPageTableLevels, va1);
+    WalkStep b = pt.step(kPageTableLevels, va2);
+    // 512 PTEs apart.
+    EXPECT_EQ(b.pteAddr - a.pteAddr, 512 * kPteBytes);
+}
+
+TEST(PageTable, BadLevelPanics)
+{
+    PageTable pt(4);
+    EXPECT_DEATH(pt.step(0, 0x1000), "bad page table level");
+    EXPECT_DEATH(pt.step(5, 0x1000), "bad page table level");
+}
+
+} // namespace
+} // namespace netcrafter::vm

@@ -1,0 +1,147 @@
+/** @file Unit tests for the TLB levels. */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "src/sim/engine.hh"
+#include "src/vm/tlb.hh"
+
+namespace netcrafter::vm {
+namespace {
+
+struct TlbFixture : ::testing::Test
+{
+    sim::Engine engine;
+    TlbParams params;
+    std::deque<std::pair<Addr, Tlb::Callback>> misses;
+
+    Tlb::MissHandler
+    handler()
+    {
+        return [this](Addr vpn, Tlb::Callback done) {
+            misses.emplace_back(vpn, std::move(done));
+        };
+    }
+
+    void
+    answer(GpuId owner)
+    {
+        ASSERT_FALSE(misses.empty());
+        auto [vpn, done] = std::move(misses.front());
+        misses.pop_front();
+        done(Translation{owner});
+    }
+};
+
+TEST_F(TlbFixture, MissFillsAndHits)
+{
+    Tlb tlb(engine, "tlb", params, handler());
+    GpuId got = 99;
+    tlb.access(0x100, [&](Translation t) { got = t.owner; });
+    engine.run();
+    ASSERT_EQ(misses.size(), 1u);
+    EXPECT_EQ(misses.front().first, 0x100u);
+    answer(2);
+    engine.run();
+    EXPECT_EQ(got, 2u);
+    EXPECT_TRUE(tlb.contains(0x100));
+
+    // Now a hit: no new miss below.
+    got = 99;
+    tlb.access(0x100, [&](Translation t) { got = t.owner; });
+    engine.run();
+    EXPECT_EQ(got, 2u);
+    EXPECT_TRUE(misses.empty());
+    EXPECT_EQ(tlb.hits(), 1u);
+    EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST_F(TlbFixture, HitLatencyMatchesLookup)
+{
+    params.lookupLatency = 7;
+    Tlb tlb(engine, "tlb", params, handler());
+    tlb.insert(0x5, Translation{1});
+    Tick done = 0;
+    tlb.access(0x5, [&](Translation) { done = engine.now(); });
+    engine.run();
+    EXPECT_EQ(done, 7u);
+}
+
+TEST_F(TlbFixture, ConcurrentMissesMerge)
+{
+    Tlb tlb(engine, "tlb", params, handler());
+    int done = 0;
+    for (int i = 0; i < 5; ++i)
+        tlb.access(0x42, [&](Translation) { ++done; });
+    engine.run();
+    EXPECT_EQ(misses.size(), 1u);
+    answer(0);
+    engine.run();
+    EXPECT_EQ(done, 5);
+}
+
+TEST_F(TlbFixture, MshrBoundQueuesExcessMisses)
+{
+    params.mshrEntries = 2;
+    Tlb tlb(engine, "tlb", params, handler());
+    int done = 0;
+    for (Addr vpn = 1; vpn <= 4; ++vpn)
+        tlb.access(vpn, [&](Translation) { ++done; });
+    engine.run();
+    // Only two misses issued below; two queued.
+    EXPECT_EQ(misses.size(), 2u);
+    EXPECT_EQ(tlb.mshrQueued(), 2u);
+    answer(0);
+    answer(0);
+    engine.run();
+    EXPECT_EQ(misses.size(), 2u); // the queued pair advanced
+    answer(0);
+    answer(0);
+    engine.run();
+    EXPECT_EQ(done, 4);
+}
+
+TEST_F(TlbFixture, LruEvictionWithinSet)
+{
+    params.entries = 4;
+    params.assoc = 4; // fully associative
+    Tlb tlb(engine, "tlb", params, handler());
+    for (Addr vpn = 0; vpn < 4; ++vpn)
+        tlb.insert(vpn, Translation{0});
+    tlb.insert(100, Translation{1}); // evicts vpn 0 (LRU)
+    EXPECT_FALSE(tlb.contains(0));
+    EXPECT_TRUE(tlb.contains(3));
+    EXPECT_TRUE(tlb.contains(100));
+}
+
+TEST_F(TlbFixture, SetAssociativeMapping)
+{
+    params.entries = 8;
+    params.assoc = 2; // 4 sets
+    Tlb tlb(engine, "tlb", params, handler());
+    // vpns 0, 4, 8 map to set 0 (2 ways): 0 evicted by 8.
+    tlb.insert(0, Translation{0});
+    tlb.insert(4, Translation{0});
+    tlb.insert(8, Translation{0});
+    EXPECT_FALSE(tlb.contains(0));
+    EXPECT_TRUE(tlb.contains(4));
+    EXPECT_TRUE(tlb.contains(8));
+    // Other sets untouched.
+    tlb.insert(1, Translation{0});
+    EXPECT_TRUE(tlb.contains(1));
+}
+
+TEST_F(TlbFixture, InsertUpdatesExistingEntry)
+{
+    Tlb tlb(engine, "tlb", params, handler());
+    tlb.insert(0x9, Translation{1});
+    tlb.insert(0x9, Translation{3});
+    GpuId got = 99;
+    tlb.access(0x9, [&](Translation t) { got = t.owner; });
+    engine.run();
+    EXPECT_EQ(got, 3u);
+}
+
+} // namespace
+} // namespace netcrafter::vm

@@ -1,0 +1,268 @@
+/** @file Tests for the Table 3 workload models and MixKernel. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/gpu/coalescer.hh"
+#include "src/workloads/mix_kernel.hh"
+#include "src/workloads/workload.hh"
+
+namespace netcrafter::workloads {
+namespace {
+
+struct RecordingPlacement : PlacementDirectory
+{
+    std::map<Addr, GpuId> pages;
+    void
+    place(Addr vaddr, GpuId owner) override
+    {
+        pages[pageAddr(vaddr)] = owner;
+    }
+};
+
+BuildContext
+ctx(RecordingPlacement &rec, double scale = 0.2)
+{
+    BuildContext c;
+    c.numGpus = 4;
+    c.scale = scale;
+    c.seed = 7;
+    c.placement = &rec;
+    return c;
+}
+
+TEST(WorkloadRegistry, AllFifteenAppsExist)
+{
+    auto names = workloadNames();
+    EXPECT_EQ(names.size(), 15u);
+    for (const auto &name : names) {
+        auto wl = makeWorkload(name);
+        ASSERT_NE(wl, nullptr) << name;
+        EXPECT_EQ(wl->name(), name);
+    }
+    auto all = makeAllWorkloads();
+    EXPECT_EQ(all.size(), 15u);
+}
+
+TEST(WorkloadRegistry, GemmWorkloadExists)
+{
+    auto gemm = makeGemmWorkload();
+    EXPECT_EQ(gemm->name(), "GEMM");
+    EXPECT_EQ(makeWorkload("GEMM")->name(), "GEMM");
+}
+
+TEST(WorkloadRegistry, UnknownNameDies)
+{
+    EXPECT_DEATH(makeWorkload("NOPE"), "unknown");
+}
+
+TEST(Workloads, BuildRegistersPlacementAndKernels)
+{
+    for (const auto &name : workloadNames()) {
+        RecordingPlacement rec;
+        auto c = ctx(rec);
+        auto wl = makeWorkload(name);
+        wl->build(c);
+        EXPECT_FALSE(wl->kernels().empty()) << name;
+        EXPECT_FALSE(rec.pages.empty()) << name;
+        for (const auto &[page, owner] : rec.pages)
+            EXPECT_LT(owner, 4u);
+    }
+}
+
+TEST(Workloads, GenerationIsDeterministic)
+{
+    for (const auto &name : {"GUPS", "SYR2K", "VGG16"}) {
+        RecordingPlacement rec1, rec2;
+        auto c1 = ctx(rec1);
+        auto c2 = ctx(rec2);
+        auto wl1 = makeWorkload(name);
+        auto wl2 = makeWorkload(name);
+        wl1->build(c1);
+        wl2->build(c2);
+
+        Pcg32 rng1(1234), rng2(1234);
+        Instruction i1, i2;
+        for (std::uint32_t idx = 0; idx < 5; ++idx) {
+            const bool has1 =
+                wl1->kernels()[0]->generate(0, 0, idx, rng1, i1);
+            const bool has2 =
+                wl2->kernels()[0]->generate(0, 0, idx, rng2, i2);
+            ASSERT_EQ(has1, has2);
+            if (!has1)
+                break;
+            EXPECT_EQ(i1.addrs, i2.addrs) << name;
+            EXPECT_EQ(i1.isWrite, i2.isWrite);
+        }
+    }
+}
+
+TEST(Workloads, AddressesStayInsidePlacedBuffers)
+{
+    for (const auto &name : workloadNames()) {
+        RecordingPlacement rec;
+        auto c = ctx(rec);
+        auto wl = makeWorkload(name);
+        wl->build(c);
+
+        Pcg32 rng(99);
+        Instruction instr;
+        const auto &kernel = *wl->kernels().front();
+        for (std::uint32_t idx = 0; idx < 3; ++idx) {
+            if (!kernel.generate(1, 0, idx, rng, instr))
+                break;
+            for (Addr a : instr.addrs) {
+                if (a == kAddrInvalid)
+                    continue;
+                EXPECT_TRUE(rec.pages.count(pageAddr(a)))
+                    << name << " addr 0x" << std::hex << a;
+            }
+        }
+    }
+}
+
+TEST(Workloads, BeyondLastInstructionReturnsFalse)
+{
+    RecordingPlacement rec;
+    auto c = ctx(rec);
+    auto wl = makeWorkload("GUPS");
+    wl->build(c);
+    const auto &kernel = *wl->kernels().front();
+    const KernelInfo info = kernel.info();
+    Pcg32 rng(1);
+    Instruction instr;
+    EXPECT_FALSE(kernel.generate(0, 0, info.instructionsPerWave, rng,
+                                 instr));
+    EXPECT_FALSE(kernel.generate(info.numCtas, 0, 0, rng, instr));
+    EXPECT_FALSE(kernel.generate(0, info.wavesPerCta, 0, rng, instr));
+}
+
+TEST(Workloads, ScaleMultipliesInstructionCount)
+{
+    RecordingPlacement rec1, rec2;
+    auto c_small = ctx(rec1, 0.5);
+    auto c_big = ctx(rec2, 1.0);
+    auto wl_small = makeWorkload("GUPS");
+    auto wl_big = makeWorkload("GUPS");
+    wl_small->build(c_small);
+    wl_big->build(c_big);
+    EXPECT_LT(wl_small->kernels()[0]->info().instructionsPerWave,
+              wl_big->kernels()[0]->info().instructionsPerWave);
+}
+
+TEST(MixKernel, AdjacentStreamUsesFullLines)
+{
+    AccessStream s;
+    s.kind = AccessStream::Kind::Adjacent;
+    s.base = 0x1'0000'0000ull;
+    s.elems = 1 << 20;
+    s.elemBytes = 4;
+    MixKernel kernel(KernelInfo{4, 1, 4}, {s});
+    Pcg32 rng(3);
+    Instruction instr;
+    ASSERT_TRUE(kernel.generate(0, 0, 0, rng, instr));
+    auto accesses = gpu::coalesce(instr);
+    EXPECT_LE(accesses.size(), 5u);
+    std::uint32_t full = 0;
+    for (const auto &a : accesses)
+        full += a.bytes == 64 ? 1 : 0;
+    EXPECT_GE(full, 3u);
+}
+
+TEST(MixKernel, RandomStreamGroupsLanesPerPage)
+{
+    AccessStream s;
+    s.kind = AccessStream::Kind::Random;
+    s.base = 0x1'0000'0000ull;
+    s.elems = 1 << 22;
+    s.elemBytes = 4;
+    s.lanesPerPage = 8;
+    MixKernel kernel(KernelInfo{4, 1, 4}, {s});
+    Pcg32 rng(3);
+    Instruction instr;
+    ASSERT_TRUE(kernel.generate(0, 0, 0, rng, instr));
+    std::set<Addr> pages;
+    for (Addr a : instr.addrs)
+        pages.insert(pageAddr(a));
+    EXPECT_LE(pages.size(), 8u); // 64 lanes / 8 per page
+    EXPECT_GE(pages.size(), 4u); // collisions possible but rare
+}
+
+TEST(MixKernel, HotFractionConcentratesAccesses)
+{
+    AccessStream s;
+    s.kind = AccessStream::Kind::Random;
+    s.base = 0x1'0000'0000ull;
+    s.elems = 1 << 22;
+    s.elemBytes = 4;
+    s.hotFraction = 1.0; // always hot
+    s.hotElems = 1024;   // one page
+    MixKernel kernel(KernelInfo{4, 1, 4}, {s});
+    Pcg32 rng(3);
+    Instruction instr;
+    ASSERT_TRUE(kernel.generate(0, 0, 0, rng, instr));
+    for (Addr a : instr.addrs)
+        EXPECT_LT(a, s.base + 1024 * 4);
+}
+
+TEST(MixKernel, StridedStreamHitsDistinctLines)
+{
+    AccessStream s;
+    s.kind = AccessStream::Kind::Strided;
+    s.base = 0x1'0000'0000ull;
+    s.elems = 1 << 22;
+    s.elemBytes = 4;
+    s.stride = 256; // 1 KB apart
+    MixKernel kernel(KernelInfo{4, 1, 4}, {s});
+    Pcg32 rng(3);
+    Instruction instr;
+    ASSERT_TRUE(kernel.generate(0, 0, 0, rng, instr));
+    auto accesses = gpu::coalesce(instr);
+    EXPECT_EQ(accesses.size(), kWavefrontSize);
+    for (const auto &a : accesses)
+        EXPECT_EQ(a.bytes, 4u);
+}
+
+TEST(MixKernel, PartitionedRandomStaysInCtaChunk)
+{
+    AccessStream s;
+    s.kind = AccessStream::Kind::PartitionedRandom;
+    s.base = 0x1'0000'0000ull;
+    s.elems = 1 << 20;
+    s.elemBytes = 4;
+    const std::uint32_t num_ctas = 16;
+    MixKernel kernel(KernelInfo{num_ctas, 1, 4}, {s});
+    const std::uint64_t chunk_bytes = (s.elems / num_ctas) * 4;
+    Pcg32 rng(3);
+    Instruction instr;
+    for (std::uint32_t cta : {0u, 7u, 15u}) {
+        ASSERT_TRUE(kernel.generate(cta, 0, 0, rng, instr));
+        for (Addr a : instr.addrs) {
+            const Addr lo = s.base + cta * chunk_bytes;
+            // Page-group anchoring may reach slightly before the chunk
+            // start (page alignment), never beyond a page.
+            EXPECT_GE(a + kPageBytes, lo);
+            EXPECT_LT(a, lo + chunk_bytes + kPageBytes);
+        }
+    }
+}
+
+TEST(MixKernel, WriteStreamsMarkInstructionsAsWrites)
+{
+    AccessStream s;
+    s.kind = AccessStream::Kind::Adjacent;
+    s.base = 0x1'0000'0000ull;
+    s.elems = 1024;
+    s.elemBytes = 4;
+    s.write = true;
+    MixKernel kernel(KernelInfo{1, 1, 1}, {s});
+    Pcg32 rng(3);
+    Instruction instr;
+    ASSERT_TRUE(kernel.generate(0, 0, 0, rng, instr));
+    EXPECT_TRUE(instr.isWrite);
+}
+
+} // namespace
+} // namespace netcrafter::workloads
