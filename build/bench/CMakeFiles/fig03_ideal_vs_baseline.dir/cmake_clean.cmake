@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_ideal_vs_baseline.dir/fig03_ideal_vs_baseline.cc.o"
+  "CMakeFiles/fig03_ideal_vs_baseline.dir/fig03_ideal_vs_baseline.cc.o.d"
+  "fig03_ideal_vs_baseline"
+  "fig03_ideal_vs_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_ideal_vs_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

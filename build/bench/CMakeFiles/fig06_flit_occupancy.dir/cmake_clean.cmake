@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_flit_occupancy.dir/fig06_flit_occupancy.cc.o"
+  "CMakeFiles/fig06_flit_occupancy.dir/fig06_flit_occupancy.cc.o.d"
+  "fig06_flit_occupancy"
+  "fig06_flit_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_flit_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

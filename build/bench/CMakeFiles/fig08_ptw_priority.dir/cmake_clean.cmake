@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_ptw_priority.dir/fig08_ptw_priority.cc.o"
+  "CMakeFiles/fig08_ptw_priority.dir/fig08_ptw_priority.cc.o.d"
+  "fig08_ptw_priority"
+  "fig08_ptw_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_ptw_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_mpki_sector.dir/fig16_mpki_sector.cc.o"
+  "CMakeFiles/fig16_mpki_sector.dir/fig16_mpki_sector.cc.o.d"
+  "fig16_mpki_sector"
+  "fig16_mpki_sector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_mpki_sector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_mpki_granularity.dir/fig17_mpki_granularity.cc.o"
+  "CMakeFiles/fig17_mpki_granularity.dir/fig17_mpki_granularity.cc.o.d"
+  "fig17_mpki_granularity"
+  "fig17_mpki_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_mpki_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

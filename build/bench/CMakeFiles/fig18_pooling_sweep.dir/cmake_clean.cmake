@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_pooling_sweep.dir/fig18_pooling_sweep.cc.o"
+  "CMakeFiles/fig18_pooling_sweep.dir/fig18_pooling_sweep.cc.o.d"
+  "fig18_pooling_sweep"
+  "fig18_pooling_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_pooling_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_selective_pooling.dir/fig19_selective_pooling.cc.o"
+  "CMakeFiles/fig19_selective_pooling.dir/fig19_selective_pooling.cc.o.d"
+  "fig19_selective_pooling"
+  "fig19_selective_pooling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_selective_pooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

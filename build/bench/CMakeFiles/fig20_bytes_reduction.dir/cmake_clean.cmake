@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_bytes_reduction.dir/fig20_bytes_reduction.cc.o"
+  "CMakeFiles/fig20_bytes_reduction.dir/fig20_bytes_reduction.cc.o.d"
+  "fig20_bytes_reduction"
+  "fig20_bytes_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_bytes_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_flit_size.dir/fig21_flit_size.cc.o"
+  "CMakeFiles/fig21_flit_size.dir/fig21_flit_size.cc.o.d"
+  "fig21_flit_size"
+  "fig21_flit_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_flit_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

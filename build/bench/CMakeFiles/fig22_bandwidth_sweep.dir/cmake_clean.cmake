@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_bandwidth_sweep.dir/fig22_bandwidth_sweep.cc.o"
+  "CMakeFiles/fig22_bandwidth_sweep.dir/fig22_bandwidth_sweep.cc.o.d"
+  "fig22_bandwidth_sweep"
+  "fig22_bandwidth_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_bandwidth_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_netcrafter_tour.dir/netcrafter_tour.cpp.o"
+  "CMakeFiles/example_netcrafter_tour.dir/netcrafter_tour.cpp.o.d"
+  "example_netcrafter_tour"
+  "example_netcrafter_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_netcrafter_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

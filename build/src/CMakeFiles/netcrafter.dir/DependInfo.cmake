@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/config_io.cc" "src/CMakeFiles/netcrafter.dir/config/config_io.cc.o" "gcc" "src/CMakeFiles/netcrafter.dir/config/config_io.cc.o.d"
+  "/root/repo/src/config/system_config.cc" "src/CMakeFiles/netcrafter.dir/config/system_config.cc.o" "gcc" "src/CMakeFiles/netcrafter.dir/config/system_config.cc.o.d"
+  "/root/repo/src/core/cluster_queue.cc" "src/CMakeFiles/netcrafter.dir/core/cluster_queue.cc.o" "gcc" "src/CMakeFiles/netcrafter.dir/core/cluster_queue.cc.o.d"
+  "/root/repo/src/core/controller.cc" "src/CMakeFiles/netcrafter.dir/core/controller.cc.o" "gcc" "src/CMakeFiles/netcrafter.dir/core/controller.cc.o.d"
+  "/root/repo/src/core/stitch_engine.cc" "src/CMakeFiles/netcrafter.dir/core/stitch_engine.cc.o" "gcc" "src/CMakeFiles/netcrafter.dir/core/stitch_engine.cc.o.d"
+  "/root/repo/src/gpu/coalescer.cc" "src/CMakeFiles/netcrafter.dir/gpu/coalescer.cc.o" "gcc" "src/CMakeFiles/netcrafter.dir/gpu/coalescer.cc.o.d"
+  "/root/repo/src/gpu/compute_unit.cc" "src/CMakeFiles/netcrafter.dir/gpu/compute_unit.cc.o" "gcc" "src/CMakeFiles/netcrafter.dir/gpu/compute_unit.cc.o.d"
+  "/root/repo/src/gpu/system.cc" "src/CMakeFiles/netcrafter.dir/gpu/system.cc.o" "gcc" "src/CMakeFiles/netcrafter.dir/gpu/system.cc.o.d"
+  "/root/repo/src/harness/runner.cc" "src/CMakeFiles/netcrafter.dir/harness/runner.cc.o" "gcc" "src/CMakeFiles/netcrafter.dir/harness/runner.cc.o.d"
+  "/root/repo/src/harness/table.cc" "src/CMakeFiles/netcrafter.dir/harness/table.cc.o" "gcc" "src/CMakeFiles/netcrafter.dir/harness/table.cc.o.d"
+  "/root/repo/src/mem/l1_cache.cc" "src/CMakeFiles/netcrafter.dir/mem/l1_cache.cc.o" "gcc" "src/CMakeFiles/netcrafter.dir/mem/l1_cache.cc.o.d"
+  "/root/repo/src/mem/l2_cache.cc" "src/CMakeFiles/netcrafter.dir/mem/l2_cache.cc.o" "gcc" "src/CMakeFiles/netcrafter.dir/mem/l2_cache.cc.o.d"
+  "/root/repo/src/mem/tag_array.cc" "src/CMakeFiles/netcrafter.dir/mem/tag_array.cc.o" "gcc" "src/CMakeFiles/netcrafter.dir/mem/tag_array.cc.o.d"
+  "/root/repo/src/noc/flit.cc" "src/CMakeFiles/netcrafter.dir/noc/flit.cc.o" "gcc" "src/CMakeFiles/netcrafter.dir/noc/flit.cc.o.d"
+  "/root/repo/src/noc/flit_trace.cc" "src/CMakeFiles/netcrafter.dir/noc/flit_trace.cc.o" "gcc" "src/CMakeFiles/netcrafter.dir/noc/flit_trace.cc.o.d"
+  "/root/repo/src/noc/link.cc" "src/CMakeFiles/netcrafter.dir/noc/link.cc.o" "gcc" "src/CMakeFiles/netcrafter.dir/noc/link.cc.o.d"
+  "/root/repo/src/noc/network.cc" "src/CMakeFiles/netcrafter.dir/noc/network.cc.o" "gcc" "src/CMakeFiles/netcrafter.dir/noc/network.cc.o.d"
+  "/root/repo/src/noc/packet.cc" "src/CMakeFiles/netcrafter.dir/noc/packet.cc.o" "gcc" "src/CMakeFiles/netcrafter.dir/noc/packet.cc.o.d"
+  "/root/repo/src/noc/rdma.cc" "src/CMakeFiles/netcrafter.dir/noc/rdma.cc.o" "gcc" "src/CMakeFiles/netcrafter.dir/noc/rdma.cc.o.d"
+  "/root/repo/src/noc/switch.cc" "src/CMakeFiles/netcrafter.dir/noc/switch.cc.o" "gcc" "src/CMakeFiles/netcrafter.dir/noc/switch.cc.o.d"
+  "/root/repo/src/noc/traffic_monitor.cc" "src/CMakeFiles/netcrafter.dir/noc/traffic_monitor.cc.o" "gcc" "src/CMakeFiles/netcrafter.dir/noc/traffic_monitor.cc.o.d"
+  "/root/repo/src/sched/lasp.cc" "src/CMakeFiles/netcrafter.dir/sched/lasp.cc.o" "gcc" "src/CMakeFiles/netcrafter.dir/sched/lasp.cc.o.d"
+  "/root/repo/src/sim/engine.cc" "src/CMakeFiles/netcrafter.dir/sim/engine.cc.o" "gcc" "src/CMakeFiles/netcrafter.dir/sim/engine.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/netcrafter.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/netcrafter.dir/sim/logging.cc.o.d"
+  "/root/repo/src/stats/stats.cc" "src/CMakeFiles/netcrafter.dir/stats/stats.cc.o" "gcc" "src/CMakeFiles/netcrafter.dir/stats/stats.cc.o.d"
+  "/root/repo/src/vm/gmmu.cc" "src/CMakeFiles/netcrafter.dir/vm/gmmu.cc.o" "gcc" "src/CMakeFiles/netcrafter.dir/vm/gmmu.cc.o.d"
+  "/root/repo/src/vm/page_table.cc" "src/CMakeFiles/netcrafter.dir/vm/page_table.cc.o" "gcc" "src/CMakeFiles/netcrafter.dir/vm/page_table.cc.o.d"
+  "/root/repo/src/vm/tlb.cc" "src/CMakeFiles/netcrafter.dir/vm/tlb.cc.o" "gcc" "src/CMakeFiles/netcrafter.dir/vm/tlb.cc.o.d"
+  "/root/repo/src/workloads/apps.cc" "src/CMakeFiles/netcrafter.dir/workloads/apps.cc.o" "gcc" "src/CMakeFiles/netcrafter.dir/workloads/apps.cc.o.d"
+  "/root/repo/src/workloads/mix_kernel.cc" "src/CMakeFiles/netcrafter.dir/workloads/mix_kernel.cc.o" "gcc" "src/CMakeFiles/netcrafter.dir/workloads/mix_kernel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

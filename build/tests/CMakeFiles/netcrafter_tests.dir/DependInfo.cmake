@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/config/config_io_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/config/config_io_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/config/config_io_test.cc.o.d"
+  "/root/repo/tests/config/config_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/config/config_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/config/config_test.cc.o.d"
+  "/root/repo/tests/core/cluster_queue_property_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/core/cluster_queue_property_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/core/cluster_queue_property_test.cc.o.d"
+  "/root/repo/tests/core/cluster_queue_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/core/cluster_queue_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/core/cluster_queue_test.cc.o.d"
+  "/root/repo/tests/core/controller_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/core/controller_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/core/controller_test.cc.o.d"
+  "/root/repo/tests/core/stitch_engine_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/core/stitch_engine_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/core/stitch_engine_test.cc.o.d"
+  "/root/repo/tests/core/stitch_stream_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/core/stitch_stream_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/core/stitch_stream_test.cc.o.d"
+  "/root/repo/tests/core/trim_engine_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/core/trim_engine_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/core/trim_engine_test.cc.o.d"
+  "/root/repo/tests/gpu/coalescer_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/gpu/coalescer_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/gpu/coalescer_test.cc.o.d"
+  "/root/repo/tests/gpu/compute_unit_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/gpu/compute_unit_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/gpu/compute_unit_test.cc.o.d"
+  "/root/repo/tests/gpu/system_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/gpu/system_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/gpu/system_test.cc.o.d"
+  "/root/repo/tests/harness/harness_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/harness/harness_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/harness/harness_test.cc.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/integration/end_to_end_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/integration/end_to_end_test.cc.o.d"
+  "/root/repo/tests/integration/network_fuzz_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/integration/network_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/integration/network_fuzz_test.cc.o.d"
+  "/root/repo/tests/mem/dram_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/mem/dram_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/mem/dram_test.cc.o.d"
+  "/root/repo/tests/mem/l1_cache_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/mem/l1_cache_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/mem/l1_cache_test.cc.o.d"
+  "/root/repo/tests/mem/l1_sector_sweep_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/mem/l1_sector_sweep_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/mem/l1_sector_sweep_test.cc.o.d"
+  "/root/repo/tests/mem/l2_cache_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/mem/l2_cache_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/mem/l2_cache_test.cc.o.d"
+  "/root/repo/tests/mem/mshr_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/mem/mshr_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/mem/mshr_test.cc.o.d"
+  "/root/repo/tests/mem/tag_array_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/mem/tag_array_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/mem/tag_array_test.cc.o.d"
+  "/root/repo/tests/noc/flit_buffer_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/noc/flit_buffer_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/noc/flit_buffer_test.cc.o.d"
+  "/root/repo/tests/noc/flit_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/noc/flit_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/noc/flit_test.cc.o.d"
+  "/root/repo/tests/noc/flit_trace_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/noc/flit_trace_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/noc/flit_trace_test.cc.o.d"
+  "/root/repo/tests/noc/link_bandwidth_property_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/noc/link_bandwidth_property_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/noc/link_bandwidth_property_test.cc.o.d"
+  "/root/repo/tests/noc/link_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/noc/link_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/noc/link_test.cc.o.d"
+  "/root/repo/tests/noc/network_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/noc/network_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/noc/network_test.cc.o.d"
+  "/root/repo/tests/noc/packet_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/noc/packet_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/noc/packet_test.cc.o.d"
+  "/root/repo/tests/noc/rdma_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/noc/rdma_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/noc/rdma_test.cc.o.d"
+  "/root/repo/tests/noc/switch_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/noc/switch_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/noc/switch_test.cc.o.d"
+  "/root/repo/tests/noc/traffic_monitor_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/noc/traffic_monitor_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/noc/traffic_monitor_test.cc.o.d"
+  "/root/repo/tests/sched/lasp_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/sched/lasp_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/sched/lasp_test.cc.o.d"
+  "/root/repo/tests/sim/engine_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/sim/engine_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/sim/engine_test.cc.o.d"
+  "/root/repo/tests/sim/event_queue_property_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/sim/event_queue_property_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/sim/event_queue_property_test.cc.o.d"
+  "/root/repo/tests/sim/logging_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/sim/logging_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/sim/logging_test.cc.o.d"
+  "/root/repo/tests/stats/stats_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/stats/stats_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/stats/stats_test.cc.o.d"
+  "/root/repo/tests/vm/gmmu_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/vm/gmmu_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/vm/gmmu_test.cc.o.d"
+  "/root/repo/tests/vm/page_table_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/vm/page_table_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/vm/page_table_test.cc.o.d"
+  "/root/repo/tests/vm/tlb_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/vm/tlb_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/vm/tlb_test.cc.o.d"
+  "/root/repo/tests/workloads/workload_test.cc" "tests/CMakeFiles/netcrafter_tests.dir/workloads/workload_test.cc.o" "gcc" "tests/CMakeFiles/netcrafter_tests.dir/workloads/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/netcrafter.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
