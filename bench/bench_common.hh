@@ -2,8 +2,11 @@
  * @file
  * Shared helpers for the per-figure bench binaries: the Table 3 app
  * list, the paper's ablation configurations, and small printing
- * utilities. Each binary regenerates one table or figure of the paper's
- * evaluation and prints the same rows/series.
+ * utilities. The implementations live in the experiment-orchestration
+ * subsystem (src/exp/figures.hh) so declaratively defined sweeps and
+ * the remaining hand-rolled binaries agree on the exact same
+ * configurations; this header just adapts them to the historical
+ * bench:: names.
  */
 
 #ifndef NETCRAFTER_BENCH_BENCH_COMMON_HH
@@ -14,6 +17,7 @@
 #include <vector>
 
 #include "src/config/system_config.hh"
+#include "src/exp/figures.hh"
 #include "src/harness/runner.hh"
 #include "src/harness/table.hh"
 #include "src/workloads/workload.hh"
@@ -35,41 +39,35 @@ apps()
 inline SystemConfig
 stitchSelective32()
 {
-    return config::stitchingConfig(true, true, 32);
+    return exp::stitchSelective32();
 }
 
 /** Stitching(+SelPool) + Trimming. */
 inline SystemConfig
 stitchTrim()
 {
-    SystemConfig cfg = stitchSelective32();
-    cfg.netcrafter.trimming = true;
-    cfg.l1FillMode = config::L1FillMode::TrimInterCluster;
-    return cfg;
+    return exp::stitchTrim();
 }
 
 /** The full NetCrafter design point (adds Sequencing). */
 inline SystemConfig
 fullNetcrafter()
 {
-    return config::netcrafterConfig();
+    return exp::fullNetcrafter();
 }
 
 /** Print the standard figure banner. */
 inline void
 banner(const std::string &fig, const std::string &caption)
 {
-    std::cout << "==============================================\n"
-              << fig << " - " << caption << "\n"
-              << "==============================================\n";
+    exp::banner(std::cout, fig, caption);
 }
 
 /** Speedup of @p v over @p base execution cycles. */
 inline double
 speedup(const RunResult &base, const RunResult &v)
 {
-    return static_cast<double>(base.cycles) /
-           static_cast<double>(v.cycles);
+    return exp::speedup(base, v);
 }
 
 } // namespace netcrafter::bench

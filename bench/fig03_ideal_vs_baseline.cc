@@ -4,36 +4,17 @@
  * an ideal setup in which every link runs at the high (intra-cluster)
  * bandwidth. The paper reports an average ~1.5x ideal speedup,
  * establishing the inter-cluster network as the bottleneck.
+ *
+ * The sweep itself is defined declaratively in src/exp/figures.cc; this
+ * binary remains for workflows that regenerate one figure at a time.
+ * Prefer `netcrafter-sweep fig03` (or `all`), which shares simulations
+ * across figures through the result cache.
  */
 
-#include <iostream>
-
-#include "bench/bench_common.hh"
+#include "src/exp/figures.hh"
 
 int
 main()
 {
-    using namespace netcrafter;
-    bench::banner("Figure 3",
-                  "ideal (all-high-bandwidth) speedup over baseline");
-
-    harness::Table table(
-        {"app", "baseline cycles", "ideal cycles", "ideal speedup"});
-    std::vector<double> speedups;
-
-    for (const auto &app : bench::apps()) {
-        auto base =
-            harness::runWorkload(app, config::baselineConfig());
-        auto ideal = harness::runWorkload(app, config::idealConfig());
-        const double s = bench::speedup(base, ideal);
-        speedups.push_back(s);
-        table.addRow({app, std::to_string(base.cycles),
-                      std::to_string(ideal.cycles),
-                      harness::Table::fmt(s)});
-    }
-    table.print(std::cout);
-    std::cout << "\ngeomean ideal speedup: "
-              << harness::Table::fmt(harness::geomean(speedups))
-              << "x   (paper: ~1.5x average)\n";
-    return 0;
+    return netcrafter::exp::figureMain("fig03");
 }

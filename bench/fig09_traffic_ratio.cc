@@ -4,40 +4,15 @@
  * PTW-related versus data. The paper reports PTW traffic averages ~13%
  * — small enough that prioritizing it costs data traffic little
  * (Observation 4).
+ *
+ * The sweep is defined in src/exp/figures.cc; prefer
+ * `netcrafter-sweep fig09`, which shares simulations across figures.
  */
 
-#include <iostream>
-
-#include "bench/bench_common.hh"
+#include "src/exp/figures.hh"
 
 int
 main()
 {
-    using namespace netcrafter;
-    bench::banner("Figure 9",
-                  "PTW-related vs data bytes on the inter-cluster "
-                  "network (baseline)");
-
-    harness::Table table({"app", "PTW share", "data share"});
-    double sum = 0;
-    int n = 0;
-
-    for (const auto &app : bench::apps()) {
-        auto base =
-            harness::runWorkload(app, config::baselineConfig());
-        if (base.interUsefulBytes == 0) {
-            table.addRow({app, "-", "-"});
-            continue;
-        }
-        sum += base.ptwByteFraction;
-        ++n;
-        table.addRow({app, harness::Table::pct(base.ptwByteFraction),
-                      harness::Table::pct(1.0 - base.ptwByteFraction)});
-    }
-    table.print(std::cout);
-    if (n > 0) {
-        std::cout << "\nmean PTW share: " << harness::Table::pct(sum / n)
-                  << "  (paper: ~13% average)\n";
-    }
-    return 0;
+    return netcrafter::exp::figureMain("fig09");
 }

@@ -5,53 +5,15 @@
  * + Sequencing (the full design) — plus the 16B L1 sector-cache
  * baseline, all normalized to the non-uniform baseline. The paper
  * reports up to 64% and on average 16% speedup for full NetCrafter.
+ *
+ * The sweep is defined in src/exp/figures.cc; prefer
+ * `netcrafter-sweep fig14`, which shares simulations across figures.
  */
 
-#include <iostream>
-
-#include "bench/bench_common.hh"
+#include "src/exp/figures.hh"
 
 int
 main()
 {
-    using namespace netcrafter;
-    bench::banner("Figure 14",
-                  "speedup over the non-uniform baseline (cumulative "
-                  "mechanisms)");
-
-    harness::Table table({"app", "Stitching", "+Trimming",
-                          "+Sequencing (NetCrafter)", "SectorCache16B"});
-    std::vector<double> s1, s2, s3, s4;
-
-    for (const auto &app : bench::apps()) {
-        auto base =
-            harness::runWorkload(app, config::baselineConfig());
-        auto stitch = harness::runWorkload(app, bench::stitchSelective32());
-        auto trim = harness::runWorkload(app, bench::stitchTrim());
-        auto full = harness::runWorkload(app, bench::fullNetcrafter());
-        auto sector =
-            harness::runWorkload(app, config::sectorCacheConfig(16));
-
-        s1.push_back(bench::speedup(base, stitch));
-        s2.push_back(bench::speedup(base, trim));
-        s3.push_back(bench::speedup(base, full));
-        s4.push_back(bench::speedup(base, sector));
-        table.addRow({app, harness::Table::fmt(s1.back()),
-                      harness::Table::fmt(s2.back()),
-                      harness::Table::fmt(s3.back()),
-                      harness::Table::fmt(s4.back())});
-    }
-    table.print(std::cout);
-    std::cout << "\ngeomean speedup: stitching "
-              << harness::Table::fmt(harness::geomean(s1))
-              << "x, +trimming "
-              << harness::Table::fmt(harness::geomean(s2))
-              << "x, full NetCrafter "
-              << harness::Table::fmt(harness::geomean(s3))
-              << "x, sector-cache "
-              << harness::Table::fmt(harness::geomean(s4)) << "x\n"
-              << "(paper: full NetCrafter up to 1.64x, avg 1.16x; "
-                 "sector cache helps <=16B apps, hurts coarse-grained "
-                 "ones)\n";
-    return 0;
+    return netcrafter::exp::figureMain("fig14");
 }

@@ -4,66 +4,15 @@
  * with Stitching alone and Stitching + Selective Flit Pooling across
  * 32-128 cycle windows, normalized to the baseline. Savings saturate
  * beyond a 32-cycle window.
+ *
+ * The sweep is defined in src/exp/figures.cc; prefer
+ * `netcrafter-sweep fig20`, which shares simulations across figures.
  */
 
-#include <iostream>
-
-#include "bench/bench_common.hh"
+#include "src/exp/figures.hh"
 
 int
 main()
 {
-    using namespace netcrafter;
-    bench::banner("Figure 20",
-                  "inter-cluster wire bytes, normalized to baseline");
-
-    const std::vector<Tick> windows = {32, 64, 96, 128};
-    std::vector<std::string> headers = {"app", "stitch only"};
-    for (Tick w : windows)
-        headers.push_back("selpool " + std::to_string(w));
-    harness::Table table(headers);
-
-    std::vector<double> sums(windows.size() + 1, 0.0);
-    int n = 0;
-
-    for (const auto &app : bench::apps()) {
-        auto base =
-            harness::runWorkload(app, config::baselineConfig());
-        if (base.interWireBytes == 0) {
-            table.addRow({app, "-"});
-            continue;
-        }
-        ++n;
-        std::vector<std::string> row{app};
-
-        auto alone =
-            harness::runWorkload(app, config::stitchingConfig(false));
-        double ratio = static_cast<double>(alone.interWireBytes) /
-                       static_cast<double>(base.interWireBytes);
-        sums[0] += ratio;
-        row.push_back(harness::Table::fmt(ratio, 3));
-
-        for (std::size_t i = 0; i < windows.size(); ++i) {
-            auto pooled = harness::runWorkload(
-                app, config::stitchingConfig(true, true, windows[i]));
-            ratio = static_cast<double>(pooled.interWireBytes) /
-                    static_cast<double>(base.interWireBytes);
-            sums[i + 1] += ratio;
-            row.push_back(harness::Table::fmt(ratio, 3));
-        }
-        table.addRow(std::move(row));
-    }
-    table.print(std::cout);
-
-    if (n > 0) {
-        std::cout << "\nmean byte ratio: stitch-only "
-                  << harness::Table::fmt(sums[0] / n, 3);
-        for (std::size_t i = 0; i < windows.size(); ++i) {
-            std::cout << ", selpool-" << windows[i] << " "
-                      << harness::Table::fmt(sums[i + 1] / n, 3);
-        }
-        std::cout << "\n(paper: pooling deepens savings; the curve "
-                     "flattens past a 32-cycle window)\n";
-    }
-    return 0;
+    return netcrafter::exp::figureMain("fig20");
 }

@@ -4,67 +4,15 @@
  * bandwidth ratios and absolute values, including a homogeneous
  * 32/32 GB/s configuration. Gains persist everywhere and are largest
  * when bandwidth is most constrained.
+ *
+ * The sweep is defined in src/exp/figures.cc; prefer
+ * `netcrafter-sweep fig22`, which shares simulations across figures.
  */
 
-#include <iostream>
-
-#include "bench/bench_common.hh"
+#include "src/exp/figures.hh"
 
 int
 main()
 {
-    using namespace netcrafter;
-    bench::banner("Figure 22",
-                  "NetCrafter speedup across bandwidth configurations");
-
-    struct BwPoint
-    {
-        const char *label;
-        double intra;
-        double inter;
-    };
-    const std::vector<BwPoint> points = {
-        {"128:16 (8:1, baseline)", 128, 16},
-        {"256:32 (8:1)", 256, 32},
-        {"512:64 (8:1)", 512, 64},
-        {"128:32 (4:1)", 128, 32},
-        {"128:64 (2:1)", 128, 64},
-        {"32:32 (homogeneous)", 32, 32},
-    };
-
-    std::vector<std::string> headers = {"app"};
-    for (const auto &p : points)
-        headers.push_back(p.label);
-    harness::Table table(headers);
-
-    std::vector<std::vector<double>> speedups(points.size());
-
-    for (const auto &app : bench::apps()) {
-        std::vector<std::string> row{app};
-        for (std::size_t i = 0; i < points.size(); ++i) {
-            config::SystemConfig base = config::baselineConfig();
-            base.intraClusterGBps = points[i].intra;
-            base.interClusterGBps = points[i].inter;
-            config::SystemConfig nc = bench::fullNetcrafter();
-            nc.intraClusterGBps = points[i].intra;
-            nc.interClusterGBps = points[i].inter;
-
-            auto b = harness::runWorkload(app, base);
-            auto v = harness::runWorkload(app, nc);
-            speedups[i].push_back(bench::speedup(b, v));
-            row.push_back(harness::Table::fmt(speedups[i].back(), 3));
-        }
-        table.addRow(std::move(row));
-    }
-    table.print(std::cout);
-
-    std::cout << "\ngeomean per configuration:";
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        std::cout << "  [" << points[i].label << "] "
-                  << harness::Table::fmt(
-                         harness::geomean(speedups[i]), 3);
-    }
-    std::cout << "\n(paper: consistent gains across every ratio, "
-                 "largest under the tightest bandwidth)\n";
-    return 0;
+    return netcrafter::exp::figureMain("fig22");
 }

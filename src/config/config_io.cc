@@ -1,6 +1,7 @@
 #include "src/config/config_io.hh"
 
 #include <functional>
+#include <iomanip>
 #include <map>
 #include <ostream>
 #include <sstream>
@@ -270,6 +271,36 @@ parseConfigString(const std::string &text, const SystemConfig &base)
 {
     std::istringstream is(text);
     return parseConfig(is, base);
+}
+
+// Defined here rather than in system_config.cc because the serialized
+// text form (the field registry above) is the canonical field
+// enumeration: any field added to the registry automatically feeds the
+// digest too.
+std::uint64_t
+SystemConfig::digest() const
+{
+    const std::string text = configToString(*this);
+    std::uint64_t h = 0xcbf29ce484222325ull; // FNV-1a 64-bit
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::string
+digestHex(const SystemConfig &cfg)
+{
+    return digestHex(cfg.digest());
+}
+
+std::string
+digestHex(std::uint64_t digest)
+{
+    std::ostringstream os;
+    os << std::hex << std::setw(16) << std::setfill('0') << digest;
+    return os.str();
 }
 
 } // namespace netcrafter::config

@@ -204,7 +204,21 @@ struct SystemConfig
 
     /** Basic validity checks; NC_FATALs on bad combinations. */
     void validate() const;
+
+    /**
+     * Stable 64-bit fingerprint of every serialized field (FNV-1a over
+     * the config_io text form). Two configs share a digest exactly when
+     * configToString() agrees, so it is a safe cache / dedup key for
+     * experiment results.
+     */
+    std::uint64_t digest() const;
 };
+
+/** digest() rendered as a fixed-width lowercase hex string. */
+std::string digestHex(const SystemConfig &cfg);
+
+/** A raw digest value rendered the same way (16 hex digits). */
+std::string digestHex(std::uint64_t digest);
 
 /** Table 2 baseline: non-uniform 128/16 GB/s, no NetCrafter. */
 SystemConfig baselineConfig();

@@ -1,0 +1,258 @@
+#include "src/exp/export.hh"
+
+#include <cstdio>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace netcrafter::exp {
+
+namespace {
+
+/** Render @p v with round-trip precision (no locale, no padding). */
+std::string
+num(double v)
+{
+    std::ostringstream os;
+    os.precision(std::numeric_limits<double>::max_digits10);
+    os << v;
+    return os.str();
+}
+
+std::string
+num(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+/** One exported column: name plus a value renderer. */
+struct FieldDef
+{
+    const char *name;
+    std::string (*value)(const ExportRecord &);
+    bool quoted; // JSON: emit as string rather than number
+};
+
+#define STR_FIELD(name, expr)                                            \
+    FieldDef                                                             \
+    {                                                                    \
+        name, [](const ExportRecord &r) { return std::string(expr); },   \
+            true                                                         \
+    }
+#define NUM_FIELD(name, expr)                                            \
+    FieldDef                                                             \
+    {                                                                    \
+        name, [](const ExportRecord &r) { return num(expr); }, false     \
+    }
+
+const std::vector<FieldDef> &
+fields()
+{
+    static const std::vector<FieldDef> defs = {
+        STR_FIELD("job", r.label),
+        STR_FIELD("workload", r.result.workload),
+        FieldDef{"config_digest",
+                 [](const ExportRecord &r) {
+                     return config::digestHex(r.configDigest);
+                 },
+                 true},
+        NUM_FIELD("scale", r.scale),
+        NUM_FIELD("cycles", static_cast<std::uint64_t>(r.result.cycles)),
+        NUM_FIELD("events", r.result.events),
+        NUM_FIELD("instructions", r.result.instructions),
+        NUM_FIELD("l1_read_accesses", r.result.l1ReadAccesses),
+        NUM_FIELD("l1_read_misses", r.result.l1ReadMisses),
+        NUM_FIELD("l1_mpki", r.result.l1Mpki),
+        NUM_FIELD("inter_flits", r.result.interFlits),
+        NUM_FIELD("inter_wire_bytes", r.result.interWireBytes),
+        NUM_FIELD("inter_useful_bytes", r.result.interUsefulBytes),
+        NUM_FIELD("inter_utilization", r.result.interUtilization),
+        NUM_FIELD("ptw_byte_fraction", r.result.ptwByteFraction),
+        NUM_FIELD("padded_flit_fraction", r.result.paddedFlitFraction),
+        NUM_FIELD("quarter_padded_fraction",
+                  r.result.quarterPaddedFraction),
+        NUM_FIELD("three_quarter_padded_fraction",
+                  r.result.threeQuarterPaddedFraction),
+        NUM_FIELD("stitched_fraction", r.result.stitchedFraction),
+        NUM_FIELD("stitched_pieces", r.result.stitchedPieces),
+        NUM_FIELD("trimmed_packets", r.result.trimmedPackets),
+        NUM_FIELD("bytes_trimmed", r.result.bytesTrimmed),
+        NUM_FIELD("pooling_arms", r.result.poolingArms),
+        NUM_FIELD("avg_inter_read_latency", r.result.avgInterReadLatency),
+        NUM_FIELD("inter_reads", r.result.interReads),
+        NUM_FIELD("remote_reads", r.result.remoteReads),
+        NUM_FIELD("local_reads", r.result.localReads),
+        NUM_FIELD("page_walks", r.result.pageWalks),
+        NUM_FIELD("mean_walk_length", r.result.meanWalkLength),
+        NUM_FIELD("bytes_needed_le16", r.result.bytesNeededFrac[0]),
+        NUM_FIELD("bytes_needed_le32", r.result.bytesNeededFrac[1]),
+        NUM_FIELD("bytes_needed_le48", r.result.bytesNeededFrac[2]),
+        NUM_FIELD("bytes_needed_lt64", r.result.bytesNeededFrac[3]),
+        NUM_FIELD("bytes_needed_64", r.result.bytesNeededFrac[4]),
+        NUM_FIELD("wall_seconds", r.result.wallSeconds),
+    };
+    return defs;
+}
+
+#undef STR_FIELD
+#undef NUM_FIELD
+
+/** CSV-quote @p s only when it contains a delimiter or quote. */
+std::string
+csvCell(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+std::vector<ExportRecord>
+recordsFromSweep(const SweepSpec &spec, const SweepResult &result)
+{
+    std::vector<ExportRecord> out;
+    out.reserve(spec.size());
+    for (std::size_t i = 0; i < spec.size(); ++i) {
+        const Job &job = spec.jobs()[i];
+        out.push_back(ExportRecord{job.name, job.config.digest(),
+                                   job.scale, result.results.at(i)});
+    }
+    return out;
+}
+
+std::vector<ExportRecord>
+recordsFromScheduler(const Scheduler &scheduler)
+{
+    std::vector<ExportRecord> out;
+    out.reserve(scheduler.history().size());
+    for (const auto &[job, result] : scheduler.history())
+        out.push_back(ExportRecord{job.name, job.config.digest(),
+                                   job.scale, result});
+    return out;
+}
+
+std::vector<ExportRecord>
+recordsFromCache(const ResultCache &cache)
+{
+    std::vector<ExportRecord> out;
+    for (auto &[key, result] : cache.snapshot()) {
+        out.push_back(
+            ExportRecord{"", key.configDigest, key.scale, result});
+    }
+    return out;
+}
+
+void
+writeCsv(const std::vector<ExportRecord> &records, std::ostream &os)
+{
+    const auto &defs = fields();
+    for (std::size_t i = 0; i < defs.size(); ++i)
+        os << (i ? "," : "") << defs[i].name;
+    os << "\n";
+    for (const auto &r : records) {
+        for (std::size_t i = 0; i < defs.size(); ++i)
+            os << (i ? "," : "") << csvCell(defs[i].value(r));
+        os << "\n";
+    }
+}
+
+void
+writeJson(const std::vector<ExportRecord> &records, std::ostream &os)
+{
+    const auto &defs = fields();
+    os << "{\n  \"results\": [";
+    for (std::size_t r = 0; r < records.size(); ++r) {
+        os << (r ? ",\n    {" : "\n    {");
+        for (std::size_t i = 0; i < defs.size(); ++i) {
+            const std::string v = defs[i].value(records[r]);
+            os << (i ? ", " : "") << "\"" << defs[i].name << "\": ";
+            if (defs[i].quoted)
+                os << "\"" << jsonEscape(v) << "\"";
+            else
+                os << v;
+        }
+        os << "}";
+    }
+    os << "\n  ]\n}\n";
+}
+
+void
+writeRegistryJson(const stats::Registry &registry, std::ostream &os)
+{
+    os << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, c] : registry.counters()) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+           << "\": " << c.value();
+        first = false;
+    }
+    os << "\n  },\n  \"averages\": {";
+    first = true;
+    for (const auto &[name, a] : registry.averages()) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+           << "\": {\"mean\": " << num(a.mean())
+           << ", \"min\": " << num(a.min())
+           << ", \"max\": " << num(a.max())
+           << ", \"count\": " << a.count() << "}";
+        first = false;
+    }
+    os << "\n  },\n  \"distributions\": {";
+    first = true;
+    for (const auto &[name, d] : registry.distributions()) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+           << "\": {\"total\": " << d.total() << ", \"bounds\": [";
+        for (std::size_t i = 0; i < d.bounds().size(); ++i)
+            os << (i ? ", " : "") << num(d.bounds()[i]);
+        os << "], \"counts\": [";
+        for (std::size_t i = 0; i < d.bounds().size() + 1; ++i)
+            os << (i ? ", " : "") << d.bucket(i);
+        os << "]}";
+        first = false;
+    }
+    os << "\n  }\n}\n";
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace netcrafter::exp

@@ -1,0 +1,128 @@
+#include "src/exp/scheduler.hh"
+
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "src/sim/logging.hh"
+
+namespace netcrafter::exp {
+
+const harness::RunResult &
+SweepResult::at(const std::string &job_name) const
+{
+    auto it = index.find(job_name);
+    if (it == index.end())
+        NC_FATAL("sweep result has no job named '", job_name, "'");
+    return results.at(it->second);
+}
+
+Scheduler::Scheduler(Options opts, ResultCache *cache)
+    : opts_(opts), cache_(cache)
+{
+    workers_ = opts.workers != 0 ? opts.workers
+                                 : std::thread::hardware_concurrency();
+    if (workers_ == 0)
+        workers_ = 1;
+}
+
+harness::RunResult
+Scheduler::runJob(const Job &job, JobTiming &timing)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    harness::RunResult result;
+    if (cache_ != nullptr) {
+        result = cache_->getOrRun(
+            keyOf(job),
+            [&] {
+                return harness::runWorkload(job.workload, job.config,
+                                            job.scale);
+            },
+            &timing.cacheHit);
+    } else {
+        result =
+            harness::runWorkload(job.workload, job.config, job.scale);
+    }
+    timing.name = job.name;
+    timing.seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    return result;
+}
+
+SweepResult
+Scheduler::run(const SweepSpec &spec)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+
+    SweepResult out;
+    out.results.resize(spec.size());
+    out.timings.resize(spec.size());
+    for (std::size_t i = 0; i < spec.size(); ++i)
+        out.index.emplace(spec.jobs()[i].name, i);
+
+    const std::uint64_t hits0 = cache_ != nullptr ? cache_->hits() : 0;
+    const std::uint64_t misses0 =
+        cache_ != nullptr ? cache_->misses() : 0;
+
+    std::ostream &log = opts_.log != nullptr ? *opts_.log : std::cerr;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex log_mu;
+
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= spec.size())
+                return;
+            const Job &job = spec.jobs()[i];
+            out.results[i] = runJob(job, out.timings[i]);
+            const std::size_t finished = done.fetch_add(1) + 1;
+            if (opts_.progress) {
+                std::ostringstream line;
+                line << "[" << finished << "/" << spec.size() << "] "
+                     << spec.name() << " " << job.name << " "
+                     << out.timings[i].seconds << "s"
+                     << (out.timings[i].cacheHit ? " (cached)" : "")
+                     << "\n";
+                std::lock_guard<std::mutex> lock(log_mu);
+                log << line.str() << std::flush;
+            }
+        }
+    };
+
+    const unsigned n_threads = static_cast<unsigned>(
+        std::min<std::size_t>(workers_, spec.size()));
+    if (n_threads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(n_threads);
+        for (unsigned t = 0; t < n_threads; ++t)
+            pool.emplace_back(worker);
+        for (auto &th : pool)
+            th.join();
+    }
+
+    if (cache_ != nullptr) {
+        out.cacheHits = cache_->hits() - hits0;
+        out.cacheMisses = cache_->misses() - misses0;
+    } else {
+        out.cacheMisses = spec.size();
+    }
+    history_.reserve(history_.size() + spec.size());
+    for (std::size_t i = 0; i < spec.size(); ++i) {
+        Job qualified = spec.jobs()[i];
+        qualified.name = spec.name() + "/" + qualified.name;
+        history_.emplace_back(std::move(qualified), out.results[i]);
+    }
+    out.wallSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    return out;
+}
+
+} // namespace netcrafter::exp

@@ -380,8 +380,8 @@ MultiGpuSystem::run(workloads::Workload &workload, double scale,
     }
 }
 
-void
-MultiGpuSystem::dumpStats(std::ostream &os) const
+stats::Registry
+MultiGpuSystem::collectStats() const
 {
     stats::Registry reg;
     reg.counter("system.cycles").inc(engine_.now());
@@ -441,7 +441,15 @@ MultiGpuSystem::dumpStats(std::ostream &os) const
                 .inc(ctrl->trimStats().bytesTrimmed);
         }
     }
-    reg.dump(os);
+    reg.average("system.interReadLatency") = interReadLatency_;
+    reg.distribution("system.remoteReadBytesNeeded") = remoteReadBytes_;
+    return reg;
+}
+
+void
+MultiGpuSystem::dumpStats(std::ostream &os) const
+{
+    collectStats().dump(os);
 }
 
 std::uint64_t

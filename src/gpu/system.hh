@@ -107,9 +107,13 @@ class MultiGpuSystem : public workloads::PlacementDirectory
     std::size_t outstandingRequests() const { return outstanding_.size(); }
 
     /**
-     * Export every statistic the system tracks into a Registry (counter
-     * names are hierarchical, e.g. "gpu0.l1.readMisses") and dump it.
+     * Export every statistic the system tracks into a Registry (names
+     * are hierarchical, e.g. "gpu0.l1.readMisses"). Machine-readable
+     * exporters and dumpStats both feed from this.
      */
+    stats::Registry collectStats() const;
+
+    /** collectStats() dumped in the flat text format. */
     void dumpStats(std::ostream &os) const;
 
   private:

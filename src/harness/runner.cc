@@ -93,16 +93,55 @@ geomean(const std::vector<double> &xs)
 }
 
 double
+parseScaleEnv(const char *text)
+{
+    char *end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (end == text || *end != '\0' || !std::isfinite(v) || v <= 0) {
+        NC_FATAL("NETCRAFTER_SCALE must be a positive finite number, "
+                 "got '", text, "'");
+    }
+    return v;
+}
+
+double
 envScale()
 {
+    // The getenv lookup and validation run once; every runWorkload call
+    // afterwards reuses the cached value.
     static const double scale = [] {
         const char *env = std::getenv("NETCRAFTER_SCALE");
-        if (env == nullptr)
-            return 1.0;
-        const double v = std::atof(env);
-        return v > 0 ? v : 1.0;
+        return env == nullptr ? 1.0 : parseScaleEnv(env);
     }();
     return scale;
+}
+
+bool
+sameMeasurement(const RunResult &a, const RunResult &b)
+{
+    return a.workload == b.workload && a.cycles == b.cycles &&
+           a.events == b.events && a.instructions == b.instructions &&
+           a.l1ReadAccesses == b.l1ReadAccesses &&
+           a.l1ReadMisses == b.l1ReadMisses && a.l1Mpki == b.l1Mpki &&
+           a.interFlits == b.interFlits &&
+           a.interWireBytes == b.interWireBytes &&
+           a.interUsefulBytes == b.interUsefulBytes &&
+           a.interUtilization == b.interUtilization &&
+           a.ptwByteFraction == b.ptwByteFraction &&
+           a.paddedFlitFraction == b.paddedFlitFraction &&
+           a.quarterPaddedFraction == b.quarterPaddedFraction &&
+           a.threeQuarterPaddedFraction == b.threeQuarterPaddedFraction &&
+           a.stitchedFraction == b.stitchedFraction &&
+           a.stitchedPieces == b.stitchedPieces &&
+           a.trimmedPackets == b.trimmedPackets &&
+           a.bytesTrimmed == b.bytesTrimmed &&
+           a.poolingArms == b.poolingArms &&
+           a.avgInterReadLatency == b.avgInterReadLatency &&
+           a.interReads == b.interReads &&
+           a.remoteReads == b.remoteReads &&
+           a.localReads == b.localReads && a.pageWalks == b.pageWalks &&
+           a.meanWalkLength == b.meanWalkLength &&
+           a.bytesNeededFrac == b.bytesNeededFrac;
 }
 
 } // namespace netcrafter::harness

@@ -84,8 +84,21 @@ double geomean(const std::vector<double> &xs);
 /**
  * Problem-size multiplier from the NETCRAFTER_SCALE environment
  * variable (default 1.0) — lets CI shrink or enlarge every experiment.
+ * The lookup is cached after the first call; invalid values (anything
+ * not a positive finite number) are fatal.
  */
 double envScale();
+
+/** Parse and validate one NETCRAFTER_SCALE value; NC_FATAL on bad input. */
+double parseScaleEnv(const char *text);
+
+/**
+ * True when @p a and @p b report identical measurements — every field
+ * except the diagnostics-only wallSeconds. Exact comparison: the
+ * simulator is deterministic, so equal inputs must produce bit-equal
+ * outputs.
+ */
+bool sameMeasurement(const RunResult &a, const RunResult &b);
 
 } // namespace netcrafter::harness
 

@@ -7,7 +7,12 @@ namespace netcrafter::noc {
 
 namespace {
 
-std::uint64_t nextPacketId = 1;
+// thread_local rather than global: the experiment scheduler runs
+// independent MultiGpuSystem instances on concurrent threads, and each
+// system resets this allocator at construction. A system never
+// migrates threads mid-run, so per-thread ids reproduce the serial id
+// sequence exactly.
+thread_local std::uint64_t nextPacketId = 1;
 
 } // namespace
 

@@ -103,7 +103,7 @@ using PacketPtr = std::shared_ptr<Packet>;
  */
 struct Packet
 {
-    /** Globally unique packet id (the header's identification tag). */
+    /** Packet id, unique within one system (the header's id tag). */
     std::uint64_t id = 0;
 
     PacketType type = PacketType::ReadReq;
@@ -175,7 +175,7 @@ struct Packet
  */
 PacketPtr makePacket(PacketType type, GpuId src, GpuId dst, Addr addr);
 
-/** Reset the global packet id allocator (tests / between runs). */
+/** Reset this thread's packet id allocator (run on system construction). */
 void resetPacketIds();
 
 } // namespace netcrafter::noc

@@ -151,6 +151,10 @@ class Registry
     {
         return averages_;
     }
+    const std::map<std::string, Distribution> &distributions() const
+    {
+        return distributions_;
+    }
 
     void
     reset()

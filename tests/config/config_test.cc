@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/config/config_io.hh"
 #include "src/config/system_config.hh"
 
 namespace netcrafter::config {
@@ -126,6 +127,64 @@ TEST(SystemConfigDeath, BadTrimGranularity)
     SystemConfig cfg = baselineConfig();
     cfg.netcrafter.trimGranularity = 24;
     EXPECT_DEATH(cfg.validate(), "granularity");
+}
+
+TEST(ConfigDigest, EqualConfigsShareADigest)
+{
+    EXPECT_EQ(baselineConfig().digest(), baselineConfig().digest());
+    EXPECT_EQ(netcrafterConfig().digest(), netcrafterConfig().digest());
+
+    SystemConfig copy = baselineConfig();
+    EXPECT_EQ(copy.digest(), baselineConfig().digest());
+}
+
+TEST(ConfigDigest, AnyFieldChangeChangesTheDigest)
+{
+    const std::uint64_t base = baselineConfig().digest();
+
+    SystemConfig cfg = baselineConfig();
+    cfg.interClusterGBps = 32.0;
+    EXPECT_NE(cfg.digest(), base);
+
+    cfg = baselineConfig();
+    cfg.netcrafter.stitching = true;
+    EXPECT_NE(cfg.digest(), base);
+
+    cfg = baselineConfig();
+    cfg.seed = 2;
+    EXPECT_NE(cfg.digest(), base);
+
+    cfg = baselineConfig();
+    cfg.l1FillMode = L1FillMode::SectorAlways;
+    EXPECT_NE(cfg.digest(), base);
+}
+
+TEST(ConfigDigest, DistinctPresetsAreDistinct)
+{
+    EXPECT_NE(baselineConfig().digest(), idealConfig().digest());
+    EXPECT_NE(baselineConfig().digest(), netcrafterConfig().digest());
+    EXPECT_NE(idealConfig().digest(), netcrafterConfig().digest());
+}
+
+TEST(ConfigDigest, HexFormIsFixedWidth)
+{
+    const std::string hex = digestHex(baselineConfig());
+    EXPECT_EQ(hex.size(), 16u);
+    EXPECT_EQ(hex.find_first_not_of("0123456789abcdef"),
+              std::string::npos);
+    // Small values zero-pad rather than shrink.
+    EXPECT_EQ(digestHex(std::uint64_t{0x5}), "0000000000000005");
+    EXPECT_EQ(digestHex(std::uint64_t{0}), "0000000000000000");
+}
+
+TEST(ConfigDigest, SurvivesSerializationRoundTrip)
+{
+    // digest() hashes the serialized form, so a parse round-trip must
+    // preserve it.
+    const SystemConfig cfg = netcrafterConfig();
+    const SystemConfig reparsed =
+        parseConfigString(configToString(cfg));
+    EXPECT_EQ(cfg.digest(), reparsed.digest());
 }
 
 } // namespace

@@ -43,21 +43,90 @@ TEST(Table, FormatHelpers)
 
 TEST(Geomean, KnownValues)
 {
-    EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
     EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
     EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Geomean, EmptyInputIsZero)
+{
     EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean(std::vector<double>{}), 0.0);
+}
+
+TEST(Geomean, SingleElementIsIdentity)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+    EXPECT_DOUBLE_EQ(geomean({0.25}), 0.25);
+    // log/exp round-trip: exact to ~1e-14 relative error.
+    EXPECT_NEAR(geomean({1e300}) / 1e300, 1.0, 1e-13);
+}
+
+TEST(Geomean, LargeProductsDoNotOverflow)
+{
+    // 100 factors of 1e30 would overflow a naive product; the log-sum
+    // implementation must not.
+    std::vector<double> xs(100, 1e30);
+    EXPECT_NEAR(geomean(xs) / 1e30, 1.0, 1e-13);
 }
 
 TEST(Geomean, NonPositiveDies)
 {
     EXPECT_DEATH(geomean({1.0, 0.0}), "non-positive");
+    EXPECT_DEATH(geomean({-2.0}), "non-positive");
 }
 
 TEST(EnvScale, DefaultsToOne)
 {
     // NETCRAFTER_SCALE is not set in the test environment.
     EXPECT_GT(envScale(), 0.0);
+}
+
+TEST(ParseScaleEnv, AcceptsPositiveNumbers)
+{
+    EXPECT_DOUBLE_EQ(parseScaleEnv("1"), 1.0);
+    EXPECT_DOUBLE_EQ(parseScaleEnv("0.05"), 0.05);
+    EXPECT_DOUBLE_EQ(parseScaleEnv("2.5"), 2.5);
+    EXPECT_DOUBLE_EQ(parseScaleEnv("1e-3"), 1e-3);
+}
+
+TEST(ParseScaleEnvDeathTest, RejectsBadValues)
+{
+    EXPECT_EXIT(parseScaleEnv("abc"), testing::ExitedWithCode(1),
+                "NETCRAFTER_SCALE");
+    EXPECT_EXIT(parseScaleEnv("1.5x"), testing::ExitedWithCode(1),
+                "NETCRAFTER_SCALE");
+    EXPECT_EXIT(parseScaleEnv(""), testing::ExitedWithCode(1),
+                "NETCRAFTER_SCALE");
+    EXPECT_EXIT(parseScaleEnv("0"), testing::ExitedWithCode(1),
+                "NETCRAFTER_SCALE");
+    EXPECT_EXIT(parseScaleEnv("-2"), testing::ExitedWithCode(1),
+                "NETCRAFTER_SCALE");
+    EXPECT_EXIT(parseScaleEnv("nan"), testing::ExitedWithCode(1),
+                "NETCRAFTER_SCALE");
+    EXPECT_EXIT(parseScaleEnv("inf"), testing::ExitedWithCode(1),
+                "NETCRAFTER_SCALE");
+}
+
+TEST(SameMeasurement, DetectsAnyFieldDifference)
+{
+    RunResult a;
+    a.workload = "GUPS";
+    a.cycles = 10;
+    a.l1Mpki = 1.5;
+    RunResult b = a;
+    EXPECT_TRUE(sameMeasurement(a, b));
+
+    // wallSeconds is diagnostics-only and must not affect equality.
+    b.wallSeconds = 99.0;
+    EXPECT_TRUE(sameMeasurement(a, b));
+
+    b = a;
+    b.cycles = 11;
+    EXPECT_FALSE(sameMeasurement(a, b));
+
+    b = a;
+    b.bytesNeededFrac[2] = 0.5;
+    EXPECT_FALSE(sameMeasurement(a, b));
 }
 
 } // namespace

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * netcrafter-sweep: regenerate any subset of the paper's figures in one
+ * invocation. All selected figures share one thread-pool scheduler and
+ * one result cache, so design points common to several figures (the
+ * baseline above all) are simulated exactly once per run, in parallel
+ * across cores, with numbers bit-identical to the legacy serial
+ * binaries. Results can additionally be exported as JSON or CSV.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/exp/export.hh"
+#include "src/exp/figures.hh"
+#include "src/exp/result_cache.hh"
+#include "src/exp/scheduler.hh"
+#include "src/gpu/system.hh"
+#include "src/harness/table.hh"
+#include "src/workloads/workload.hh"
+
+namespace {
+
+using namespace netcrafter;
+
+int
+usage(int code)
+{
+    std::ostream &os = code == 0 ? std::cout : std::cerr;
+    os << "usage: netcrafter-sweep [options] <figure>... | all\n"
+          "\n"
+          "Regenerate paper figures through the parallel experiment\n"
+          "orchestrator. Figures share one result cache: every unique\n"
+          "(workload, config, scale) point is simulated once per run.\n"
+          "\n"
+          "options:\n"
+          "  --list            list available figures and exit\n"
+          "  --jobs N          worker threads (default: all cores;\n"
+          "                    1 = serial)\n"
+          "  --scale X         set NETCRAFTER_SCALE for this run\n"
+          "  --json FILE       export every simulated result as JSON\n"
+          "  --csv FILE        export every simulated result as CSV\n"
+          "  --timings         print a per-job wall-time table\n"
+          "  --quiet           suppress per-job progress lines\n"
+          "  --registry-json FILE  with --workload: run one workload\n"
+          "                    under the baseline config and dump its\n"
+          "                    full stats registry as JSON\n"
+          "  --workload NAME   workload for --registry-json\n";
+    return code;
+}
+
+int
+listFigures()
+{
+    std::cout << "available figures:\n";
+    for (const auto &fig : exp::figureRegistry())
+        std::cout << "  " << fig.name << "  " << fig.caption << "\n";
+    return 0;
+}
+
+bool
+writeFile(const std::string &path,
+          const std::function<void(std::ostream &)> &write)
+{
+    std::ofstream os(path);
+    if (!os) {
+        std::cerr << "cannot write '" << path << "'\n";
+        return false;
+    }
+    write(os);
+    return true;
+}
+
+int
+dumpRegistry(const std::string &workload, const std::string &path)
+{
+    auto wl = workloads::makeWorkload(workload);
+    gpu::MultiGpuSystem system(config::baselineConfig());
+    system.run(*wl, harness::envScale());
+    const stats::Registry reg = system.collectStats();
+    return writeFile(path,
+                     [&](std::ostream &os) {
+                         exp::writeRegistryJson(reg, os);
+                     })
+               ? 0
+               : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> want;
+    std::string json_path, csv_path, registry_json, registry_workload;
+    exp::Scheduler::Options opts;
+    opts.progress = true;
+    bool timings = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << flag << " requires a value\n";
+                std::exit(usage(1));
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h")
+            return usage(0);
+        else if (arg == "--list")
+            return listFigures();
+        else if (arg == "--jobs") {
+            const std::string text = value("--jobs");
+            char *end = nullptr;
+            const long n = std::strtol(text.c_str(), &end, 10);
+            if (end == text.c_str() || *end != '\0' || n < 0) {
+                std::cerr << "--jobs must be a non-negative integer "
+                             "(0 = all cores), got '"
+                          << text << "'\n";
+                return usage(1);
+            }
+            opts.workers = static_cast<unsigned>(n);
+        }
+        else if (arg == "--scale")
+            setenv("NETCRAFTER_SCALE", value("--scale").c_str(), 1);
+        else if (arg == "--json")
+            json_path = value("--json");
+        else if (arg == "--csv")
+            csv_path = value("--csv");
+        else if (arg == "--registry-json")
+            registry_json = value("--registry-json");
+        else if (arg == "--workload")
+            registry_workload = value("--workload");
+        else if (arg == "--timings")
+            timings = true;
+        else if (arg == "--quiet")
+            opts.progress = false;
+        else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "unknown option '" << arg << "'\n";
+            return usage(1);
+        } else if (arg == "all") {
+            want.clear();
+            for (const auto &fig : exp::figureRegistry())
+                want.push_back(fig.name);
+        } else {
+            want.push_back(arg);
+        }
+    }
+
+    if (!registry_json.empty()) {
+        if (registry_workload.empty()) {
+            std::cerr << "--registry-json requires --workload\n";
+            return usage(1);
+        }
+        return dumpRegistry(registry_workload, registry_json);
+    }
+    if (want.empty())
+        return usage(1);
+
+    for (const auto &name : want) {
+        if (exp::findFigure(name) == nullptr) {
+            std::cerr << "unknown figure '" << name
+                      << "' (try --list)\n";
+            return 1;
+        }
+    }
+
+    exp::ResultCache cache;
+    exp::Scheduler scheduler(opts, &cache);
+
+    for (const auto &name : want) {
+        const exp::Figure *fig = exp::findFigure(name);
+        exp::FigureContext ctx{scheduler, std::cout};
+        fig->run(ctx);
+        std::cout << "\n";
+    }
+
+    // Per-job wall-time stats come from the cache snapshot: one entry
+    // per unique simulated point.
+    const auto unique_points = exp::recordsFromCache(cache);
+    double sim_seconds = 0;
+    for (const auto &r : unique_points)
+        sim_seconds += r.result.wallSeconds;
+
+    if (timings) {
+        harness::Table table(
+            {"workload", "config digest", "scale", "sim seconds"});
+        for (const auto &r : unique_points)
+            table.addRow({r.result.workload,
+                          config::digestHex(r.configDigest),
+                          harness::Table::fmt(r.scale, 2),
+                          harness::Table::fmt(r.result.wallSeconds, 3)});
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+
+    std::cout << "sweep summary: " << want.size() << " figure(s), "
+              << cache.misses() << " unique point(s) simulated, "
+              << cache.hits() << " cache hit(s), "
+              << scheduler.workers() << " worker(s), "
+              << harness::Table::fmt(sim_seconds, 2)
+              << "s total simulation time\n";
+
+    // Exports carry one row per figure job (sweep-qualified names);
+    // points shared between figures repeat under each name and can be
+    // deduplicated on (workload, config_digest, scale).
+    const auto records = exp::recordsFromScheduler(scheduler);
+    if (!json_path.empty() &&
+        !writeFile(json_path,
+                   [&](std::ostream &os) { exp::writeJson(records, os); }))
+        return 1;
+    if (!csv_path.empty() &&
+        !writeFile(csv_path,
+                   [&](std::ostream &os) { exp::writeCsv(records, os); }))
+        return 1;
+    return 0;
+}
