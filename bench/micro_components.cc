@@ -13,6 +13,7 @@
 #include "src/gpu/coalescer.hh"
 #include "src/mem/tag_array.hh"
 #include "src/noc/flit.hh"
+#include "src/sim/event.hh"
 #include "src/sim/event_queue.hh"
 #include "src/sim/random.hh"
 
@@ -20,17 +21,27 @@ namespace {
 
 using namespace netcrafter;
 
+class NopEvent : public sim::Event
+{
+  public:
+    void process() override {}
+};
+
 void
 BM_EventQueuePushPop(benchmark::State &state)
 {
     sim::EventQueue q;
     Pcg32 rng(1);
+    NopEvent events[64];
+    Tick drain_point = 0;
     for (auto _ : state) {
-        for (int i = 0; i < 64; ++i)
-            q.schedule(rng.below(1000), [] {});
-        Tick when;
-        while (!q.empty())
-            benchmark::DoNotOptimize(q.pop(when));
+        for (auto &ev : events)
+            q.schedule(ev, drain_point + rng.below(1000));
+        while (!q.empty()) {
+            sim::Event *ev = q.pop();
+            drain_point = ev->when();
+            benchmark::DoNotOptimize(ev);
+        }
     }
     state.SetItemsProcessed(state.iterations() * 64);
 }

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Hot-path performance harness: runs the Figure 14 workload set
+ * (every Table 3 app under the cumulative-mechanism configurations)
+ * serially and reports simulator throughput — events per host second
+ * and wall-time per figure point — as machine-readable JSON.
+ *
+ * The JSON seeds the repo's perf trajectory: each entry in
+ * BENCH_hotpath.json is one (config, workload) point, plus aggregate
+ * totals. Compare the aggregate "events_per_second" across commits to
+ * track hot-path regressions; the simulated figures themselves must
+ * stay bit-identical while this number grows.
+ *
+ * Usage:
+ *   perf_hotpath [--out FILE] [--quick] [--scale S]
+ *
+ *   --out FILE   write JSON to FILE (default BENCH_hotpath.json)
+ *   --quick      baseline + full NetCrafter configs only (CI smoke)
+ *   --scale S    extra problem-size multiplier on top of
+ *                NETCRAFTER_SCALE (default 1.0)
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "src/config/system_config.hh"
+#include "src/exp/export.hh"
+
+namespace {
+
+using netcrafter::config::SystemConfig;
+using netcrafter::harness::RunResult;
+
+struct Point
+{
+    std::string config;
+    std::string workload;
+    RunResult result;
+};
+
+double
+eventsPerSecond(std::uint64_t events, double seconds)
+{
+    return seconds > 0 ? static_cast<double>(events) / seconds : 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace netcrafter;
+
+    std::string out_path = "BENCH_hotpath.json";
+    bool quick = false;
+    double scale = 1.0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--scale" && i + 1 < argc) {
+            const std::string value = argv[++i];
+            char *end = nullptr;
+            scale = std::strtod(value.c_str(), &end);
+            if (end != value.c_str() + value.size() || scale <= 0.0 ||
+                !std::isfinite(scale)) {
+                std::cerr << "perf_hotpath: --scale must be a positive "
+                             "finite number, got '" << value << "'\n";
+                return 1;
+            }
+        } else {
+            std::cerr << "usage: perf_hotpath [--out FILE] [--quick]"
+                         " [--scale S]\n";
+            return 2;
+        }
+    }
+
+    std::vector<std::pair<std::string, SystemConfig>> configs = {
+        {"base", config::baselineConfig()},
+        {"full", bench::fullNetcrafter()},
+    };
+    if (!quick) {
+        configs.insert(configs.begin() + 1,
+                       {"stitch", bench::stitchSelective32()});
+        configs.insert(configs.begin() + 2,
+                       {"trim", bench::stitchTrim()});
+        configs.push_back({"sector", config::sectorCacheConfig(16)});
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<Point> points;
+    std::uint64_t total_events = 0;
+    double total_wall = 0;
+    for (const auto &[cfg_name, cfg] : configs) {
+        for (const auto &app : bench::apps()) {
+            Point p;
+            p.config = cfg_name;
+            p.workload = app;
+            p.result = harness::runWorkload(app, cfg, scale);
+            total_events += p.result.events;
+            total_wall += p.result.wallSeconds;
+            std::cerr << cfg_name << "/" << app << ": "
+                      << p.result.events << " events in "
+                      << p.result.wallSeconds << "s ("
+                      << eventsPerSecond(p.result.events,
+                                         p.result.wallSeconds)
+                      << " ev/s)\n";
+            points.push_back(std::move(p));
+        }
+    }
+    const double harness_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    std::ofstream os(out_path);
+    if (!os) {
+        std::cerr << "cannot open " << out_path << " for writing\n";
+        return 1;
+    }
+    os.precision(17);
+    os << "{\n";
+    os << "  \"bench\": \"perf_hotpath\",\n";
+    os << "  \"workload_set\": \"fig14\",\n";
+    os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+    os << "  \"scale\": " << scale << ",\n";
+    os << "  \"env_scale\": " << harness::envScale() << ",\n";
+    os << "  \"points\": [";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Point &p = points[i];
+        os << (i ? ",\n    {" : "\n    {");
+        os << "\"config\": \"" << exp::jsonEscape(p.config) << "\", "
+           << "\"workload\": \"" << exp::jsonEscape(p.workload)
+           << "\", "
+           << "\"cycles\": " << p.result.cycles << ", "
+           << "\"events\": " << p.result.events << ", "
+           << "\"wall_seconds\": " << p.result.wallSeconds << ", "
+           << "\"events_per_second\": "
+           << eventsPerSecond(p.result.events, p.result.wallSeconds)
+           << "}";
+    }
+    os << "\n  ],\n";
+    os << "  \"total_events\": " << total_events << ",\n";
+    os << "  \"total_wall_seconds\": " << total_wall << ",\n";
+    os << "  \"harness_wall_seconds\": " << harness_wall << ",\n";
+    os << "  \"events_per_second\": "
+       << eventsPerSecond(total_events, total_wall) << "\n";
+    os << "}\n";
+
+    std::cout << "perf_hotpath: " << total_events << " events in "
+              << total_wall << "s -> "
+              << eventsPerSecond(total_events, total_wall)
+              << " events/sec (" << points.size() << " points, JSON: "
+              << out_path << ")\n";
+    return 0;
+}

@@ -16,7 +16,8 @@ NetCrafterController::NetCrafterController(
       clusterOf_(std::move(cluster_of)), out_(out),
       egressRate_(egress_rate), wakeSwitch_(std::move(wake_switch)),
       trim_(cfg.trimGranularity),
-      cq_(cfg.clusterQueueEntries, std::move(dst_clusters))
+      cq_(cfg.clusterQueueEntries, std::move(dst_clusters)),
+      pumpWake_(engine, this)
 {
     // Space freed on the inter-cluster link's source buffer lets the
     // controller eject more flits.
@@ -83,16 +84,13 @@ NetCrafterController::enqueue(noc::FlitPtr flit)
 void
 NetCrafterController::schedulePump()
 {
-    if (pumpScheduled_)
-        return;
-    pumpScheduled_ = true;
-    schedule(1, [this] { pump(); });
+    pumpWake_.notify();
 }
 
 void
 NetCrafterController::pump()
 {
-    pumpScheduled_ = false;
+    pumpWake_.clearPending();
     const Tick t = now();
     if (t == lastPumpTick_)
         return; // per-cycle egress budget already spent this tick

@@ -22,6 +22,7 @@
 #include "src/core/trim_engine.hh"
 #include "src/noc/flit_buffer.hh"
 #include "src/noc/switch.hh"
+#include "src/sim/self_scheduling.hh"
 #include "src/sim/sim_object.hh"
 
 namespace netcrafter::core {
@@ -93,7 +94,8 @@ class NetCrafterController : public sim::SimObject,
      *  admission control covers the trim holding area too. */
     std::unordered_map<ClusterId, std::size_t> pendingPerDst_;
 
-    bool pumpScheduled_ = false;
+    sim::SelfScheduling<NetCrafterController, &NetCrafterController::pump>
+        pumpWake_;
     Tick lastPumpTick_ = kTickNever;
     ControllerStats stats_;
 };

@@ -39,7 +39,7 @@ StitchEngine::unstitch(noc::FlitPtr flit)
     out.push_back(std::move(flit));
 
     for (auto &piece : pieces) {
-        auto restored = std::make_shared<noc::Flit>();
+        auto restored = noc::makeFlit();
         restored->pkt = std::move(piece.pkt);
         restored->seq = piece.seq;
         restored->numFlits = piece.numFlits;

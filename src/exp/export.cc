@@ -90,6 +90,18 @@ fields()
         NUM_FIELD("bytes_needed_lt64", r.result.bytesNeededFrac[3]),
         NUM_FIELD("bytes_needed_64", r.result.bytesNeededFrac[4]),
         NUM_FIELD("wall_seconds", r.result.wallSeconds),
+        // Hot-path census columns are appended at the end so existing
+        // consumers keyed on the header prefix keep working.
+        NUM_FIELD("events_per_second", r.result.eventsPerSecond),
+        NUM_FIELD("near_events", r.result.nearEvents),
+        NUM_FIELD("far_events", r.result.farEvents),
+        NUM_FIELD("callback_pool_high_water",
+                  r.result.callbackPoolHighWater),
+        NUM_FIELD("callback_arena_bytes", r.result.callbackArenaBytes),
+        NUM_FIELD("packet_pool_high_water", r.result.packetPoolHighWater),
+        NUM_FIELD("flit_pool_high_water", r.result.flitPoolHighWater),
+        NUM_FIELD("pool_arena_bytes", r.result.poolArenaBytes),
+        NUM_FIELD("smallfn_heap_allocs", r.result.smallFnHeapAllocs),
     };
     return defs;
 }

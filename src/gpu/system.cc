@@ -3,6 +3,8 @@
 #include <bit>
 
 #include "src/sim/logging.hh"
+#include "src/sim/pool.hh"
+#include "src/sim/small_fn.hh"
 
 namespace netcrafter::gpu {
 
@@ -371,8 +373,8 @@ MultiGpuSystem::run(workloads::Workload &workload, double scale,
         // The event queue drains exactly when every wavefront retired
         // and all induced traffic (acks, write-backs) finished: the
         // inter-kernel barrier.
-        const bool drained = engine_.run(max_cycles);
-        if (!drained) {
+        const sim::RunStatus status = engine_.run(max_cycles);
+        if (status != sim::RunStatus::Drained) {
             NC_FATAL(workload.name(), ": kernel ", kernel_idx,
                      " exceeded the cycle limit (", max_cycles,
                      ") - livelock or undersized limit");
@@ -386,6 +388,23 @@ MultiGpuSystem::collectStats() const
     stats::Registry reg;
     reg.counter("system.cycles").inc(engine_.now());
     reg.counter("system.events").inc(engine_.eventsExecuted());
+    reg.counter("sim.nearEvents").inc(engine_.queue().nearScheduled());
+    reg.counter("sim.farEvents").inc(engine_.queue().farScheduled());
+    reg.counter("sim.callbackPoolAllocated")
+        .inc(engine_.callbackPoolAllocated());
+    reg.counter("sim.callbackPoolHighWater")
+        .inc(engine_.callbackPoolHighWater());
+    reg.counter("sim.callbackArenaBytes")
+        .inc(engine_.callbackArenaBytes());
+    reg.counter("sim.packetPoolHighWater")
+        .inc(sim::ObjectPool<noc::Packet>::local().highWater());
+    reg.counter("sim.flitPoolHighWater")
+        .inc(sim::ObjectPool<noc::Flit>::local().highWater());
+    reg.counter("sim.poolArenaBytes")
+        .inc(sim::ObjectPool<noc::Packet>::local().arenaBytes() +
+             sim::ObjectPool<noc::Flit>::local().arenaBytes());
+    reg.counter("sim.smallFnHeapAllocs")
+        .inc(sim::SmallFn::heapAllocations());
     reg.counter("system.instructions").inc(totalInstructions());
     reg.counter("system.remoteReads").inc(remoteReads_);
     reg.counter("system.localReads").inc(localReads_);

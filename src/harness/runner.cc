@@ -7,6 +7,8 @@
 
 #include "src/gpu/system.hh"
 #include "src/sim/logging.hh"
+#include "src/sim/pool.hh"
+#include "src/sim/small_fn.hh"
 #include "src/workloads/workload.hh"
 
 namespace netcrafter::harness {
@@ -73,9 +75,25 @@ runWorkload(const std::string &workload_name,
     for (std::size_t i = 0; i < 5; ++i)
         r.bytesNeededFrac[i] = dist.fraction(i);
 
+    const sim::Engine &engine = system.engine();
+    r.nearEvents = engine.queue().nearScheduled();
+    r.farEvents = engine.queue().farScheduled();
+    r.callbackPoolHighWater = engine.callbackPoolHighWater();
+    r.callbackArenaBytes = engine.callbackArenaBytes();
+    const auto &packet_pool = sim::ObjectPool<noc::Packet>::local();
+    const auto &flit_pool = sim::ObjectPool<noc::Flit>::local();
+    r.packetPoolHighWater = packet_pool.highWater();
+    r.flitPoolHighWater = flit_pool.highWater();
+    r.poolArenaBytes = packet_pool.arenaBytes() + flit_pool.arenaBytes();
+    r.smallFnHeapAllocs = sim::SmallFn::heapAllocations();
+
     const auto t_end = std::chrono::steady_clock::now();
     r.wallSeconds =
         std::chrono::duration<double>(t_end - t_start).count();
+    if (r.wallSeconds > 0) {
+        r.eventsPerSecond =
+            static_cast<double>(r.events) / r.wallSeconds;
+    }
     return r;
 }
 
@@ -141,7 +159,13 @@ sameMeasurement(const RunResult &a, const RunResult &b)
            a.remoteReads == b.remoteReads &&
            a.localReads == b.localReads && a.pageWalks == b.pageWalks &&
            a.meanWalkLength == b.meanWalkLength &&
-           a.bytesNeededFrac == b.bytesNeededFrac;
+           a.bytesNeededFrac == b.bytesNeededFrac &&
+           // Per-engine hot-path counters are deterministic; the
+           // wall-clock rate and thread-cumulative pool gauges are
+           // diagnostics like wallSeconds and stay excluded.
+           a.nearEvents == b.nearEvents && a.farEvents == b.farEvents &&
+           a.callbackPoolHighWater == b.callbackPoolHighWater &&
+           a.callbackArenaBytes == b.callbackArenaBytes;
 }
 
 } // namespace netcrafter::harness

@@ -68,6 +68,36 @@ struct RunResult
 
     /** Host seconds the simulation took (diagnostics only). */
     double wallSeconds = 0;
+
+    // Simulator hot-path census ----------------------------------------
+    /** Events executed per host wall-clock second (diagnostics only). */
+    double eventsPerSecond = 0;
+
+    /** Events scheduled within the event queue's near-future wheel. */
+    std::uint64_t nearEvents = 0;
+
+    /** Events that overflowed into the far-future heap. */
+    std::uint64_t farEvents = 0;
+
+    /** Peak simultaneously pending one-shot callback events. */
+    std::uint64_t callbackPoolHighWater = 0;
+
+    /** Bytes held by the engine's one-shot event node arena. */
+    std::uint64_t callbackArenaBytes = 0;
+
+    /** Peak live packets in this thread's arena (diagnostics only:
+     *  thread-local pools accumulate across runs on a worker thread). */
+    std::uint64_t packetPoolHighWater = 0;
+
+    /** Peak live flits in this thread's arena (diagnostics only). */
+    std::uint64_t flitPoolHighWater = 0;
+
+    /** Bytes held by this thread's packet + flit arenas (diagnostics). */
+    std::uint64_t poolArenaBytes = 0;
+
+    /** SmallFn captures that spilled to the heap on this thread; the
+     *  hot path stays at 0 (diagnostics only). */
+    std::uint64_t smallFnHeapAllocs = 0;
 };
 
 /**

@@ -68,20 +68,22 @@ L1Cache::access(Addr line, std::uint32_t offset, std::uint32_t bytes,
     }
     mshr_.allocate(line, std::move(waiter));
 
-    FillRequest req;
-    req.line = line;
-    req.offset = offset;
-    req.bytes = bytes;
-    req.neededSectors = needed;
-    req.isWrite = false;
-    req.done = [this, line](SectorMask filled) {
-        handleFill(line, filled);
-    };
-    // The lookup pipeline ran before the miss went below.
-    schedule(params_.lookupLatency,
-             [this, req = std::move(req)]() mutable {
-                 below_(std::move(req));
-             });
+    // The lookup pipeline ran before the miss went below. The
+    // FillRequest is built inside the callback: capturing it by value
+    // (it embeds a std::function) would overflow SmallFn's inline
+    // buffer and put a heap allocation back on the miss path.
+    schedule(params_.lookupLatency, [this, line, offset, bytes, needed] {
+        FillRequest req;
+        req.line = line;
+        req.offset = offset;
+        req.bytes = bytes;
+        req.neededSectors = needed;
+        req.isWrite = false;
+        req.done = [this, line](SectorMask filled) {
+            handleFill(line, filled);
+        };
+        below_(std::move(req));
+    });
     return true;
 }
 

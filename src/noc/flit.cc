@@ -4,6 +4,20 @@
 
 namespace netcrafter::noc {
 
+FlitPtr
+makeFlit()
+{
+    return sim::ObjectPool<Flit>::local().allocate();
+}
+
+FlitPtr
+makeFlit(const Flit &other)
+{
+    FlitPtr flit = sim::ObjectPool<Flit>::local().allocate();
+    *flit = other;
+    return flit;
+}
+
 std::vector<FlitPtr>
 segmentPacket(const PacketPtr &pkt, std::uint32_t flit_bytes)
 {
@@ -15,7 +29,7 @@ segmentPacket(const PacketPtr &pkt, std::uint32_t flit_bytes)
     flits.reserve(n);
     std::uint32_t remaining = total;
     for (std::uint32_t i = 0; i < n; ++i) {
-        auto flit = std::make_shared<Flit>();
+        FlitPtr flit = makeFlit();
         flit->pkt = pkt;
         flit->seq = i;
         flit->numFlits = n;

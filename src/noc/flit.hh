@@ -9,10 +9,10 @@
 #define NETCRAFTER_NOC_FLIT_HH
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "src/noc/packet.hh"
+#include "src/sim/pool.hh"
 #include "src/sim/types.hh"
 
 namespace netcrafter::noc {
@@ -28,7 +28,9 @@ inline constexpr std::uint32_t kDefaultFlitBytes = 16;
 inline constexpr std::uint32_t kPartialStitchMetaBytes = 3;
 
 struct Flit;
-using FlitPtr = std::shared_ptr<Flit>;
+
+/** Shared handle to a pooled flit (see sim/pool.hh and PacketPtr). */
+using FlitPtr = sim::PooledPtr<Flit>;
 
 /**
  * A candidate flit absorbed into a parent flit by the Stitching Engine.
@@ -68,7 +70,7 @@ struct StitchedPiece
  * parent packet; `capacity - usedBytes()` are padded (wasted) unless the
  * Stitching Engine fills them with pieces of other packets.
  */
-struct Flit
+struct Flit : sim::PoolRefCount
 {
     /** Parent packet. */
     PacketPtr pkt;
@@ -144,7 +146,30 @@ struct Flit
         return occupiedBytes +
                (numFlits == 1 ? 0 : kPartialStitchMetaBytes);
     }
+
+    /**
+     * Pool hook: restore the default-constructed state. clear() rather
+     * than reassignment keeps the stitched vector's capacity, so a
+     * recycled flit stitches without reallocating.
+     */
+    void
+    resetForReuse()
+    {
+        pkt = nullptr;
+        seq = 0;
+        numFlits = 1;
+        occupiedBytes = 0;
+        capacity = kDefaultFlitBytes;
+        stitched.clear();
+        pooledOnce = false;
+    }
 };
+
+/** Acquire a default-initialised flit from this thread's pool. */
+FlitPtr makeFlit();
+
+/** Acquire a flit initialised as a copy of @p other's payload. */
+FlitPtr makeFlit(const Flit &other);
 
 /**
  * Segment @p pkt into flits of @p flit_bytes each. The head flit carries

@@ -5,7 +5,8 @@ namespace netcrafter::noc {
 Link::Link(sim::Engine &engine, std::string name, FlitBuffer &source,
            FlitBuffer &sink, std::uint32_t flits_per_cycle, Tick latency)
     : SimObject(engine, std::move(name)), source_(source), sink_(sink),
-      flitsPerCycle_(flits_per_cycle), latency_(latency)
+      flitsPerCycle_(flits_per_cycle), latency_(latency),
+      wake_(engine, this)
 {
     NC_ASSERT(flitsPerCycle_ > 0, "link needs positive bandwidth");
     source_.setOnPush([this] { notify(); });
@@ -18,16 +19,13 @@ Link::Link(sim::Engine &engine, std::string name, FlitBuffer &source,
 void
 Link::notify()
 {
-    if (scheduled_)
-        return;
-    scheduled_ = true;
-    schedule(1, [this] { transfer(); });
+    wake_.notify();
 }
 
 void
 Link::transfer()
 {
-    scheduled_ = false;
+    wake_.clearPending();
     std::uint32_t moved = 0;
     while (moved < flitsPerCycle_ && !source_.empty() && !sink_.full()) {
         FlitPtr flit = source_.pop();

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "src/noc/flit_buffer.hh"
+#include "src/sim/self_scheduling.hh"
 #include "src/sim/sim_object.hh"
 #include "src/stats/stats.hh"
 
@@ -76,7 +77,7 @@ class Link : public sim::SimObject
     FlitBuffer &sink_;
     std::uint32_t flitsPerCycle_;
     Tick latency_;
-    bool scheduled_ = false;
+    sim::SelfScheduling<Link, &Link::transfer> wake_;
 
     std::function<void(const Flit &)> observer_;
     std::uint64_t flitsTransferred_ = 0;

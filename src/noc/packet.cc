@@ -1,6 +1,5 @@
 #include "src/noc/packet.hh"
 
-#include <atomic>
 #include <sstream>
 
 namespace netcrafter::noc {
@@ -51,7 +50,7 @@ Packet::toString() const
 PacketPtr
 makePacket(PacketType type, GpuId src, GpuId dst, Addr addr)
 {
-    auto pkt = std::make_shared<Packet>();
+    PacketPtr pkt = sim::ObjectPool<Packet>::local().allocate();
     pkt->id = nextPacketId++;
     pkt->type = type;
     pkt->src = src;

@@ -25,9 +25,9 @@
 #define NETCRAFTER_NOC_PACKET_HH
 
 #include <cstdint>
-#include <memory>
 #include <string>
 
+#include "src/sim/pool.hh"
 #include "src/sim/types.hh"
 
 namespace netcrafter::noc {
@@ -92,7 +92,14 @@ isResponseType(PacketType type)
 }
 
 struct Packet;
-using PacketPtr = std::shared_ptr<Packet>;
+
+/**
+ * Shared handle to a pooled packet (see sim/pool.hh). Packets recycle
+ * through a thread-local arena instead of the heap; holders may keep the
+ * handle as long as they like — the node is only reused after the last
+ * handle drops.
+ */
+using PacketPtr = sim::PooledPtr<Packet>;
 
 /**
  * A network packet travelling between two GPUs' RDMA engines.
@@ -101,7 +108,7 @@ using PacketPtr = std::shared_ptr<Packet>;
  * address bits (Section 4.3): one bit saying whether the request needs at
  * most one sector, and two bits giving the sector offset in the 64B line.
  */
-struct Packet
+struct Packet : sim::PoolRefCount
 {
     /** Packet id, unique within one system (the header's id tag). */
     std::uint64_t id = 0;
@@ -167,6 +174,9 @@ struct Packet
 
     /** Debug string. */
     std::string toString() const;
+
+    /** Pool hook: restore the default-constructed state. */
+    void resetForReuse() { *this = Packet{}; }
 };
 
 /**

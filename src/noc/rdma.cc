@@ -8,22 +8,16 @@ RdmaEngine::RdmaEngine(sim::Engine &engine, std::string name, GpuId gpu,
                        std::uint32_t flit_bytes,
                        std::size_t buffer_entries)
     : SimObject(engine, std::move(name)), gpu_(gpu),
-      flitBytes_(flit_bytes), tx_(buffer_entries), rx_(buffer_entries)
+      flitBytes_(flit_bytes), tx_(buffer_entries), rx_(buffer_entries),
+      txWake_(engine, this), rxWake_(engine, this)
 {
     // Space freed in the TX buffer lets queued flits advance.
     tx_.setOnPop([this] {
-        if (!txScheduled_ && !sendQueue_.empty()) {
-            txScheduled_ = true;
-            schedule(1, [this] { pumpTx(); });
-        }
+        if (!sendQueue_.empty())
+            txWake_.notify();
     });
     // Arriving flits trigger reassembly.
-    rx_.setOnPush([this] {
-        if (!rxScheduled_) {
-            rxScheduled_ = true;
-            schedule(1, [this] { pumpRx(); });
-        }
-    });
+    rx_.setOnPush([this] { rxWake_.notify(); });
 }
 
 void
@@ -33,16 +27,13 @@ RdmaEngine::sendPacket(PacketPtr pkt)
     ++packetsSent_;
     for (auto &flit : segmentPacket(pkt, flitBytes_))
         sendQueue_.push_back(std::move(flit));
-    if (!txScheduled_) {
-        txScheduled_ = true;
-        schedule(1, [this] { pumpTx(); });
-    }
+    txWake_.notify();
 }
 
 void
 RdmaEngine::pumpTx()
 {
-    txScheduled_ = false;
+    txWake_.clearPending();
     while (!sendQueue_.empty() && !tx_.full()) {
         tx_.tryPush(std::move(sendQueue_.front()));
         sendQueue_.pop_front();
@@ -53,7 +44,7 @@ RdmaEngine::pumpTx()
 void
 RdmaEngine::pumpRx()
 {
-    rxScheduled_ = false;
+    rxWake_.clearPending();
     while (!rx_.empty()) {
         FlitPtr flit = rx_.pop();
         NC_ASSERT(!flit->isStitched(),

@@ -14,6 +14,7 @@
 #include <unordered_map>
 
 #include "src/noc/flit_buffer.hh"
+#include "src/sim/self_scheduling.hh"
 #include "src/sim/sim_object.hh"
 
 namespace netcrafter::noc {
@@ -86,8 +87,8 @@ class RdmaEngine : public sim::SimObject
 
     /** Flits of queued packets awaiting TX buffer space, in order. */
     std::deque<FlitPtr> sendQueue_;
-    bool txScheduled_ = false;
-    bool rxScheduled_ = false;
+    sim::SelfScheduling<RdmaEngine, &RdmaEngine::pumpTx> txWake_;
+    sim::SelfScheduling<RdmaEngine, &RdmaEngine::pumpRx> rxWake_;
 
     /** packet id -> bytes received so far, for reassembly. */
     std::unordered_map<std::uint64_t, std::uint32_t> reassembly_;

@@ -8,7 +8,8 @@ namespace netcrafter::noc {
 
 Switch::Switch(sim::Engine &engine, std::string name,
                const SwitchParams &params)
-    : SimObject(engine, std::move(name)), params_(params)
+    : SimObject(engine, std::move(name)), params_(params),
+      wake_(engine, this)
 {
 }
 
@@ -69,10 +70,7 @@ Switch::routeFor(GpuId dst) const
 void
 Switch::notify()
 {
-    if (scheduled_)
-        return;
-    scheduled_ = true;
-    schedule(1, [this] { cycle(); });
+    wake_.notify();
 }
 
 bool
@@ -95,7 +93,7 @@ Switch::cycle()
         return;
     }
     lastCycleTick_ = t;
-    scheduled_ = false;
+    wake_.clearPending();
 
     // Routing stage: drain pipeline heads whose latency elapsed. The
     // crossbar ejects into output buffers (or the NetCrafter Cluster

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/noc/flit_buffer.hh"
+#include "src/sim/self_scheduling.hh"
 #include "src/sim/sim_object.hh"
 
 namespace netcrafter::noc {
@@ -132,7 +133,7 @@ class Switch : public sim::SimObject
     SwitchParams params_;
     std::vector<Port> ports_;
     std::unordered_map<GpuId, std::size_t> routes_;
-    bool scheduled_ = false;
+    sim::SelfScheduling<Switch, &Switch::cycle> wake_;
     Tick lastCycleTick_ = kTickNever;
     Tick pendingLongWake_ = 0;
 

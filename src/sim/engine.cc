@@ -1,5 +1,7 @@
 #include "src/sim/engine.hh"
 
+#include <algorithm>
+
 #include "src/sim/logging.hh"
 
 namespace netcrafter::sim {
@@ -9,26 +11,59 @@ Engine::scheduleAbs(Tick when, EventFn fn)
 {
     NC_ASSERT(when >= now_, "event scheduled in the past: when=", when,
               " now=", now_);
-    queue_.schedule(when, std::move(fn));
+    CallbackEvent *ev = acquireCallback();
+    ev->fn = std::move(fn);
+    queue_.schedule(*ev, when);
 }
 
-bool
+void
+Engine::scheduleAbs(Event &ev, Tick when)
+{
+    NC_ASSERT(when >= now_, "event scheduled in the past: when=", when,
+              " now=", now_);
+    queue_.schedule(ev, when);
+}
+
+Engine::CallbackEvent *
+Engine::acquireCallback()
+{
+    if (freeList_.empty()) {
+        auto slab = std::make_unique<CallbackEvent[]>(kSlabSize);
+        freeList_.reserve(poolAllocated_ + kSlabSize);
+        for (std::size_t i = 0; i < kSlabSize; ++i) {
+            slab[i].owner = this;
+            freeList_.push_back(&slab[i]);
+        }
+        slabs_.push_back(std::move(slab));
+        poolAllocated_ += kSlabSize;
+    }
+    CallbackEvent *ev = freeList_.back();
+    freeList_.pop_back();
+    const std::size_t live = poolAllocated_ - freeList_.size();
+    poolHighWater_ = std::max(poolHighWater_, live);
+    return ev;
+}
+
+RunStatus
 Engine::run(Tick limit)
 {
     stopRequested_ = false;
     while (!queue_.empty()) {
-        if (queue_.nextTick() > limit)
-            return false;
-        Tick when = 0;
-        EventFn fn = queue_.pop(when);
-        NC_ASSERT(when >= now_, "event queue went backwards");
-        now_ = when;
+        if (queue_.nextTick() > limit) {
+            // Advance to the cap so aborted runs report it as "now";
+            // pending events all lie strictly beyond the limit.
+            now_ = std::max(now_, limit);
+            return lastRunStatus_ = RunStatus::LimitHit;
+        }
+        Event *ev = queue_.pop();
+        NC_ASSERT(ev->when() >= now_, "event queue went backwards");
+        now_ = ev->when();
         ++eventsExecuted_;
-        fn();
+        ev->process();
         if (stopRequested_)
-            return false;
+            return lastRunStatus_ = RunStatus::Stopped;
     }
-    return true;
+    return lastRunStatus_ = RunStatus::Drained;
 }
 
 } // namespace netcrafter::sim

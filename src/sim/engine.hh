@@ -7,17 +7,40 @@
 #define NETCRAFTER_SIM_ENGINE_HH
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
+#include "src/sim/event.hh"
 #include "src/sim/event_queue.hh"
+#include "src/sim/small_fn.hh"
 #include "src/sim/types.hh"
 
 namespace netcrafter::sim {
+
+/** How a call to Engine::run() ended. */
+enum class RunStatus : std::uint8_t
+{
+    /** The event queue drained completely. */
+    Drained,
+    /** The cycle limit was reached; now() reports the limit. */
+    LimitHit,
+    /** stop() was requested by an event. */
+    Stopped,
+};
 
 /**
  * Single-threaded discrete-event simulation engine. Components schedule
  * callbacks at future ticks; run() drains the queue in time order.
  *
  * All times are in core clock cycles at 1 GHz (Table 2), so 1 cycle = 1 ns.
+ *
+ * Two scheduling flavours exist:
+ *  - intrusive: components statically own an Event (e.g. a MemberEvent)
+ *    and pass it to schedule(Event&, delay) — never allocates;
+ *  - one-shot: schedule(delay, fn) wraps the callable in a pooled event
+ *    node recycled after it fires — steady state never allocates either
+ *    (the node pool reaches a high-water mark and stays there, and
+ *    SmallFn stores captures up to 64 bytes inline).
  */
 class Engine
 {
@@ -34,20 +57,36 @@ class Engine
     void
     schedule(Tick delay, EventFn fn)
     {
-        queue_.schedule(now_ + delay, std::move(fn));
+        CallbackEvent *ev = acquireCallback();
+        ev->fn = std::move(fn);
+        queue_.schedule(*ev, now_ + delay);
     }
 
     /** Schedule @p fn at an absolute tick (must not be in the past). */
     void scheduleAbs(Tick when, EventFn fn);
 
+    /** Schedule intrusive event @p ev @p delay cycles from now. */
+    void
+    schedule(Event &ev, Tick delay)
+    {
+        queue_.schedule(ev, now_ + delay);
+    }
+
+    /** Schedule intrusive event @p ev at an absolute tick. */
+    void scheduleAbs(Event &ev, Tick when);
+
     /**
-     * Run until the event queue drains or @p limit cycles elapse.
-     * @return true if the queue drained, false if the limit was hit.
+     * Run until the event queue drains, @p limit cycles elapse, or an
+     * event calls stop(). When the limit is hit, now() advances to the
+     * limit so aborted runs report the cap consistently.
      */
-    bool run(Tick limit = kTickNever);
+    RunStatus run(Tick limit = kTickNever);
 
     /** Request that run() return after the current event completes. */
     void stop() { stopRequested_ = true; }
+
+    /** How the most recent run() ended. */
+    RunStatus lastRunStatus() const { return lastRunStatus_; }
 
     /** Total events executed since construction. */
     std::uint64_t eventsExecuted() const { return eventsExecuted_; }
@@ -55,11 +94,65 @@ class Engine
     /** Pending event count (for tests and diagnostics). */
     std::size_t pendingEvents() const { return queue_.size(); }
 
+    /** The underlying queue (wheel/heap statistics). */
+    const EventQueue &queue() const { return queue_; }
+
+    /** One-shot event nodes ever allocated (pool arena size). */
+    std::size_t callbackPoolAllocated() const { return poolAllocated_; }
+
+    /** One-shot event nodes currently free for reuse. */
+    std::size_t callbackPoolFree() const { return freeList_.size(); }
+
+    /** Peak simultaneously pending one-shot events. */
+    std::size_t callbackPoolHighWater() const { return poolHighWater_; }
+
+    /** Approximate bytes held by the one-shot event node arena. */
+    std::size_t
+    callbackArenaBytes() const
+    {
+        return poolAllocated_ * sizeof(CallbackEvent);
+    }
+
   private:
+    /** A pooled one-shot event: fires its callback, then recycles. */
+    class CallbackEvent final : public Event
+    {
+      public:
+        void
+        process() override
+        {
+            // Release before invoking: the callback may schedule new
+            // one-shot events and should be able to reuse this node.
+            EventFn local = std::move(fn);
+            owner->releaseCallback(this);
+            local();
+        }
+
+        EventFn fn;
+        Engine *owner = nullptr;
+    };
+
+    /** Pooled nodes per slab; slabs are never freed while running. */
+    static constexpr std::size_t kSlabSize = 64;
+
+    CallbackEvent *acquireCallback();
+
+    void
+    releaseCallback(CallbackEvent *ev)
+    {
+        freeList_.push_back(ev);
+    }
+
     EventQueue queue_;
     Tick now_ = 0;
     bool stopRequested_ = false;
+    RunStatus lastRunStatus_ = RunStatus::Drained;
     std::uint64_t eventsExecuted_ = 0;
+
+    std::vector<std::unique_ptr<CallbackEvent[]>> slabs_;
+    std::vector<CallbackEvent *> freeList_;
+    std::size_t poolAllocated_ = 0;
+    std::size_t poolHighWater_ = 0;
 };
 
 } // namespace netcrafter::sim

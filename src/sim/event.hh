@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Intrusive simulation events (gem5-style). A component owns its Event
+ * objects statically — scheduling one links it into the event queue
+ * without any allocation. One-shot dynamic callbacks instead go through
+ * Engine::schedule(Tick, EventFn), which recycles pooled event nodes.
+ */
+
+#ifndef NETCRAFTER_SIM_EVENT_HH
+#define NETCRAFTER_SIM_EVENT_HH
+
+#include <cstdint>
+
+#include "src/sim/types.hh"
+
+namespace netcrafter::sim {
+
+class EventQueue;
+
+/**
+ * Base class of everything the event queue can hold. The queue links
+ * events intrusively: an Event must not be destroyed or rescheduled
+ * while scheduled() is true.
+ */
+class Event
+{
+  public:
+    Event() = default;
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Invoked when the event's tick is reached. */
+    virtual void process() = 0;
+
+    /** True while the event sits in an event queue. */
+    bool scheduled() const { return scheduled_; }
+
+    /** Tick the event fires (or last fired) at. */
+    Tick when() const { return when_; }
+
+  protected:
+    ~Event() = default;
+
+  private:
+    friend class EventQueue;
+
+    Tick when_ = 0;
+    std::uint64_t seq_ = 0;
+    bool scheduled_ = false;
+};
+
+/**
+ * An event that calls a member function on its owner — the common case
+ * for statically owned events, with no indirection beyond the vtable:
+ *
+ *   struct Link { MemberEvent<Link, &Link::transfer> transferEvent_; };
+ */
+template <typename T, void (T::*Handler)()>
+class MemberEvent : public Event
+{
+  public:
+    explicit MemberEvent(T *obj) : obj_(obj) {}
+
+    void process() override { (obj_->*Handler)(); }
+
+  private:
+    T *obj_;
+};
+
+} // namespace netcrafter::sim
+
+#endif // NETCRAFTER_SIM_EVENT_HH

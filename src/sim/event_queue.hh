@@ -1,121 +1,253 @@
 /**
  * @file
- * The discrete-event queue at the heart of the simulator.
+ * The discrete-event queue at the heart of the simulator: a bucketed
+ * near-future timing wheel backed by a binary heap for far-future
+ * events.
+ *
+ * Almost every event a cycle-level model schedules lands within a few
+ * cycles of "now" (links and switches wake at now+1, cache lookups a
+ * handful of cycles out), so the wheel covers the next kWheelSlots
+ * ticks with O(1) push/pop FIFO buckets and a 64-bit occupancy bitmap.
+ * Rare long-delay events (DRAM latency, switch pipeline wakeups beyond
+ * the horizon) overflow into a comparison-ordered heap and migrate
+ * into the wheel as its base advances.
+ *
+ * Ordering contract (identical to the old pure-heap queue): events pop
+ * in ascending (tick, schedule-sequence) order — same-tick events fire
+ * in exact insertion order, keeping component behaviour deterministic.
+ * Migration preserves this: a tick's bucket only becomes reachable for
+ * direct scheduling after every farther-scheduled event for that tick
+ * has migrated in (in sequence order), so bucket appends stay sorted.
+ *
+ * Contract change vs. the old queue: scheduling strictly before the
+ * last popped tick is no longer supported (the engine never did this —
+ * it asserts `when >= now()`).
  */
 
 #ifndef NETCRAFTER_SIM_EVENT_QUEUE_HH
 #define NETCRAFTER_SIM_EVENT_QUEUE_HH
 
+#include <bit>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "src/sim/event.hh"
+#include "src/sim/logging.hh"
 #include "src/sim/types.hh"
 
 namespace netcrafter::sim {
 
-/** Callback type executed when an event fires. */
-using EventFn = std::function<void()>;
-
 /**
- * A min-heap of (tick, sequence) ordered events. Events scheduled for the
- * same tick fire in insertion order (FIFO), which keeps component behaviour
- * deterministic and easy to reason about.
+ * Timing-wheel event queue over intrusive Event objects. Events
+ * scheduled for the same tick fire in insertion order (FIFO).
  */
 class EventQueue
 {
   public:
+    /** Wheel horizon in ticks; must be a power of two. */
+    static constexpr std::size_t kWheelSlots = 64;
+
     EventQueue() = default;
 
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
-    /** Schedule @p fn to run at absolute time @p when. */
+    /** Link @p ev into the queue to fire at absolute tick @p when. */
     void
-    schedule(Tick when, EventFn fn)
+    schedule(Event &ev, Tick when)
     {
-        heap_.push_back(Entry{when, nextSeq_++, std::move(fn)});
-        siftUp(heap_.size() - 1);
+        NC_ASSERT(!ev.scheduled_, "event scheduled twice");
+        NC_ASSERT(when >= base_, "event scheduled before the queue's "
+                                 "drain point: when=", when,
+                  " base=", base_);
+        ev.when_ = when;
+        ev.seq_ = nextSeq_++;
+        ev.scheduled_ = true;
+        ++count_;
+        if (when - base_ < kWheelSlots) {
+            pushSlot(&ev);
+            ++nearScheduled_;
+        } else {
+            heapPush(&ev);
+            ++farScheduled_;
+        }
     }
 
     /** True when no events remain. */
-    bool empty() const { return heap_.empty(); }
+    bool empty() const { return count_ == 0; }
 
     /** Number of pending events. */
-    std::size_t size() const { return heap_.size(); }
+    std::size_t size() const { return count_; }
 
     /** Tick of the earliest pending event. Requires !empty(). */
-    Tick nextTick() const { return heap_.front().when; }
-
-    /** Remove and return the earliest event's callback. Requires !empty(). */
-    EventFn
-    pop(Tick &when_out)
+    Tick
+    nextTick() const
     {
-        Entry top = std::move(heap_.front());
-        when_out = top.when;
-        heap_.front() = std::move(heap_.back());
-        heap_.pop_back();
-        if (!heap_.empty())
-            siftDown(0);
-        return std::move(top.fn);
+        NC_ASSERT(count_ > 0, "nextTick() on empty event queue");
+        if (wheelCount_ > 0)
+            return base_ + firstOccupiedOffset();
+        return heap_.front()->when_;
     }
 
-    /** Drop all pending events. */
+    /**
+     * Unlink and return the earliest event. Requires !empty(). The
+     * returned event is no longer scheduled(); its when() gives the
+     * firing tick.
+     */
+    Event *
+    pop()
+    {
+        NC_ASSERT(count_ > 0, "pop() on empty event queue");
+        if (wheelCount_ == 0)
+            advanceTo(heap_.front()->when_);
+        const Tick tick = base_ + firstOccupiedOffset();
+        if (tick != base_)
+            advanceTo(tick);
+
+        Slot &slot = slots_[slotOf(tick)];
+        Event *ev = slot.q[slot.head++];
+        if (slot.head == slot.q.size()) {
+            slot.q.clear();
+            slot.head = 0;
+            occupied_ &= ~(std::uint64_t{1} << slotOf(tick));
+        }
+        --wheelCount_;
+        --count_;
+        ev->scheduled_ = false;
+        return ev;
+    }
+
+    /** Drop all pending events and reset the sequence counter. */
     void
     clear()
     {
+        for (auto &slot : slots_) {
+            for (std::size_t i = slot.head; i < slot.q.size(); ++i)
+                slot.q[i]->scheduled_ = false;
+            slot.q.clear();
+            slot.head = 0;
+        }
+        for (Event *ev : heap_)
+            ev->scheduled_ = false;
         heap_.clear();
+        occupied_ = 0;
+        wheelCount_ = 0;
+        count_ = 0;
         nextSeq_ = 0;
+        base_ = 0;
     }
 
-  private:
-    struct Entry
-    {
-        Tick when;
-        std::uint64_t seq;
-        EventFn fn;
+    /** Events that went straight into the wheel (near-future). */
+    std::uint64_t nearScheduled() const { return nearScheduled_; }
 
-        bool
-        before(const Entry &other) const
-        {
-            return when < other.when ||
-                   (when == other.when && seq < other.seq);
-        }
+    /** Events that overflowed into the far-future heap. */
+    std::uint64_t farScheduled() const { return farScheduled_; }
+
+  private:
+    struct Slot
+    {
+        /** FIFO bucket: push_back to append, head indexes the front. */
+        std::vector<Event *> q;
+        std::size_t head = 0;
     };
 
-    void
-    siftUp(std::size_t i)
+    static std::size_t
+    slotOf(Tick when)
     {
+        return static_cast<std::size_t>(when) & (kWheelSlots - 1);
+    }
+
+    void
+    pushSlot(Event *ev)
+    {
+        const std::size_t s = slotOf(ev->when_);
+        slots_[s].q.push_back(ev);
+        occupied_ |= std::uint64_t{1} << s;
+        ++wheelCount_;
+    }
+
+    /** Offset from base_ of the earliest occupied slot. */
+    std::size_t
+    firstOccupiedOffset() const
+    {
+        // Rotate the bitmap so base_'s slot is bit 0; the lowest set
+        // bit is then the distance to the earliest pending tick.
+        const std::uint64_t rotated =
+            std::rotr(occupied_, static_cast<int>(slotOf(base_)));
+        return static_cast<std::size_t>(std::countr_zero(rotated));
+    }
+
+    /**
+     * Advance the wheel base to @p tick (the next tick to drain) and
+     * migrate far-future events that entered the extended horizon.
+     * Newly covered ticks had empty buckets, and the heap pops in
+     * (tick, seq) order, so per-bucket FIFO order stays exact.
+     */
+    void
+    advanceTo(Tick tick)
+    {
+        base_ = tick;
+        while (!heap_.empty() && heap_.front()->when_ - base_ < kWheelSlots) {
+            pushSlot(heapPop());
+        }
+    }
+
+    static bool
+    before(const Event *a, const Event *b)
+    {
+        return a->when_ < b->when_ ||
+               (a->when_ == b->when_ && a->seq_ < b->seq_);
+    }
+
+    void
+    heapPush(Event *ev)
+    {
+        heap_.push_back(ev);
+        std::size_t i = heap_.size() - 1;
         while (i > 0) {
             std::size_t parent = (i - 1) / 2;
-            if (!heap_[i].before(heap_[parent]))
+            if (!before(heap_[i], heap_[parent]))
                 break;
             std::swap(heap_[i], heap_[parent]);
             i = parent;
         }
     }
 
-    void
-    siftDown(std::size_t i)
+    Event *
+    heapPop()
     {
+        Event *top = heap_.front();
+        heap_.front() = heap_.back();
+        heap_.pop_back();
         const std::size_t n = heap_.size();
+        std::size_t i = 0;
         for (;;) {
             std::size_t l = 2 * i + 1;
             std::size_t r = 2 * i + 2;
             std::size_t best = i;
-            if (l < n && heap_[l].before(heap_[best]))
+            if (l < n && before(heap_[l], heap_[best]))
                 best = l;
-            if (r < n && heap_[r].before(heap_[best]))
+            if (r < n && before(heap_[r], heap_[best]))
                 best = r;
             if (best == i)
                 break;
             std::swap(heap_[i], heap_[best]);
             i = best;
         }
+        return top;
     }
 
-    std::vector<Entry> heap_;
+    Slot slots_[kWheelSlots];
+    std::uint64_t occupied_ = 0;
+    Tick base_ = 0;
+    std::size_t wheelCount_ = 0;
+
+    std::vector<Event *> heap_;
     std::uint64_t nextSeq_ = 0;
+    std::size_t count_ = 0;
+
+    std::uint64_t nearScheduled_ = 0;
+    std::uint64_t farScheduled_ = 0;
 };
 
 } // namespace netcrafter::sim

@@ -60,6 +60,26 @@ TEST(Scheduler, ParallelMatchesSerialBitExactly)
     }
 }
 
+TEST(Scheduler, Fig03PointIdenticalSerialAndUnderParallelJobs)
+{
+    // A real fig03 point (full-size baseline config, shrunken scale),
+    // as the figure binaries run it when NETCRAFTER_JOBS>1 engages the
+    // thread pool: pool-worker execution must reproduce the plain
+    // serial measurement bit-for-bit — including the hot-path census
+    // (near/far event counts, callback-pool high water) that
+    // sameMeasurement now also compares.
+    const harness::RunResult serial =
+        harness::runWorkload("GUPS", config::baselineConfig(), 0.05);
+
+    SweepSpec spec("fig03-point");
+    spec.add("base/GUPS", "GUPS", config::baselineConfig(), 0.05);
+    Scheduler::Options opts;
+    opts.workers = 2;
+    Scheduler sched(opts);
+    const SweepResult res = sched.run(spec);
+    EXPECT_TRUE(harness::sameMeasurement(serial, res.at("base/GUPS")));
+}
+
 TEST(Scheduler, CacheSimulatesEachUniquePointOnce)
 {
     // Two sweeps sharing the cache: the second is served entirely from

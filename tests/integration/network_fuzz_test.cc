@@ -88,7 +88,7 @@ TEST_P(NetworkFuzz, AllPacketsDeliveredIntact)
         if (rng.chance(0.05))
             engine.run(engine.now() + rng.below(500));
     }
-    ASSERT_TRUE(engine.run(50'000'000ull))
+    ASSERT_EQ(engine.run(50'000'000ull), sim::RunStatus::Drained)
         << "network failed to drain (deadlock?)";
 
     EXPECT_EQ(delivered.size(), sent.size());

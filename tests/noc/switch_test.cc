@@ -121,7 +121,7 @@ struct Duplicator : IngressProcessor
     void
     process(FlitPtr flit, std::vector<FlitPtr> &out) override
     {
-        out.push_back(std::make_shared<Flit>(*flit));
+        out.push_back(makeFlit(*flit));
         out.push_back(std::move(flit));
     }
 };

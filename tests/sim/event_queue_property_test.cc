@@ -8,12 +8,28 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
+#include <vector>
 
 #include "src/sim/event_queue.hh"
 #include "src/sim/random.hh"
 
 namespace netcrafter::sim {
 namespace {
+
+class IdEvent : public Event
+{
+  public:
+    explicit IdEvent(int id, std::vector<int> &fired)
+        : id_(id), fired_(fired)
+    {}
+
+    void process() override { fired_.push_back(id_); }
+
+  private:
+    int id_;
+    std::vector<int> &fired_;
+};
 
 TEST(EventQueueProperty, MatchesReferenceModel)
 {
@@ -23,27 +39,35 @@ TEST(EventQueueProperty, MatchesReferenceModel)
         std::multimap<std::pair<Tick, std::uint64_t>, int> reference;
         std::uint64_t seq = 0;
         std::vector<int> fired;
+        std::vector<std::unique_ptr<IdEvent>> storage;
+        // The queue forbids scheduling before the last popped tick, so
+        // new ticks are generated at or after the drain point. Spanning
+        // many wheel revolutions exercises wheel<->heap migration.
+        Tick drain_point = 0;
 
         int next_id = 0;
         // Interleave pushes and pops randomly.
         for (int op = 0; op < 2000; ++op) {
             if (q.empty() || rng.chance(0.6)) {
-                const Tick when = rng.below(1000);
+                const Tick when = drain_point + rng.below(1000);
                 const int id = next_id++;
-                q.schedule(when, [&fired, id] { fired.push_back(id); });
+                storage.push_back(std::make_unique<IdEvent>(id, fired));
+                q.schedule(*storage.back(), when);
                 reference.emplace(std::make_pair(when, seq++), id);
             } else {
-                Tick when = 0;
-                q.pop(when)();
+                Event *ev = q.pop();
+                const Tick when = ev->when();
+                ev->process();
                 auto it = reference.begin();
                 ASSERT_EQ(fired.back(), it->second);
                 ASSERT_EQ(when, it->first.first);
+                ASSERT_GE(when, drain_point);
+                drain_point = when;
                 reference.erase(it);
             }
         }
         while (!q.empty()) {
-            Tick when = 0;
-            q.pop(when)();
+            q.pop()->process();
             auto it = reference.begin();
             ASSERT_EQ(fired.back(), it->second);
             reference.erase(it);
@@ -55,11 +79,17 @@ TEST(EventQueueProperty, MatchesReferenceModel)
 TEST(EventQueueProperty, ClearEmptiesEverything)
 {
     EventQueue q;
-    for (int i = 0; i < 100; ++i)
-        q.schedule(i, [] {});
+    std::vector<std::unique_ptr<IdEvent>> storage;
+    std::vector<int> fired;
+    for (int i = 0; i < 100; ++i) {
+        storage.push_back(std::make_unique<IdEvent>(i, fired));
+        q.schedule(*storage.back(), i);
+    }
     q.clear();
     EXPECT_TRUE(q.empty());
     EXPECT_EQ(q.size(), 0u);
+    for (const auto &ev : storage)
+        EXPECT_FALSE(ev->scheduled());
 }
 
 } // namespace
