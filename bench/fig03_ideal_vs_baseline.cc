@@ -14,7 +14,7 @@
 #include "src/exp/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    return netcrafter::exp::figureMain("fig03");
+    return netcrafter::exp::figureMain("fig03", argc, argv);
 }

@@ -13,7 +13,7 @@
 #include "src/exp/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    return netcrafter::exp::figureMain("fig14");
+    return netcrafter::exp::figureMain("fig14", argc, argv);
 }

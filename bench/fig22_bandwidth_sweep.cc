@@ -12,7 +12,7 @@
 #include "src/exp/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    return netcrafter::exp::figureMain("fig22");
+    return netcrafter::exp::figureMain("fig22", argc, argv);
 }

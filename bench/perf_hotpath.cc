@@ -12,12 +12,21 @@
  * stay bit-identical while this number grows.
  *
  * Usage:
- *   perf_hotpath [--out FILE] [--quick] [--scale S]
+ *   perf_hotpath [--out FILE] [--quick] [--scale S] [--shards]
  *
- *   --out FILE   write JSON to FILE (default BENCH_hotpath.json)
+ *   --out FILE   write JSON to FILE (default BENCH_hotpath.json, or
+ *                BENCH_parallel.json with --shards)
  *   --quick      baseline + full NetCrafter configs only (CI smoke)
  *   --scale S    extra problem-size multiplier on top of
  *                NETCRAFTER_SCALE (default 1.0)
+ *   --shards     parallel-scaling mode: run the figure 14 grid on a
+ *                4-cluster topology at 1, 2, and 4 engine shards and
+ *                report events/s per shard count plus the event census
+ *                (which must be identical across shard counts). The
+ *                JSON records host_cpus: speedup over serial requires
+ *                at least as many host cores as shards, so on a
+ *                single-core host the sharded points only measure
+ *                barrier overhead.
  */
 
 #include <chrono>
@@ -26,6 +35,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.hh"
@@ -50,6 +60,130 @@ eventsPerSecond(std::uint64_t events, double seconds)
     return seconds > 0 ? static_cast<double>(events) / seconds : 0.0;
 }
 
+/**
+ * Parallel-scaling bench: the fig14 grid on a 4-cluster topology
+ * (one GPU per cluster, so 4 shards partition it fully), swept over
+ * shard counts. Writes BENCH_parallel.json and fails if any sharded
+ * census diverges from serial.
+ */
+int
+runShardBench(const std::string &out_path, bool quick, double scale)
+{
+    using namespace netcrafter;
+
+    std::vector<std::pair<std::string, SystemConfig>> configs = {
+        {"base", config::baselineConfig()},
+        {"full", bench::fullNetcrafter()},
+    };
+    if (!quick) {
+        configs.insert(configs.begin() + 1,
+                       {"stitch", bench::stitchSelective32()});
+        configs.insert(configs.begin() + 2,
+                       {"trim", bench::stitchTrim()});
+        configs.push_back({"sector", config::sectorCacheConfig(16)});
+    }
+    // Same GPU count as the default topology, but one GPU per cluster
+    // so every shard count up to 4 gets real work.
+    for (auto &[name, cfg] : configs) {
+        cfg.numClusters = 4;
+        cfg.gpusPerCluster = 1;
+    }
+
+    const std::vector<unsigned> shard_counts = {1, 2, 4};
+    struct ShardRow
+    {
+        unsigned shards;
+        std::uint64_t events = 0;
+        std::uint64_t cycles = 0;
+        std::uint64_t quanta = 0;
+        std::uint64_t stallTicks = 0;
+        std::uint64_t crossFlits = 0;
+        double wall = 0;
+    };
+    std::vector<ShardRow> rows;
+    bool census_ok = true;
+
+    for (unsigned shards : shard_counts) {
+        ShardRow row;
+        row.shards = shards;
+        for (const auto &[cfg_name, cfg] : configs) {
+            for (const auto &app : bench::apps()) {
+                const RunResult r =
+                    harness::runWorkload(app, cfg, scale, shards);
+                row.events += r.events;
+                row.cycles += r.cycles;
+                row.quanta += r.quantaExecuted;
+                row.stallTicks += r.barrierStallTicks;
+                row.crossFlits += r.crossShardFlits;
+                row.wall += r.wallSeconds;
+            }
+        }
+        if (!rows.empty() && (row.events != rows.front().events ||
+                              row.cycles != rows.front().cycles)) {
+            std::cerr << "perf_hotpath: census diverged at " << shards
+                      << " shards: " << row.events << " events / "
+                      << row.cycles << " cycles vs serial "
+                      << rows.front().events << " / "
+                      << rows.front().cycles << "\n";
+            census_ok = false;
+        }
+        std::cerr << shards << " shard(s): " << row.events
+                  << " events in " << row.wall << "s ("
+                  << eventsPerSecond(row.events, row.wall) << " ev/s)\n";
+        rows.push_back(row);
+    }
+
+    std::ofstream os(out_path);
+    if (!os) {
+        std::cerr << "cannot open " << out_path << " for writing\n";
+        return 1;
+    }
+    unsigned host_cpus = std::thread::hardware_concurrency();
+    if (host_cpus == 0)
+        host_cpus = 1;
+    const double serial_evps =
+        eventsPerSecond(rows.front().events, rows.front().wall);
+    os.precision(17);
+    os << "{\n";
+    os << "  \"bench\": \"perf_parallel\",\n";
+    os << "  \"workload_set\": \"fig14\",\n";
+    os << "  \"topology\": \"4 clusters x 1 gpu\",\n";
+    os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+    os << "  \"scale\": " << scale << ",\n";
+    os << "  \"env_scale\": " << netcrafter::harness::envScale()
+       << ",\n";
+    os << "  \"host_cpus\": " << host_cpus << ",\n";
+    os << "  \"census_identical\": " << (census_ok ? "true" : "false")
+       << ",\n";
+    os << "  \"points\": [";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const ShardRow &r = rows[i];
+        os << (i ? ",\n    {" : "\n    {");
+        os << "\"shards\": " << r.shards << ", "
+           << "\"events\": " << r.events << ", "
+           << "\"cycles\": " << r.cycles << ", "
+           << "\"quanta_executed\": " << r.quanta << ", "
+           << "\"barrier_stall_ticks\": " << r.stallTicks << ", "
+           << "\"cross_shard_flits\": " << r.crossFlits << ", "
+           << "\"wall_seconds\": " << r.wall << ", "
+           << "\"events_per_second\": "
+           << eventsPerSecond(r.events, r.wall) << ", "
+           << "\"speedup_vs_serial\": "
+           << (serial_evps > 0
+                   ? eventsPerSecond(r.events, r.wall) / serial_evps
+                   : 0.0)
+           << "}";
+    }
+    os << "\n  ]\n}\n";
+
+    std::cout << "perf_hotpath --shards: "
+              << (census_ok ? "census identical across "
+                            : "CENSUS DIVERGED across ")
+              << rows.size() << " shard counts, host_cpus="
+              << host_cpus << " (JSON: " << out_path << ")\n";
+    return census_ok ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -57,8 +191,9 @@ main(int argc, char **argv)
 {
     using namespace netcrafter;
 
-    std::string out_path = "BENCH_hotpath.json";
+    std::string out_path;
     bool quick = false;
+    bool shard_bench = false;
     double scale = 1.0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -66,6 +201,8 @@ main(int argc, char **argv)
             out_path = argv[++i];
         } else if (arg == "--quick") {
             quick = true;
+        } else if (arg == "--shards") {
+            shard_bench = true;
         } else if (arg == "--scale" && i + 1 < argc) {
             const std::string value = argv[++i];
             char *end = nullptr;
@@ -78,10 +215,15 @@ main(int argc, char **argv)
             }
         } else {
             std::cerr << "usage: perf_hotpath [--out FILE] [--quick]"
-                         " [--scale S]\n";
+                         " [--scale S] [--shards]\n";
             return 2;
         }
     }
+    if (out_path.empty())
+        out_path = shard_bench ? "BENCH_parallel.json"
+                               : "BENCH_hotpath.json";
+    if (shard_bench)
+        return runShardBench(out_path, quick, scale);
 
     std::vector<std::pair<std::string, SystemConfig>> configs = {
         {"base", config::baselineConfig()},

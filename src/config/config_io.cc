@@ -118,6 +118,7 @@ fields()
         DBL_FIELD("network.inter_gbps", interClusterGBps),
         U64_FIELD("network.flit_bytes", flitBytes),
         U64_FIELD("network.switch_latency", switchLatency),
+        U64_FIELD("network.inter_link_latency", interLinkLatency),
         U64_FIELD("network.switch_buffer", switchBufferEntries),
         U64_FIELD("network.rdma_buffer", rdmaBufferEntries),
         U64_FIELD("compute.cus_per_gpu", cusPerGpu),

@@ -27,6 +27,9 @@ SystemConfig::validate() const
         NC_FATAL("flit pooling only makes sense with stitching enabled");
     if (l1Assoc == 0 || l2Assoc == 0 || l2Banks == 0)
         NC_FATAL("associativities and bank counts must be positive");
+    if (interLinkLatency < 1)
+        NC_FATAL("inter-cluster link latency must be >= 1 cycle "
+                 "(it is the sharded engine's conservative lookahead)");
 }
 
 SystemConfig

@@ -119,6 +119,16 @@ struct SystemConfig
     /** Switch processing pipeline latency, cycles. */
     Tick switchLatency = 30;
 
+    /**
+     * Flight latency of an inter-cluster (switch <-> switch) wire,
+     * cycles. Besides modelling the longer off-package hop, this is the
+     * conservative lookahead of the sharded engine: shards synchronize
+     * every `interLinkLatency` cycles, so larger values mean fewer
+     * barriers (see sim/sharded_engine.hh). Must stay below the
+     * event-wheel horizon for deliveries to use the near-future path.
+     */
+    Tick interLinkLatency = 16;
+
     /** Switch I/O buffer capacity, flits. */
     std::size_t switchBufferEntries = 1024;
 

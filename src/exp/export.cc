@@ -102,6 +102,12 @@ fields()
         NUM_FIELD("flit_pool_high_water", r.result.flitPoolHighWater),
         NUM_FIELD("pool_arena_bytes", r.result.poolArenaBytes),
         NUM_FIELD("smallfn_heap_allocs", r.result.smallFnHeapAllocs),
+        // Sharded-execution diagnostics (all zero/one when serial).
+        NUM_FIELD("shards", std::uint64_t{r.result.shards}),
+        NUM_FIELD("quanta_executed", r.result.quantaExecuted),
+        NUM_FIELD("barrier_stall_ticks", r.result.barrierStallTicks),
+        NUM_FIELD("cross_shard_flits", r.result.crossShardFlits),
+        NUM_FIELD("max_ingress_depth", r.result.maxIngressDepth),
     };
     return defs;
 }

@@ -298,6 +298,12 @@ findFigure(const std::string &name)
 int
 figureMain(const std::string &name)
 {
+    return figureMain(name, 0, nullptr);
+}
+
+int
+figureMain(const std::string &name, int argc, char **argv)
+{
     const Figure *fig = findFigure(name);
     if (fig == nullptr) {
         std::cerr << "unknown figure '" << name << "'\n";
@@ -306,6 +312,24 @@ figureMain(const std::string &name)
     Scheduler::Options opts;
     if (const char *env = std::getenv("NETCRAFTER_JOBS"))
         opts.workers = static_cast<unsigned>(std::atoi(env));
+    if (const char *env = std::getenv("NETCRAFTER_SHARDS"))
+        opts.shards = static_cast<unsigned>(std::atoi(env));
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if ((arg == "--jobs" || arg == "--shards") && i + 1 < argc) {
+            const long n = std::atol(argv[++i]);
+            if (n < 0 || (arg == "--shards" && n < 1)) {
+                std::cerr << arg << " requires a positive integer\n";
+                return 1;
+            }
+            (arg == "--jobs" ? opts.workers : opts.shards) =
+                static_cast<unsigned>(n);
+        } else {
+            std::cerr << "usage: " << name
+                      << " [--jobs N] [--shards N]\n";
+            return arg == "--help" || arg == "-h" ? 0 : 1;
+        }
+    }
     ResultCache cache;
     Scheduler scheduler(opts, &cache);
     FigureContext ctx{scheduler, std::cout};

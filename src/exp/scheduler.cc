@@ -1,5 +1,6 @@
 #include "src/exp/scheduler.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <iostream>
@@ -23,10 +24,18 @@ SweepResult::at(const std::string &job_name) const
 Scheduler::Scheduler(Options opts, ResultCache *cache)
     : opts_(opts), cache_(cache)
 {
-    workers_ = opts.workers != 0 ? opts.workers
-                                 : std::thread::hardware_concurrency();
-    if (workers_ == 0)
-        workers_ = 1;
+    shards_ = opts.shards != 0 ? opts.shards : 1;
+    if (opts.workers != 0) {
+        workers_ = opts.workers;
+    } else {
+        // Auto-cap so run-level workers x intra-run shards never
+        // oversubscribes the host: each job may occupy up to shards_
+        // threads while it executes.
+        unsigned hw = std::thread::hardware_concurrency();
+        if (hw == 0)
+            hw = 1;
+        workers_ = std::max(1u, hw / shards_);
+    }
 }
 
 harness::RunResult
@@ -35,16 +44,19 @@ Scheduler::runJob(const Job &job, JobTiming &timing)
     const auto t0 = std::chrono::steady_clock::now();
     harness::RunResult result;
     if (cache_ != nullptr) {
+        // The cache key deliberately excludes shards_: sharding is an
+        // execution strategy, not a design point, and results are
+        // bit-identical across shard counts.
         result = cache_->getOrRun(
             keyOf(job),
             [&] {
                 return harness::runWorkload(job.workload, job.config,
-                                            job.scale);
+                                            job.scale, shards_);
             },
             &timing.cacheHit);
     } else {
-        result =
-            harness::runWorkload(job.workload, job.config, job.scale);
+        result = harness::runWorkload(job.workload, job.config,
+                                      job.scale, shards_);
     }
     timing.name = job.name;
     timing.seconds = std::chrono::duration<double>(

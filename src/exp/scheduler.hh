@@ -63,6 +63,16 @@ struct SchedulerOptions
     /** Worker threads; 0 = one per hardware thread. */
     unsigned workers = 0;
 
+    /**
+     * Engine shards per simulation (see sim::ShardedEngine); 0 or 1 =
+     * serial. With shards > 1 each job occupies up to @p shards host
+     * threads, so the default worker count is divided by the shard
+     * count — run-level workers times intra-run shards never
+     * oversubscribes the machine. An explicit @p workers value is
+     * honored as given.
+     */
+    unsigned shards = 1;
+
     /** Print one line per completed job to @p log. */
     bool progress = false;
 
@@ -87,6 +97,9 @@ class Scheduler
     /** Resolved worker count (>= 1). */
     unsigned workers() const { return workers_; }
 
+    /** Engine shards each job runs with (>= 1). */
+    unsigned shards() const { return shards_; }
+
     ResultCache *cache() const { return cache_; }
 
     /**
@@ -106,6 +119,7 @@ class Scheduler
 
     Options opts_;
     unsigned workers_ = 1;
+    unsigned shards_ = 1;
     ResultCache *cache_ = nullptr;
     std::vector<std::pair<Job, harness::RunResult>> history_;
 };

@@ -1,5 +1,6 @@
 #include "src/gpu/system.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "src/sim/logging.hh"
@@ -8,10 +9,19 @@
 
 namespace netcrafter::gpu {
 
-MultiGpuSystem::MultiGpuSystem(const config::SystemConfig &cfg)
-    : cfg_(cfg), pageTable_(cfg.numGpus()),
-      priorityRng_(cfg.seed ^ 0x9e3779b97f4a7c15ull),
-      remoteReadBytes_({16, 32, 48, 63})
+unsigned
+MultiGpuSystem::clampShards(const config::SystemConfig &cfg,
+                            unsigned shards)
+{
+    // More shards than clusters would leave engines with no components;
+    // zero means "caller did not think about it" and runs serially.
+    return std::clamp(shards, 1u, cfg.numClusters);
+}
+
+MultiGpuSystem::MultiGpuSystem(const config::SystemConfig &cfg,
+                               unsigned shards)
+    : cfg_(cfg), engine_(clampShards(cfg, shards)),
+      pageTable_(cfg.numGpus())
 {
     cfg_.validate();
     noc::resetPacketIds();
@@ -26,12 +36,21 @@ MultiGpuSystem::buildChips()
 {
     const std::uint32_t num_gpus = cfg_.numGpus();
     chips_.resize(num_gpus);
+    gpuLocal_.resize(num_gpus);
     for (GpuId g = 0; g < num_gpus; ++g) {
         GpuChip &chip = chips_[g];
+        sim::Engine &engine = engineOf(g);
         const std::string prefix = "gpu" + std::to_string(g);
 
+        // Per-GPU stream so the draw sequence each GPU sees does not
+        // depend on how requests from other GPUs interleave with its
+        // own — the precondition for shard-count-independent results.
+        gpuLocal_[g].priorityRng = Pcg32(
+            cfg_.seed ^ 0x9e3779b97f4a7c15ull,
+            0xda3e39cb94b95bdbull + 2 * static_cast<std::uint64_t>(g));
+
         chip.dram = std::make_unique<mem::Dram>(
-            engine_, prefix + ".dram", cfg_.dramLatency,
+            engine, prefix + ".dram", cfg_.dramLatency,
             cfg_.dramBytesPerCycle);
 
         mem::L2Params l2p;
@@ -40,7 +59,7 @@ MultiGpuSystem::buildChips()
         l2p.banks = cfg_.l2Banks;
         l2p.lookupLatency = cfg_.l2Latency;
         l2p.mshrEntries = cfg_.l2MshrEntries;
-        chip.l2 = std::make_unique<mem::L2Cache>(engine_, prefix + ".l2",
+        chip.l2 = std::make_unique<mem::L2Cache>(engine, prefix + ".l2",
                                                  l2p, *chip.dram);
 
         vm::GmmuParams gmmu_params;
@@ -48,7 +67,7 @@ MultiGpuSystem::buildChips()
         gmmu_params.pwcLatency = cfg_.pwcLatency;
         gmmu_params.walkers = cfg_.pageWalkers;
         chip.gmmu = std::make_unique<vm::Gmmu>(
-            engine_, prefix + ".gmmu", gmmu_params, pageTable_,
+            engine, prefix + ".gmmu", gmmu_params, pageTable_,
             [this, g](const vm::WalkStep &step,
                       std::function<void()> done) {
                 fetchPte(g, step, std::move(done));
@@ -60,7 +79,7 @@ MultiGpuSystem::buildChips()
         l2tlb_params.lookupLatency = cfg_.l2TlbLatency;
         l2tlb_params.mshrEntries = cfg_.l2TlbMshrEntries;
         chip.l2Tlb = std::make_unique<vm::Tlb>(
-            engine_, prefix + ".l2tlb", l2tlb_params,
+            engine, prefix + ".l2tlb", l2tlb_params,
             [this, g](Addr vpn, vm::Tlb::Callback done) {
                 chips_[g].gmmu->walk(vpn, std::move(done));
             });
@@ -84,7 +103,7 @@ MultiGpuSystem::buildChips()
         chip.cus.reserve(cfg_.cusPerGpu);
         for (std::uint32_t c = 0; c < cfg_.cusPerGpu; ++c) {
             chip.cus.push_back(std::make_unique<ComputeUnit>(
-                engine_, prefix + ".cu" + std::to_string(c), cu_params,
+                engine, prefix + ".cu" + std::to_string(c), cu_params,
                 [this, g](mem::FillRequest req) {
                     l1Fill(g, std::move(req));
                 },
@@ -110,7 +129,7 @@ MultiGpuSystem::place(Addr vaddr, GpuId owner)
 }
 
 void
-MultiGpuSystem::markPriority(noc::Packet &pkt)
+MultiGpuSystem::markPriority(noc::Packet &pkt, GpuId requester)
 {
     // The separate PTW partition (Figure 13) is part of NetCrafter; a
     // bare characterization controller (forceController with every
@@ -131,7 +150,8 @@ MultiGpuSystem::markPriority(noc::Packet &pkt)
       case config::SequencingMode::PrioritizeData:
         pkt.latencyCritical =
             !pkt.isPtw() &&
-            priorityRng_.chance(cfg_.netcrafter.priorityDataFraction);
+            gpuLocal_[requester].priorityRng.chance(
+                cfg_.netcrafter.priorityDataFraction);
         break;
     }
 }
@@ -167,6 +187,7 @@ MultiGpuSystem::l1Fill(GpuId g, mem::FillRequest req)
 {
     const Addr line = req.line;
     const GpuId owner = pageTable_.dataOwner(line);
+    GpuLocal &local = gpuLocal_[g];
 
     if (req.isWrite) {
         if (owner == g) {
@@ -177,8 +198,8 @@ MultiGpuSystem::l1Fill(GpuId g, mem::FillRequest req)
         }
         auto pkt = noc::makePacket(noc::PacketType::WriteReq, g, owner,
                                    line);
-        markPriority(*pkt);
-        outstanding_[pkt->id] =
+        markPriority(*pkt, g);
+        local.outstanding[pkt->id] =
             [done = std::move(req.done)](const noc::Packet &) {
                 done(0);
             };
@@ -187,7 +208,7 @@ MultiGpuSystem::l1Fill(GpuId g, mem::FillRequest req)
     }
 
     if (owner == g) {
-        ++localReads_;
+        ++local.localReads;
         const mem::SectorMask mask =
             cfg_.l1FillMode == config::L1FillMode::SectorAlways
                 ? maskForRange(req.offset, req.bytes)
@@ -198,7 +219,7 @@ MultiGpuSystem::l1Fill(GpuId g, mem::FillRequest req)
         return;
     }
 
-    ++remoteReads_;
+    ++local.remoteReads;
     auto pkt = noc::makePacket(noc::PacketType::ReadReq, g, owner, line);
     pkt->bytesNeeded = static_cast<std::uint8_t>(
         std::min<std::uint32_t>(req.bytes, kCacheLineBytes));
@@ -207,20 +228,20 @@ MultiGpuSystem::l1Fill(GpuId g, mem::FillRequest req)
         cfg_.netcrafter.trimming &&
         core::TrimEngine::fitsOneSector(req.offset, req.bytes,
                                         cfg_.netcrafter.trimGranularity);
-    markPriority(*pkt);
+    markPriority(*pkt, g);
 
     const bool inter_cluster =
         cfg_.clusterOf(g) != cfg_.clusterOf(owner);
     if (inter_cluster)
-        remoteReadBytes_.sample(req.bytes);
+        local.remoteReadBytes.sample(req.bytes);
 
-    const Tick t0 = engine_.now();
-    outstanding_[pkt->id] = [this, t0, inter_cluster,
-                             req = std::move(req)](
-                                const noc::Packet &rsp) {
+    const Tick t0 = engineOf(g).now();
+    local.outstanding[pkt->id] = [this, g, t0, inter_cluster,
+                                  req = std::move(req)](
+                                     const noc::Packet &rsp) {
         if (inter_cluster)
-            interReadLatency_.sample(
-                static_cast<double>(engine_.now() - t0));
+            gpuLocal_[g].interReadLatency.sample(
+                static_cast<double>(engineOf(g).now() - t0));
         mem::SectorMask mask;
         if (rsp.payloadBytes < kCacheLineBytes) {
             // Trimmed (NetCrafter) or sector (SectorAlways) response:
@@ -244,8 +265,8 @@ MultiGpuSystem::fetchPte(GpuId g, const vm::WalkStep &step,
     }
     auto pkt = noc::makePacket(noc::PacketType::PageTableReq, g,
                                step.owner, step.pteAddr);
-    markPriority(*pkt);
-    outstanding_[pkt->id] =
+    markPriority(*pkt, g);
+    gpuLocal_[g].outstanding[pkt->id] =
         [done = std::move(done)](const noc::Packet &) { done(); };
     network_->sendPacket(std::move(pkt));
 }
@@ -309,11 +330,14 @@ MultiGpuSystem::handleRemoteRequest(GpuId owner, noc::PacketPtr req)
 void
 MultiGpuSystem::handleResponse(noc::PacketPtr rsp)
 {
-    auto it = outstanding_.find(rsp->reqId);
-    NC_ASSERT(it != outstanding_.end(),
+    // Responses are delivered by the requester's RDMA engine, so this
+    // runs on the requester's shard and only touches its GpuLocal.
+    GpuLocal &local = gpuLocal_[rsp->dst];
+    auto it = local.outstanding.find(rsp->reqId);
+    NC_ASSERT(it != local.outstanding.end(),
               "response for unknown request: ", rsp->toString());
     auto done = std::move(it->second);
-    outstanding_.erase(it);
+    local.outstanding.erase(it);
     done(*rsp);
 }
 
@@ -370,7 +394,7 @@ MultiGpuSystem::run(workloads::Workload &workload, double scale,
         const std::uint64_t kernel_seed =
             cfg_.seed + 0x1000003ull * ++kernel_idx;
         dispatchKernel(*kernel, kernel_seed);
-        // The event queue drains exactly when every wavefront retired
+        // The event queues drain exactly when every wavefront retired
         // and all induced traffic (acks, write-backs) finished: the
         // inter-kernel barrier.
         const sim::RunStatus status = engine_.run(max_cycles);
@@ -379,7 +403,56 @@ MultiGpuSystem::run(workloads::Workload &workload, double scale,
                      " exceeded the cycle limit (", max_cycles,
                      ") - livelock or undersized limit");
         }
+        // Shards stop at their own last event; the next kernel (and
+        // every cycle-denominated statistic) must see the clock the
+        // serial engine would be at.
+        engine_.alignClocks();
     }
+}
+
+stats::Average
+MultiGpuSystem::interClusterReadLatency() const
+{
+    stats::Average merged;
+    for (const GpuLocal &local : gpuLocal_)
+        merged.merge(local.interReadLatency);
+    return merged;
+}
+
+stats::Distribution
+MultiGpuSystem::remoteReadBytesNeeded() const
+{
+    stats::Distribution merged{std::vector<double>{16, 32, 48, 63}};
+    for (const GpuLocal &local : gpuLocal_)
+        merged.merge(local.remoteReadBytes);
+    return merged;
+}
+
+std::uint64_t
+MultiGpuSystem::remoteReads() const
+{
+    std::uint64_t sum = 0;
+    for (const GpuLocal &local : gpuLocal_)
+        sum += local.remoteReads;
+    return sum;
+}
+
+std::uint64_t
+MultiGpuSystem::localReads() const
+{
+    std::uint64_t sum = 0;
+    for (const GpuLocal &local : gpuLocal_)
+        sum += local.localReads;
+    return sum;
+}
+
+std::size_t
+MultiGpuSystem::outstandingRequests() const
+{
+    std::size_t sum = 0;
+    for (const GpuLocal &local : gpuLocal_)
+        sum += local.outstanding.size();
+    return sum;
 }
 
 stats::Registry
@@ -388,14 +461,23 @@ MultiGpuSystem::collectStats() const
     stats::Registry reg;
     reg.counter("system.cycles").inc(engine_.now());
     reg.counter("system.events").inc(engine_.eventsExecuted());
-    reg.counter("sim.nearEvents").inc(engine_.queue().nearScheduled());
-    reg.counter("sim.farEvents").inc(engine_.queue().farScheduled());
-    reg.counter("sim.callbackPoolAllocated")
-        .inc(engine_.callbackPoolAllocated());
-    reg.counter("sim.callbackPoolHighWater")
-        .inc(engine_.callbackPoolHighWater());
-    reg.counter("sim.callbackArenaBytes")
-        .inc(engine_.callbackArenaBytes());
+    std::uint64_t near = 0, far = 0, cb_alloc = 0, cb_high = 0,
+                  cb_arena = 0;
+    for (unsigned s = 0; s < engine_.numShards(); ++s) {
+        const sim::Engine &e = engine_.shard(s);
+        near += e.queue().nearScheduled();
+        far += e.queue().farScheduled();
+        cb_alloc += e.callbackPoolAllocated();
+        cb_high += e.callbackPoolHighWater();
+        cb_arena += e.callbackArenaBytes();
+    }
+    reg.counter("sim.nearEvents").inc(near);
+    reg.counter("sim.farEvents").inc(far);
+    reg.counter("sim.callbackPoolAllocated").inc(cb_alloc);
+    reg.counter("sim.callbackPoolHighWater").inc(cb_high);
+    reg.counter("sim.callbackArenaBytes").inc(cb_arena);
+    // Pools are thread-local: these gauges cover the calling thread
+    // (shard 0) only. Diagnostics, not part of the measurement.
     reg.counter("sim.packetPoolHighWater")
         .inc(sim::ObjectPool<noc::Packet>::local().highWater());
     reg.counter("sim.flitPoolHighWater")
@@ -406,12 +488,25 @@ MultiGpuSystem::collectStats() const
     reg.counter("sim.smallFnHeapAllocs")
         .inc(sim::SmallFn::heapAllocations());
     reg.counter("system.instructions").inc(totalInstructions());
-    reg.counter("system.remoteReads").inc(remoteReads_);
-    reg.counter("system.localReads").inc(localReads_);
+    reg.counter("system.remoteReads").inc(remoteReads());
+    reg.counter("system.localReads").inc(localReads());
     reg.counter("network.interClusterFlits")
         .inc(network_->interClusterFlits());
     reg.counter("network.interClusterWireBytes")
         .inc(network_->interClusterWireBytes());
+
+    reg.counter("sharded.shards").inc(engine_.numShards());
+    reg.counter("sharded.quantaExecuted").inc(engine_.quantaExecuted());
+    reg.counter("sharded.barrierStallTicks")
+        .inc(engine_.totalBarrierStallTicks());
+    reg.counter("sharded.crossShardFlits")
+        .inc(network_->crossShardFlits());
+    reg.counter("sharded.maxIngressDepth")
+        .inc(network_->maxIngressDepth());
+    for (unsigned s = 0; s < engine_.numShards(); ++s) {
+        reg.counter("sharded.shard" + std::to_string(s) + ".stallTicks")
+            .inc(engine_.barrierStallTicks(s));
+    }
 
     for (GpuId g = 0; g < cfg_.numGpus(); ++g) {
         const GpuChip &chip = chips_[g];
@@ -460,8 +555,9 @@ MultiGpuSystem::collectStats() const
                 .inc(ctrl->trimStats().bytesTrimmed);
         }
     }
-    reg.average("system.interReadLatency") = interReadLatency_;
-    reg.distribution("system.remoteReadBytesNeeded") = remoteReadBytes_;
+    reg.average("system.interReadLatency") = interClusterReadLatency();
+    reg.distribution("system.remoteReadBytesNeeded") =
+        remoteReadBytesNeeded();
     return reg;
 }
 

@@ -7,6 +7,16 @@
  *
  * This is the library's main entry point: construct with a
  * SystemConfig, run() a Workload, then read the statistics accessors.
+ *
+ * Execution is optionally sharded: with shards > 1 the clusters are
+ * partitioned round-robin onto shard engines (sim::shardOfCluster) and
+ * advance in conservative barrier-synchronized quanta (see
+ * sim/sharded_engine.hh). Everything a GPU owns — chip, RDMA endpoint,
+ * outstanding-request table, statistics, priority RNG — lives on its
+ * cluster's shard, so the only cross-shard interactions are the
+ * latency-bearing inter-cluster wire channels. Results are bit-identical
+ * for every shard count; the shard count is an execution detail, not
+ * part of the configuration digest.
  */
 
 #ifndef NETCRAFTER_GPU_SYSTEM_HH
@@ -25,6 +35,7 @@
 #include "src/mem/l2_cache.hh"
 #include "src/noc/network.hh"
 #include "src/sim/engine.hh"
+#include "src/sim/sharded_engine.hh"
 #include "src/stats/stats.hh"
 #include "src/vm/gmmu.hh"
 #include "src/vm/page_table.hh"
@@ -37,7 +48,14 @@ namespace netcrafter::gpu {
 class MultiGpuSystem : public workloads::PlacementDirectory
 {
   public:
-    explicit MultiGpuSystem(const config::SystemConfig &cfg);
+    /**
+     * Build the system. @p shards > 1 partitions the clusters onto that
+     * many engine shards, each running on its own thread; the value is
+     * clamped to [1, numClusters]. Simulation results are identical for
+     * every shard count.
+     */
+    explicit MultiGpuSystem(const config::SystemConfig &cfg,
+                            unsigned shards = 1);
     ~MultiGpuSystem() override;
 
     /**
@@ -71,25 +89,32 @@ class MultiGpuSystem : public workloads::PlacementDirectory
     /** L1 read misses per kilo wavefront instruction (Figures 16/17). */
     double l1Mpki() const;
 
-    /** Latency of inter-cluster remote reads, cycles (Figures 5/15). */
-    const stats::Average &interClusterReadLatency() const
-    {
-        return interReadLatency_;
-    }
+    /**
+     * Latency of inter-cluster remote reads, cycles (Figures 5/15).
+     * Tracked per requester GPU and merged in GPU order, so the value
+     * is identical for every shard count.
+     */
+    stats::Average interClusterReadLatency() const;
 
     /**
      * Bytes-needed census of inter-cluster read requests, bucketed
      * <=16 / <=32 / <=48 / <64 / 64 (Figure 7).
      */
-    const stats::Distribution &remoteReadBytesNeeded() const
-    {
-        return remoteReadBytes_;
-    }
+    stats::Distribution remoteReadBytesNeeded() const;
 
     const noc::Network &network() const { return *network_; }
     const vm::PageTable &pageTable() const { return pageTable_; }
     const config::SystemConfig &cfg() const { return cfg_; }
-    sim::Engine &engine() { return engine_; }
+
+    /** The sharded engine complex driving the system. */
+    sim::ShardedEngine &engines() { return engine_; }
+    const sim::ShardedEngine &engines() const { return engine_; }
+
+    /** Shard 0's engine (the only shard when running serially). */
+    sim::Engine &engine() { return engine_.shard(0); }
+
+    /** Shards executing this system (1 = classic serial simulation). */
+    unsigned numShards() const { return engine_.numShards(); }
 
     /** Aggregated GMMU walk count across GPUs. */
     std::uint64_t pageWalks() const;
@@ -98,13 +123,13 @@ class MultiGpuSystem : public workloads::PlacementDirectory
     double meanWalkLength() const;
 
     /** Remote (cross-GPU) read requests issued. */
-    std::uint64_t remoteReads() const { return remoteReads_; }
+    std::uint64_t remoteReads() const;
 
     /** Local L2-satisfied read requests. */
-    std::uint64_t localReads() const { return localReads_; }
+    std::uint64_t localReads() const;
 
     /** Requests still awaiting a response (0 after a completed run). */
-    std::size_t outstandingRequests() const { return outstanding_.size(); }
+    std::size_t outstandingRequests() const;
 
     /**
      * Export every statistic the system tracks into a Registry (names
@@ -127,8 +152,42 @@ class MultiGpuSystem : public workloads::PlacementDirectory
         std::deque<WaveDesc> pendingWaves;
     };
 
+    /**
+     * Per-GPU bookkeeping that the GPU's shard thread owns exclusively:
+     * the outstanding-request table (responses always return to the
+     * requester's shard), remote-read statistics, and the priority RNG.
+     * Partitioning this state per GPU — in serial mode too — is what
+     * makes sharded execution both race-free and bit-identical.
+     */
+    struct GpuLocal
+    {
+        /** request packet id -> response continuation. */
+        std::unordered_map<std::uint64_t,
+                           std::function<void(const noc::Packet &)>>
+            outstanding;
+
+        stats::Average interReadLatency;
+        stats::Distribution remoteReadBytes{
+            std::vector<double>{16, 32, 48, 63}};
+        std::uint64_t remoteReads = 0;
+        std::uint64_t localReads = 0;
+        Pcg32 priorityRng;
+    };
+
+    /** The engine of @p g's cluster's shard. */
+    sim::Engine &engineOf(GpuId g)
+    {
+        return engine_.shard(sim::shardOfCluster(
+            cfg_.clusterOf(g), engine_.numShards()));
+    }
+    const sim::Engine &engineOf(GpuId g) const
+    {
+        return engine_.shard(sim::shardOfCluster(
+            cfg_.clusterOf(g), engine_.numShards()));
+    }
+
     void buildChips();
-    void markPriority(noc::Packet &pkt);
+    void markPriority(noc::Packet &pkt, GpuId requester);
     void handleRemoteRequest(GpuId owner, noc::PacketPtr req);
     void handleResponse(noc::PacketPtr rsp);
     void l1Fill(GpuId g, mem::FillRequest req);
@@ -141,22 +200,22 @@ class MultiGpuSystem : public workloads::PlacementDirectory
                         std::uint64_t kernel_seed);
     void refillCus(GpuId g);
 
+    static unsigned clampShards(const config::SystemConfig &cfg,
+                                unsigned shards);
+
     config::SystemConfig cfg_;
-    sim::Engine engine_;
+
+    /**
+     * Declared before every component so it outlives them all; the
+     * worker threads only join in its destructor, by which point all
+     * pooled objects have drained back to their owning arenas.
+     */
+    sim::ShardedEngine engine_;
+
     vm::PageTable pageTable_;
     std::unique_ptr<noc::Network> network_;
     std::vector<GpuChip> chips_;
-    Pcg32 priorityRng_;
-
-    /** request packet id -> response continuation. */
-    std::unordered_map<std::uint64_t,
-                       std::function<void(const noc::Packet &)>>
-        outstanding_;
-
-    stats::Average interReadLatency_;
-    stats::Distribution remoteReadBytes_;
-    std::uint64_t remoteReads_ = 0;
-    std::uint64_t localReads_ = 0;
+    std::vector<GpuLocal> gpuLocal_;
 };
 
 } // namespace netcrafter::gpu

@@ -69,20 +69,44 @@ struct RunResult
     /** Host seconds the simulation took (diagnostics only). */
     double wallSeconds = 0;
 
+    // Sharded execution census (diagnostics only: they describe how the
+    // simulator ran, not what it simulated — the shard count never
+    // changes a measurement) ------------------------------------------
+    /** Engine shards the run executed on (1 = serial). */
+    unsigned shards = 1;
+
+    /** Barrier-synchronized windows the sharded engine executed. */
+    std::uint64_t quantaExecuted = 0;
+
+    /** Summed idle ticks shards spent waiting at window tails. */
+    std::uint64_t barrierStallTicks = 0;
+
+    /** Flits re-materialized across shard boundaries. */
+    std::uint64_t crossShardFlits = 0;
+
+    /** Peak per-channel ingress-queue depth at a quantum barrier. */
+    std::uint64_t maxIngressDepth = 0;
+
     // Simulator hot-path census ----------------------------------------
     /** Events executed per host wall-clock second (diagnostics only). */
     double eventsPerSecond = 0;
 
-    /** Events scheduled within the event queue's near-future wheel. */
+    /** Events scheduled within near-future wheels, summed over shards
+     *  (diagnostics only: the near/far split depends on each shard's
+     *  clock at scheduling time, which sharding changes). */
     std::uint64_t nearEvents = 0;
 
-    /** Events that overflowed into the far-future heap. */
+    /** Events that overflowed into the far-future heaps (diagnostics
+     *  only, see nearEvents). */
     std::uint64_t farEvents = 0;
 
-    /** Peak simultaneously pending one-shot callback events. */
+    /** Peak simultaneously pending one-shot callback events, summed
+     *  over shards (diagnostics only: per-shard peaks don't sum to the
+     *  serial peak). */
     std::uint64_t callbackPoolHighWater = 0;
 
-    /** Bytes held by the engine's one-shot event node arena. */
+    /** Bytes held by the engines' one-shot event node arenas
+     *  (diagnostics only, see callbackPoolHighWater). */
     std::uint64_t callbackArenaBytes = 0;
 
     /** Peak live packets in this thread's arena (diagnostics only:
@@ -103,10 +127,13 @@ struct RunResult
 /**
  * Simulate @p workload_name (a Table 3 abbreviation or "GEMM") under
  * @p cfg. @p scale multiplies per-wavefront instruction counts.
+ * @p shards runs the simulation on that many engine shards (clamped to
+ * the cluster count); every measured field of the result is identical
+ * for every shard count — only the diagnostics differ.
  */
 RunResult runWorkload(const std::string &workload_name,
                       const config::SystemConfig &cfg,
-                      double scale = 1.0);
+                      double scale = 1.0, unsigned shards = 1);
 
 /** Geometric mean of a sequence of positive ratios. */
 double geomean(const std::vector<double> &xs);
@@ -124,9 +151,11 @@ double parseScaleEnv(const char *text);
 
 /**
  * True when @p a and @p b report identical measurements — every field
- * except the diagnostics-only wallSeconds. Exact comparison: the
- * simulator is deterministic, so equal inputs must produce bit-equal
- * outputs.
+ * except the diagnostics (wall-clock rates, shard-execution census,
+ * per-shard queue/pool gauges). Exact comparison: the simulator is
+ * deterministic, so equal inputs must produce bit-equal outputs — in
+ * particular a serial and a sharded run of the same (workload, config)
+ * must compare equal.
  */
 bool sameMeasurement(const RunResult &a, const RunResult &b);
 

@@ -1,5 +1,6 @@
 #include "src/noc/network.hh"
 
+#include <algorithm>
 #include <string>
 
 #include "src/sim/logging.hh"
@@ -10,6 +11,30 @@ Network::Network(sim::Engine &engine, const config::SystemConfig &cfg)
     : SimObject(engine, "network"), cfg_(cfg)
 {
     cfg_.validate();
+    const std::vector<sim::Engine *> cluster_engines(cfg_.numClusters,
+                                                     &engine);
+    build(cluster_engines, nullptr);
+}
+
+Network::Network(sim::ShardedEngine &engines,
+                 const config::SystemConfig &cfg)
+    : SimObject(engines.shard(0), "network"), cfg_(cfg),
+      numShards_(engines.numShards())
+{
+    cfg_.validate();
+    std::vector<sim::Engine *> cluster_engines;
+    cluster_engines.reserve(cfg_.numClusters);
+    for (ClusterId c = 0; c < cfg_.numClusters; ++c) {
+        cluster_engines.push_back(
+            &engines.shard(sim::shardOfCluster(c, numShards_)));
+    }
+    build(cluster_engines, &engines);
+}
+
+void
+Network::build(const std::vector<sim::Engine *> &cluster_engines,
+               sim::ShardedEngine *sharded)
+{
     const std::uint32_t num_gpus = cfg_.numGpus();
     const std::uint32_t intra_rate = cfg_.intraFlitsPerCycle();
     const std::uint32_t inter_rate = cfg_.interFlitsPerCycle();
@@ -20,13 +45,15 @@ Network::Network(sim::Engine &engine, const config::SystemConfig &cfg)
 
     for (ClusterId c = 0; c < cfg_.numClusters; ++c) {
         switches_.push_back(std::make_unique<Switch>(
-            engine, "cluster" + std::to_string(c) + ".switch",
-            sw_params));
+            *cluster_engines[c],
+            "cluster" + std::to_string(c) + ".switch", sw_params));
     }
 
-    // GPU endpoints and GPU <-> cluster-switch links.
+    // GPU endpoints and GPU <-> cluster-switch links, all on the GPU's
+    // cluster engine.
     for (GpuId g = 0; g < num_gpus; ++g) {
         const ClusterId c = cfg_.clusterOf(g);
+        sim::Engine &engine = *cluster_engines[c];
         Switch &sw = *switches_[c];
         rdmas_.push_back(std::make_unique<RdmaEngine>(
             engine, "gpu" + std::to_string(g) + ".rdma", g,
@@ -43,9 +70,10 @@ Network::Network(sim::Engine &engine, const config::SystemConfig &cfg)
             sw.outBuffer(port), rdma.rxBuffer(), intra_rate));
     }
 
-    // Inter-cluster full mesh: a directed link per ordered cluster pair.
-    // With N clusters the per-switch Cluster Queue SRAM is split across
-    // the N-1 egress ports so the Table 2 budget is respected.
+    // Inter-cluster full mesh: a directed wire channel per ordered
+    // cluster pair. With N clusters the per-switch Cluster Queue SRAM is
+    // split across the N-1 egress ports so the Table 2 budget is
+    // respected.
     const std::size_t cq_entries_per_port =
         cfg_.numClusters > 1
             ? cfg_.netcrafter.clusterQueueEntries / (cfg_.numClusters - 1)
@@ -66,6 +94,7 @@ Network::Network(sim::Engine &engine, const config::SystemConfig &cfg)
         }
     }
 
+    bool any_cross_shard = false;
     for (ClusterId from = 0; from < cfg_.numClusters; ++from) {
         for (ClusterId to = 0; to < cfg_.numClusters; ++to) {
             if (from == to)
@@ -74,17 +103,29 @@ Network::Network(sim::Engine &engine, const config::SystemConfig &cfg)
             const std::size_t in_port = inter_port[{to, from}];
             Switch &src_sw = *switches_[from];
             Switch &dst_sw = *switches_[to];
+            sim::Engine &src_engine = *cluster_engines[from];
+            sim::Engine &dst_engine = *cluster_engines[to];
+            const unsigned src_shard =
+                sim::shardOfCluster(from, numShards_);
+            const unsigned dst_shard =
+                sim::shardOfCluster(to, numShards_);
 
             InterLink il;
             il.monitor = std::make_unique<TrafficMonitor>();
-            il.link = std::make_unique<Link>(
-                engine,
+            il.channel = std::make_unique<WireChannel>(
+                src_engine, dst_engine,
                 "inter" + std::to_string(from) + "to" + std::to_string(to),
                 src_sw.outBuffer(out_port), dst_sw.inBuffer(in_port),
-                inter_rate);
+                inter_rate, cfg_.interLinkLatency, src_shard, dst_shard);
             TrafficMonitor *mon = il.monitor.get();
-            il.link->setObserver(
+            il.channel->setObserver(
                 [mon](const Flit &flit) { mon->observe(flit); });
+            if (il.channel->crossShard()) {
+                NC_ASSERT(sharded != nullptr,
+                          "cross-shard channel without a sharded engine");
+                sharded->registerPort(*il.channel);
+                any_cross_shard = true;
+            }
 
             if (cfg_.netcrafter.anyEnabled()) {
                 config::NetCrafterConfig nc_cfg = cfg_.netcrafter;
@@ -93,7 +134,7 @@ Network::Network(sim::Engine &engine, const config::SystemConfig &cfg)
                 Switch *src_ptr = &src_sw;
                 il.controller =
                     std::make_unique<core::NetCrafterController>(
-                        engine,
+                        src_engine,
                         "cluster" + std::to_string(from) +
                             ".netcrafter.to" + std::to_string(to),
                         nc_cfg,
@@ -109,6 +150,11 @@ Network::Network(sim::Engine &engine, const config::SystemConfig &cfg)
             interLinks_.emplace(std::make_pair(from, to), std::move(il));
         }
     }
+
+    // Every inter-cluster channel shares cfg_.interLinkLatency, which
+    // is therefore the conservative lookahead.
+    if (any_cross_shard)
+        sharded->setLookahead(cfg_.interLinkLatency);
 }
 
 void
@@ -127,10 +173,10 @@ Network::interClusterMonitor(ClusterId from, ClusterId to) const
     return *interLinks_.at({from, to}).monitor;
 }
 
-const Link &
-Network::interClusterLink(ClusterId from, ClusterId to) const
+const WireChannel &
+Network::interClusterChannel(ClusterId from, ClusterId to) const
 {
-    return *interLinks_.at({from, to}).link;
+    return *interLinks_.at({from, to}).channel;
 }
 
 double
@@ -140,7 +186,7 @@ Network::interClusterUtilization() const
         return 0.0;
     double sum = 0.0;
     for (const auto &[key, il] : interLinks_)
-        sum += il.link->utilization();
+        sum += il.channel->utilization();
     return sum / static_cast<double>(interLinks_.size());
 }
 
@@ -170,7 +216,7 @@ Network::interClusterFlits() const
 {
     std::uint64_t sum = 0;
     for (const auto &[key, il] : interLinks_)
-        sum += il.link->flitsTransferred();
+        sum += il.channel->flitsTransferred();
     return sum;
 }
 
@@ -179,8 +225,26 @@ Network::interClusterWireBytes() const
 {
     std::uint64_t sum = 0;
     for (const auto &[key, il] : interLinks_)
-        sum += il.link->bytesTransferred();
+        sum += il.channel->bytesTransferred();
     return sum;
+}
+
+std::uint64_t
+Network::crossShardFlits() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &[key, il] : interLinks_)
+        sum += il.channel->flitsRematerialized();
+    return sum;
+}
+
+std::size_t
+Network::maxIngressDepth() const
+{
+    std::size_t depth = 0;
+    for (const auto &[key, il] : interLinks_)
+        depth = std::max(depth, il.channel->maxIngressDepth());
+    return depth;
 }
 
 } // namespace netcrafter::noc

@@ -2,10 +2,16 @@
  * @file
  * Builds the hierarchical multi-GPU interconnect of Figure 2: per-cluster
  * switches with high-bandwidth GPU-facing ports, lower-bandwidth
- * switch-to-switch links between clusters, per-GPU RDMA endpoints, and —
- * when any NetCrafter mechanism is enabled — a NetCrafter controller on
- * every inter-cluster egress port plus an un-stitching engine on every
- * inter-cluster ingress port.
+ * latency-bearing wire channels between clusters, per-GPU RDMA endpoints,
+ * and — when any NetCrafter mechanism is enabled — a NetCrafter
+ * controller on every inter-cluster egress port plus an un-stitching
+ * engine on every inter-cluster ingress port.
+ *
+ * Every component of a cluster (switch, RDMA endpoints, GPU links,
+ * controllers, un-stitchers) binds to the engine of the shard owning
+ * that cluster (see sim/sharded_engine.hh); only the inter-cluster
+ * WireChannels span shards. With a single shard all clusters share one
+ * engine and execution is the classic serial simulation.
  */
 
 #ifndef NETCRAFTER_NOC_NETWORK_HH
@@ -21,7 +27,20 @@
 #include "src/noc/rdma.hh"
 #include "src/noc/switch.hh"
 #include "src/noc/traffic_monitor.hh"
+#include "src/noc/wire_channel.hh"
+#include "src/sim/sharded_engine.hh"
 #include "src/sim/sim_object.hh"
+
+namespace netcrafter::sim {
+
+/** Canonical cluster-to-shard assignment: round-robin over shards. */
+inline unsigned
+shardOfCluster(ClusterId cluster, unsigned shards)
+{
+    return static_cast<unsigned>(cluster) % shards;
+}
+
+} // namespace netcrafter::sim
 
 namespace netcrafter::noc {
 
@@ -29,7 +48,17 @@ namespace netcrafter::noc {
 class Network : public sim::SimObject
 {
   public:
+    /** Build on a single engine (serial execution). */
     Network(sim::Engine &engine, const config::SystemConfig &cfg);
+
+    /**
+     * Build across @p engines' shards: cluster c's components bind to
+     * shard sim::shardOfCluster(c, N). Cross-shard channels register
+     * with @p engines for barrier exchange, and the lookahead is set to
+     * the minimum cross-shard channel latency.
+     */
+    Network(sim::ShardedEngine &engines,
+            const config::SystemConfig &cfg);
 
     /** The RDMA endpoint of GPU @p gpu. */
     RdmaEngine &rdma(GpuId gpu) { return *rdmas_.at(gpu); }
@@ -43,41 +72,52 @@ class Network : public sim::SimObject
     /** Inject @p pkt at its source GPU's RDMA engine. */
     void sendPacket(PacketPtr pkt);
 
-    /** Census of the directed inter-cluster link @p from -> @p to. */
+    /** Census of the directed inter-cluster channel @p from -> @p to. */
     const TrafficMonitor &interClusterMonitor(ClusterId from,
                                               ClusterId to) const;
 
-    /** The directed inter-cluster link @p from -> @p to. */
-    const Link &interClusterLink(ClusterId from, ClusterId to) const;
+    /** The directed inter-cluster channel @p from -> @p to. */
+    const WireChannel &interClusterChannel(ClusterId from,
+                                           ClusterId to) const;
 
-    /** Mean utilization across all inter-cluster links (Figure 4). */
+    /** Mean utilization across all inter-cluster channels (Figure 4). */
     double interClusterUtilization() const;
 
-    /** Aggregate census over all inter-cluster links. */
+    /** Aggregate census over all inter-cluster channels. */
     TrafficMonitor aggregateInterClusterTraffic() const;
 
     /** Controller on cluster @p from's port toward @p to, or nullptr. */
     const core::NetCrafterController *controller(ClusterId from,
                                                  ClusterId to) const;
 
-    /** Sum of flits carried by all inter-cluster links. */
+    /** Sum of flits carried by all inter-cluster channels. */
     std::uint64_t interClusterFlits() const;
 
-    /** Sum of wire bytes carried by all inter-cluster links. */
+    /** Sum of wire bytes carried by all inter-cluster channels. */
     std::uint64_t interClusterWireBytes() const;
+
+    /** Flits re-materialized across shard boundaries (0 when serial). */
+    std::uint64_t crossShardFlits() const;
+
+    /** Peak per-channel ingress-queue depth at a quantum barrier. */
+    std::size_t maxIngressDepth() const;
 
     const config::SystemConfig &cfg() const { return cfg_; }
 
   private:
     struct InterLink
     {
-        std::unique_ptr<Link> link;
+        std::unique_ptr<WireChannel> channel;
         std::unique_ptr<TrafficMonitor> monitor;
         std::unique_ptr<core::NetCrafterController> controller;
         std::unique_ptr<core::Unstitcher> unstitcher;
     };
 
+    void build(const std::vector<sim::Engine *> &cluster_engines,
+               sim::ShardedEngine *sharded);
+
     config::SystemConfig cfg_;
+    unsigned numShards_ = 1;
     std::vector<std::unique_ptr<RdmaEngine>> rdmas_;
     std::vector<std::unique_ptr<Switch>> switches_;
     std::vector<std::unique_ptr<Link>> gpuLinks_;

@@ -1,17 +1,38 @@
 #include "src/noc/packet.hh"
 
 #include <sstream>
+#include <vector>
 
 namespace netcrafter::noc {
 
 namespace {
 
-// thread_local rather than global: the experiment scheduler runs
-// independent MultiGpuSystem instances on concurrent threads, and each
-// system resets this allocator at construction. A system never
-// migrates threads mid-run, so per-thread ids reproduce the serial id
-// sequence exactly.
-thread_local std::uint64_t nextPacketId = 1;
+// Ids are namespaced by source GPU: the high bits carry the source and
+// the low bits a per-source sequence number. Every packet with source g
+// is created on the shard thread that owns GPU g (requests by the
+// requesting chip, responses by the owning chip's L2 callback), so
+// per-source counters make the id sequence identical whether a system
+// runs on one engine or on several shard threads — which matters
+// because RDMA reassembly and the outstanding-request tables key on it.
+//
+// The counters are thread_local rather than global: the experiment
+// scheduler runs independent MultiGpuSystem instances on concurrent
+// threads, and each system resets this allocator at construction.
+// Sharded systems never reset — their worker threads are born fresh per
+// system and persist across kernels.
+inline constexpr std::uint64_t kIdStride = std::uint64_t{1} << 44;
+
+thread_local std::vector<std::uint64_t> nextIdBySrc;
+
+std::uint64_t
+nextPacketId(GpuId src)
+{
+    const std::size_t slot =
+        src == kGpuInvalid ? 0 : static_cast<std::size_t>(src) + 1;
+    if (slot >= nextIdBySrc.size())
+        nextIdBySrc.resize(slot + 1, 0);
+    return slot * kIdStride + ++nextIdBySrc[slot];
+}
 
 } // namespace
 
@@ -51,7 +72,7 @@ PacketPtr
 makePacket(PacketType type, GpuId src, GpuId dst, Addr addr)
 {
     PacketPtr pkt = sim::ObjectPool<Packet>::local().allocate();
-    pkt->id = nextPacketId++;
+    pkt->id = nextPacketId(src);
     pkt->type = type;
     pkt->src = src;
     pkt->dst = dst;
@@ -60,10 +81,20 @@ makePacket(PacketType type, GpuId src, GpuId dst, Addr addr)
     return pkt;
 }
 
+PacketPtr
+clonePacket(const Packet &original)
+{
+    PacketPtr pkt = sim::ObjectPool<Packet>::local().allocate();
+    // PoolRefCount's copy assignment leaves the refcount alone, so a
+    // plain payload copy (id included) is safe on a fresh node.
+    *pkt = original;
+    return pkt;
+}
+
 void
 resetPacketIds()
 {
-    nextPacketId = 1;
+    nextIdBySrc.clear();
 }
 
 } // namespace netcrafter::noc

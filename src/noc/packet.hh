@@ -180,10 +180,23 @@ struct Packet : sim::PoolRefCount
 };
 
 /**
- * Create a packet of @p type with a fresh globally unique id and the
- * type's default payload size.
+ * Create a packet of @p type with a fresh unique id and the type's
+ * default payload size. Ids are namespaced by @p src so that the
+ * sequence a GPU's packets receive does not depend on how the system is
+ * sharded across threads (see packet.cc).
  */
 PacketPtr makePacket(PacketType type, GpuId src, GpuId dst, Addr addr);
+
+/**
+ * Acquire a fresh pooled packet holding a field-for-field copy of
+ * @p original, id included. The wire channels use this to re-materialize
+ * a packet into the destination shard's thread-local pool when a flit
+ * crosses a shard boundary: pooled refcounts are non-atomic, so the
+ * source shard's object must never be shared, and downstream consumers
+ * (RDMA reassembly, request/response matching) identify packets by id,
+ * never by object address.
+ */
+PacketPtr clonePacket(const Packet &original);
 
 /** Reset this thread's packet id allocator (run on system construction). */
 void resetPacketIds();

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * WireChannel: a unidirectional inter-cluster wire with a fixed flight
+ * latency and credit-based flow control, replacing the zero-latency
+ * Link on cluster-to-cluster connections. The latency is what gives the
+ * sharded engine its conservative lookahead (see sim/sharded_engine.hh)
+ * — and the channel behaves identically whether its two endpoints share
+ * an engine (serial execution, or co-located clusters when the shard
+ * count is below the cluster count) or live on different shards.
+ *
+ * Egress side (source shard): each cycle the channel pops up to
+ * `flitsPerCycle` flits from the source buffer, consuming one credit
+ * per flit, and puts them "on the wire" to arrive `latency` cycles
+ * later. Ingress side (destination shard): an arrival is a wire-phase
+ * event that pushes the flit into the sink buffer — guaranteed to have
+ * room, because credits mirror the sink's capacity. Every sink pop
+ * returns a credit that reaches the egress side `latency` cycles later.
+ *
+ * When the endpoints are on different shards, a departing flit is
+ * snapshotted by value (packet payloads included) into the channel's
+ * outbox and re-materialized from the destination shard's thread-local
+ * pools at the next quantum barrier: pooled refcounts are non-atomic,
+ * so a pooled object is never shared across threads — ownership of the
+ * bits transfers through the snapshot, and the source-side handles drop
+ * on the source thread. Credits travel the opposite way through a tick
+ * outbox. Both mailboxes are single-writer/single-reader with the
+ * barrier providing the happens-before edge.
+ */
+
+#ifndef NETCRAFTER_NOC_WIRE_CHANNEL_HH
+#define NETCRAFTER_NOC_WIRE_CHANNEL_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/noc/flit_buffer.hh"
+#include "src/sim/self_scheduling.hh"
+#include "src/sim/sharded_engine.hh"
+#include "src/sim/sim_object.hh"
+
+namespace netcrafter::noc {
+
+/** Latency + credit flow-controlled channel between two flit buffers. */
+class WireChannel : public sim::SimObject, public sim::CrossShardPort
+{
+  public:
+    /**
+     * @p src_engine must be the engine of the shard owning @p source's
+     * producer; @p dst_engine the one owning @p sink's consumer. They
+     * may be the same object (serial / co-located). Initial credits are
+     * @p sink's capacity, so deliveries can never overrun it.
+     */
+    WireChannel(sim::Engine &src_engine, sim::Engine &dst_engine,
+                std::string name, FlitBuffer &source, FlitBuffer &sink,
+                std::uint32_t flits_per_cycle, Tick latency,
+                unsigned src_shard, unsigned dst_shard);
+
+    /** Wake the egress side; schedules a pump if none is pending. */
+    void notify();
+
+    /** True when the endpoints live on different shards. */
+    bool crossShard() const { return srcShard_ != dstShard_; }
+
+    /** Flight latency in cycles (the shard lookahead contribution). */
+    Tick latency() const { return latency_; }
+
+    /** Peak flits/cycle capacity. */
+    std::uint32_t flitsPerCycle() const { return flitsPerCycle_; }
+
+    /** Flits put on the wire over the channel's lifetime. */
+    std::uint64_t flitsTransferred() const { return flitsTransferred_; }
+
+    /** Wire bytes transferred (flits x capacity). */
+    std::uint64_t bytesTransferred() const { return bytesTransferred_; }
+
+    /** Useful (non-padded) bytes transferred. */
+    std::uint64_t
+    usefulBytesTransferred() const
+    {
+        return usefulBytesTransferred_;
+    }
+
+    /** Cycles in which at least one flit departed. */
+    std::uint64_t busyCycles() const { return busyCycles_; }
+
+    /** Utilization over [0, now]: flits moved / (cycles x capacity). */
+    double utilization() const;
+
+    /** First tick at which the channel did any work (0 if never). */
+    Tick firstBusyTick() const { return firstBusyTick_; }
+
+    /** Last tick at which the channel did any work. */
+    Tick lastBusyTick() const { return lastBusyTick_; }
+
+    /** Observe every flit entering the wire (traffic monitors). */
+    void
+    setObserver(std::function<void(const Flit &)> fn)
+    {
+        observer_ = std::move(fn);
+    }
+
+    /** Flits re-materialized into the destination shard's pools. */
+    std::uint64_t
+    flitsRematerialized() const
+    {
+        return flitsRematerialized_;
+    }
+
+    /** Peak outbox depth observed at a quantum barrier. */
+    std::size_t maxIngressDepth() const { return maxIngressDepth_; }
+
+    // CrossShardPort interface (used only when crossShard()).
+    unsigned srcShard() const override { return srcShard_; }
+    unsigned dstShard() const override { return dstShard_; }
+    void importAtDst() override;
+    void importAtSrc() override;
+
+  private:
+    /** Value snapshot of a stitched piece for cross-shard transfer. */
+    struct WirePiece
+    {
+        Packet pkt;
+        std::uint16_t bytes;
+        std::uint32_t seq;
+        std::uint32_t numFlits;
+        bool wholePacket;
+    };
+
+    /** Value snapshot of a flit in flight across a shard boundary. */
+    struct WireFlit
+    {
+        Tick arrival;
+        Packet pkt;
+        std::uint32_t seq;
+        std::uint32_t numFlits;
+        std::uint16_t occupiedBytes;
+        std::uint16_t capacity;
+        bool pooledOnce;
+        std::vector<WirePiece> stitched;
+    };
+
+    void pump();
+    void ship(FlitPtr flit, Tick arrival);
+    void deliver(FlitPtr flit);
+    void creditArrive();
+    void onSinkPop();
+
+    sim::Engine &srcEngine_;
+    sim::Engine &dstEngine_;
+    FlitBuffer &source_;
+    FlitBuffer &sink_;
+    std::uint32_t flitsPerCycle_;
+    Tick latency_;
+    unsigned srcShard_;
+    unsigned dstShard_;
+    std::size_t credits_;
+    sim::SelfScheduling<WireChannel, &WireChannel::pump> wake_;
+    std::function<void(const Flit &)> observer_;
+
+    /** Written by the source shard in a window, drained at the barrier
+     * by the destination shard (importAtDst). */
+    std::vector<WireFlit> flitOutbox_;
+
+    /** Written by the destination shard, drained by the source shard
+     * (importAtSrc). */
+    std::vector<Tick> creditOutbox_;
+
+    std::uint64_t flitsTransferred_ = 0;
+    std::uint64_t bytesTransferred_ = 0;
+    std::uint64_t usefulBytesTransferred_ = 0;
+    std::uint64_t busyCycles_ = 0;
+    Tick firstBusyTick_ = 0;
+    Tick lastBusyTick_ = 0;
+    bool everBusy_ = false;
+    std::uint64_t flitsRematerialized_ = 0;
+    std::size_t maxIngressDepth_ = 0;
+};
+
+} // namespace netcrafter::noc
+
+#endif // NETCRAFTER_NOC_WIRE_CHANNEL_HH

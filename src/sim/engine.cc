@@ -24,6 +24,17 @@ Engine::scheduleAbs(Event &ev, Tick when)
     queue_.schedule(ev, when);
 }
 
+void
+Engine::scheduleWireAbs(Tick when, EventFn fn)
+{
+    NC_ASSERT(when > now_, "wire event must be strictly in the future: "
+                           "when=", when, " now=", now_);
+    CallbackEvent *ev = acquireCallback();
+    ev->fn = std::move(fn);
+    ev->setPhase(kPhaseWire);
+    queue_.schedule(*ev, when);
+}
+
 Engine::CallbackEvent *
 Engine::acquireCallback()
 {
@@ -39,6 +50,7 @@ Engine::acquireCallback()
     }
     CallbackEvent *ev = freeList_.back();
     freeList_.pop_back();
+    ev->setPhase(kPhaseDefault); // recycled nodes may have been wire
     const std::size_t live = poolAllocated_ - freeList_.size();
     poolHighWater_ = std::max(poolHighWater_, live);
     return ev;
@@ -47,14 +59,22 @@ Engine::acquireCallback()
 RunStatus
 Engine::run(Tick limit)
 {
+    const RunStatus status = runWindow(limit);
+    if (status == RunStatus::LimitHit) {
+        // Advance to the cap so aborted runs report it as "now";
+        // pending events all lie strictly beyond the limit.
+        now_ = std::max(now_, limit);
+    }
+    return status;
+}
+
+RunStatus
+Engine::runWindow(Tick limit)
+{
     stopRequested_ = false;
     while (!queue_.empty()) {
-        if (queue_.nextTick() > limit) {
-            // Advance to the cap so aborted runs report it as "now";
-            // pending events all lie strictly beyond the limit.
-            now_ = std::max(now_, limit);
+        if (queue_.nextTick() > limit)
             return lastRunStatus_ = RunStatus::LimitHit;
-        }
         Event *ev = queue_.pop();
         NC_ASSERT(ev->when() >= now_, "event queue went backwards");
         now_ = ev->when();

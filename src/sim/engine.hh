@@ -8,10 +8,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/sim/event.hh"
 #include "src/sim/event_queue.hh"
+#include "src/sim/logging.hh"
 #include "src/sim/small_fn.hh"
 #include "src/sim/types.hh"
 
@@ -65,6 +67,15 @@ class Engine
     /** Schedule @p fn at an absolute tick (must not be in the past). */
     void scheduleAbs(Tick when, EventFn fn);
 
+    /**
+     * Schedule @p fn as a wire-phase event at an absolute tick, strictly
+     * in the future. Wire-phase events fire before a tick's default
+     * events (see event.hh); the inter-cluster channels use this for
+     * flit deliveries and credit returns so that serial and sharded
+     * execution order them identically.
+     */
+    void scheduleWireAbs(Tick when, EventFn fn);
+
     /** Schedule intrusive event @p ev @p delay cycles from now. */
     void
     schedule(Event &ev, Tick delay)
@@ -81,6 +92,36 @@ class Engine
      * limit so aborted runs report the cap consistently.
      */
     RunStatus run(Tick limit = kTickNever);
+
+    /**
+     * Like run(), but never advances now() past the last executed
+     * event: hitting the limit leaves now() at the last event's tick.
+     * The sharded engine drains quantum windows with this so that a
+     * shard's clock reflects real progress, not the window cap.
+     */
+    RunStatus runWindow(Tick limit);
+
+    /** Tick of the earliest pending event, or kTickNever when empty. */
+    Tick
+    nextEventTick() const
+    {
+        return queue_.empty() ? kTickNever : queue_.nextTick();
+    }
+
+    /**
+     * Move now() forward to @p when without executing anything. Only
+     * meaningful between runs on a drained queue — the sharded engine
+     * aligns all shard clocks to the global maximum after a drain so
+     * that utilization denominators and the next kernel's dispatch base
+     * match the serial engine.
+     */
+    void
+    advanceNow(Tick when)
+    {
+        NC_ASSERT(when >= now_, "advanceNow() backwards: when=", when,
+                  " now=", now_);
+        now_ = when;
+    }
 
     /** Request that run() return after the current event completes. */
     void stop() { stopRequested_ = true; }
@@ -111,6 +152,22 @@ class Engine
     callbackArenaBytes() const
     {
         return poolAllocated_ * sizeof(CallbackEvent);
+    }
+
+    /** Record that a SimObject named @p name bound to this engine. */
+    void attachObject(const std::string &name)
+    {
+        attachedNames_.push_back(name);
+    }
+
+    /**
+     * Names of every SimObject constructed against this engine, in
+     * construction order. Diagnostic: lets tests assert that a sharded
+     * system's partition covers each component exactly once.
+     */
+    const std::vector<std::string> &attachedObjectNames() const
+    {
+        return attachedNames_;
     }
 
   private:
@@ -153,6 +210,7 @@ class Engine
     std::vector<CallbackEvent *> freeList_;
     std::size_t poolAllocated_ = 0;
     std::size_t poolHighWater_ = 0;
+    std::vector<std::string> attachedNames_;
 };
 
 } // namespace netcrafter::sim

@@ -18,6 +18,23 @@ namespace netcrafter::sim {
 class EventQueue;
 
 /**
+ * Execution phase of an event within its tick. Same-tick events pop in
+ * ascending (phase, sequence) order; the wire phase exists so that
+ * cross-shard deliveries of the sharded engine (see sharded_engine.hh)
+ * can be re-scheduled at a synchronization barrier without perturbing
+ * the order the serial engine would have executed them in: wire-phase
+ * events at one tick only touch disjoint channel state and therefore
+ * commute with each other.
+ */
+enum : std::uint8_t
+{
+    /** Inter-cluster wire arrivals (flit deliveries, credit returns). */
+    kPhaseWire = 0,
+    /** Everything else. */
+    kPhaseDefault = 1,
+};
+
+/**
  * Base class of everything the event queue can hold. The queue links
  * events intrusively: an Event must not be destroyed or rescheduled
  * while scheduled() is true.
@@ -39,6 +56,21 @@ class Event
     /** Tick the event fires (or last fired) at. */
     Tick when() const { return when_; }
 
+    /** Intra-tick execution phase (kPhaseWire or kPhaseDefault). */
+    std::uint8_t phase() const { return phase_; }
+
+    /**
+     * Set the intra-tick phase. Must not be called while scheduled.
+     * Wire-phase events must always be scheduled for a strictly future
+     * tick: a wire event inserted at the tick currently draining would
+     * fire after that tick's default-phase events.
+     */
+    void
+    setPhase(std::uint8_t phase)
+    {
+        phase_ = phase;
+    }
+
   protected:
     ~Event() = default;
 
@@ -47,6 +79,7 @@ class Event
 
     Tick when_ = 0;
     std::uint64_t seq_ = 0;
+    std::uint8_t phase_ = kPhaseDefault;
     bool scheduled_ = false;
 };
 

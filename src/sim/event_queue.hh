@@ -12,12 +12,19 @@
  * the horizon) overflow into a comparison-ordered heap and migrate
  * into the wheel as its base advances.
  *
- * Ordering contract (identical to the old pure-heap queue): events pop
- * in ascending (tick, schedule-sequence) order — same-tick events fire
- * in exact insertion order, keeping component behaviour deterministic.
- * Migration preserves this: a tick's bucket only becomes reachable for
- * direct scheduling after every farther-scheduled event for that tick
- * has migrated in (in sequence order), so bucket appends stay sorted.
+ * Ordering contract: events pop in ascending (tick, phase,
+ * schedule-sequence) order — same-tick same-phase events fire in exact
+ * insertion order, keeping component behaviour deterministic, and
+ * wire-phase events (cross-cluster flit deliveries and credit returns,
+ * see event.hh) fire before a tick's default-phase events regardless of
+ * when they were inserted. The sharded engine relies on that: it
+ * re-schedules wire arrivals at quantum barriers, in an order that may
+ * differ from the serial engine's insertion order, and phased popping
+ * plus the commutativity of same-tick wire events keeps execution
+ * bit-identical. Migration preserves the contract: a tick's bucket only
+ * becomes reachable for direct scheduling after every farther-scheduled
+ * event for that tick has migrated in (in phase+sequence order), so
+ * per-phase bucket appends stay sorted.
  *
  * Contract change vs. the old queue: scheduling strictly before the
  * last popped tick is no longer supported (the engine never did this —
@@ -105,8 +112,15 @@ class EventQueue
             advanceTo(tick);
 
         Slot &slot = slots_[slotOf(tick)];
-        Event *ev = slot.q[slot.head++];
-        if (slot.head == slot.q.size()) {
+        Event *ev;
+        if (slot.wireHead < slot.wire.size())
+            ev = slot.wire[slot.wireHead++];
+        else
+            ev = slot.q[slot.head++];
+        if (slot.wireHead == slot.wire.size() &&
+            slot.head == slot.q.size()) {
+            slot.wire.clear();
+            slot.wireHead = 0;
             slot.q.clear();
             slot.head = 0;
             occupied_ &= ~(std::uint64_t{1} << slotOf(tick));
@@ -122,6 +136,11 @@ class EventQueue
     clear()
     {
         for (auto &slot : slots_) {
+            for (std::size_t i = slot.wireHead; i < slot.wire.size();
+                 ++i)
+                slot.wire[i]->scheduled_ = false;
+            slot.wire.clear();
+            slot.wireHead = 0;
             for (std::size_t i = slot.head; i < slot.q.size(); ++i)
                 slot.q[i]->scheduled_ = false;
             slot.q.clear();
@@ -146,7 +165,10 @@ class EventQueue
   private:
     struct Slot
     {
-        /** FIFO bucket: push_back to append, head indexes the front. */
+        /** Wire-phase FIFO bucket, drained before q (see event.hh). */
+        std::vector<Event *> wire;
+        std::size_t wireHead = 0;
+        /** Default-phase FIFO bucket: push_back appends, head fronts. */
         std::vector<Event *> q;
         std::size_t head = 0;
     };
@@ -161,7 +183,10 @@ class EventQueue
     pushSlot(Event *ev)
     {
         const std::size_t s = slotOf(ev->when_);
-        slots_[s].q.push_back(ev);
+        if (ev->phase_ == kPhaseWire)
+            slots_[s].wire.push_back(ev);
+        else
+            slots_[s].q.push_back(ev);
         occupied_ |= std::uint64_t{1} << s;
         ++wheelCount_;
     }
@@ -195,8 +220,11 @@ class EventQueue
     static bool
     before(const Event *a, const Event *b)
     {
-        return a->when_ < b->when_ ||
-               (a->when_ == b->when_ && a->seq_ < b->seq_);
+        if (a->when_ != b->when_)
+            return a->when_ < b->when_;
+        if (a->phase_ != b->phase_)
+            return a->phase_ < b->phase_;
+        return a->seq_ < b->seq_;
     }
 
     void

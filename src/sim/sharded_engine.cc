@@ -1,0 +1,234 @@
+#include "src/sim/sharded_engine.hh"
+
+#include <algorithm>
+
+#include "src/sim/logging.hh"
+
+namespace netcrafter::sim {
+
+/**
+ * Shared state of one parallel drain. Built once (shards > 1); the
+ * worker threads park on `cv` between run() calls and re-enter the
+ * barrier loop when `generation` advances.
+ */
+struct ShardedEngine::Coordination
+{
+    struct DecideFn
+    {
+        ShardedEngine *owner;
+        void operator()() noexcept { owner->decide(); }
+    };
+
+    Coordination(unsigned n, ShardedEngine *owner)
+        : decide(n, DecideFn{owner}), quiesce(n)
+    {
+    }
+
+    /** End-of-import barrier; completion picks the next window. */
+    std::barrier<DecideFn> decide;
+
+    /** End-of-window barrier; outboxes are final once it releases. */
+    std::barrier<> quiesce;
+
+    std::mutex m;
+    std::condition_variable cv;
+    std::uint64_t generation = 0;
+    bool shutdown = false;
+
+    /** Inputs/outputs of the window decision (completion function). */
+    Tick limit = kTickNever;
+    std::vector<Tick> nextTick;
+    Tick windowEnd = kTickNever;
+    Tick windowStart = 0;
+    bool stop = false;
+    RunStatus status = RunStatus::Drained;
+
+    std::vector<std::thread> threads;
+};
+
+ShardedEngine::ShardedEngine(unsigned shards)
+{
+    NC_ASSERT(shards >= 1, "a system needs at least one shard");
+    engines_.reserve(shards);
+    for (unsigned s = 0; s < shards; ++s)
+        engines_.push_back(std::make_unique<Engine>());
+    stallTicks_.assign(shards, 0);
+
+    if (shards > 1) {
+        coord_ = std::make_unique<Coordination>(shards, this);
+        coord_->nextTick.assign(shards, kTickNever);
+        for (unsigned s = 1; s < shards; ++s)
+            coord_->threads.emplace_back(
+                [this, s] { workerMain(s); });
+    }
+}
+
+ShardedEngine::~ShardedEngine()
+{
+    if (coord_) {
+        {
+            std::lock_guard<std::mutex> lk(coord_->m);
+            coord_->shutdown = true;
+        }
+        coord_->cv.notify_all();
+        for (auto &t : coord_->threads)
+            t.join();
+    }
+}
+
+void
+ShardedEngine::registerPort(CrossShardPort &port)
+{
+    NC_ASSERT(port.srcShard() < numShards() &&
+                  port.dstShard() < numShards(),
+              "cross-shard port references an unknown shard");
+    NC_ASSERT(port.srcShard() != port.dstShard(),
+              "same-shard channels must not register for exchange");
+    ports_.push_back(&port);
+}
+
+void
+ShardedEngine::setLookahead(Tick ticks)
+{
+    NC_ASSERT(ticks >= 1, "conservative lookahead must be >= 1 tick");
+    lookahead_ = ticks;
+}
+
+/**
+ * Barrier completion: every shard has imported its mailboxes and
+ * published its earliest pending tick. Pick the global window
+ * [m, min(m + lookahead - 1, limit)], or stop when drained / past the
+ * limit. Runs on exactly one (unspecified) thread while all others are
+ * blocked in the barrier, so plain writes are safe.
+ */
+void
+ShardedEngine::decide() noexcept
+{
+    Tick m = kTickNever;
+    for (Tick t : coord_->nextTick)
+        m = std::min(m, t);
+
+    if (m == kTickNever) {
+        coord_->stop = true;
+        coord_->status = RunStatus::Drained;
+        return;
+    }
+    if (m > coord_->limit) {
+        coord_->stop = true;
+        coord_->status = RunStatus::LimitHit;
+        return;
+    }
+    coord_->stop = false;
+    coord_->windowStart = m;
+    const Tick cap = lookahead_ >= kTickNever - m
+                         ? kTickNever
+                         : m + lookahead_ - 1;
+    coord_->windowEnd = std::min(cap, coord_->limit);
+    ++quantaExecuted_;
+}
+
+void
+ShardedEngine::shardLoop(unsigned s)
+{
+    Engine &engine = *engines_[s];
+    for (;;) {
+        // Import phase: drain every mailbox addressed to this shard.
+        // Flits materialize on this (the destination) thread; credit
+        // returns come home to the source side. Outboxes were sealed by
+        // the previous quiesce barrier.
+        for (CrossShardPort *port : ports_) {
+            if (port->dstShard() == s)
+                port->importAtDst();
+            if (port->srcShard() == s)
+                port->importAtSrc();
+        }
+        coord_->nextTick[s] = engine.nextEventTick();
+
+        coord_->decide.arrive_and_wait();
+        if (coord_->stop)
+            return;
+
+        const Tick window_end = coord_->windowEnd;
+        engine.runWindow(window_end);
+
+        // Idle ticks at the window tail: the barrier forced this shard
+        // to wait even though it had nothing left to simulate.
+        const Tick resume =
+            std::max(engine.now() + 1, coord_->windowStart);
+        stallTicks_[s] +=
+            (window_end + 1) - std::min(window_end + 1, resume);
+
+        coord_->quiesce.arrive_and_wait();
+    }
+}
+
+void
+ShardedEngine::workerMain(unsigned s)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lk(coord_->m);
+            coord_->cv.wait(lk, [&] {
+                return coord_->shutdown || coord_->generation != seen;
+            });
+            if (coord_->shutdown)
+                return;
+            seen = coord_->generation;
+        }
+        shardLoop(s);
+    }
+}
+
+RunStatus
+ShardedEngine::run(Tick limit)
+{
+    if (numShards() == 1)
+        return engines_[0]->run(limit);
+
+    {
+        std::lock_guard<std::mutex> lk(coord_->m);
+        coord_->limit = limit;
+        ++coord_->generation;
+    }
+    coord_->cv.notify_all();
+    shardLoop(0); // the caller drives shard 0
+    return coord_->status;
+}
+
+void
+ShardedEngine::alignClocks()
+{
+    const Tick global = now();
+    for (auto &engine : engines_)
+        engine->advanceNow(global);
+}
+
+Tick
+ShardedEngine::now() const
+{
+    Tick global = 0;
+    for (const auto &engine : engines_)
+        global = std::max(global, engine->now());
+    return global;
+}
+
+std::uint64_t
+ShardedEngine::eventsExecuted() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &engine : engines_)
+        sum += engine->eventsExecuted();
+    return sum;
+}
+
+std::uint64_t
+ShardedEngine::totalBarrierStallTicks() const
+{
+    std::uint64_t sum = 0;
+    for (std::uint64_t ticks : stallTicks_)
+        sum += ticks;
+    return sum;
+}
+
+} // namespace netcrafter::sim

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Conservative parallel discrete-event execution: one Engine per shard,
+ * advancing in barrier-synchronized quanta bounded by the minimum
+ * cross-shard wire latency (the classic conservative-PDES lookahead, as
+ * in Graphite's barrier-synchronized cycle-level mode).
+ *
+ * The system is partitioned so that every component belongs to exactly
+ * one shard and all same-cycle interactions stay inside a shard; the
+ * only cross-shard traffic flows through latency-L wire channels
+ * (noc::WireChannel). A flit departing at tick T arrives at T+L, so as
+ * long as every shard stops at the end of a window of Q = min(L) ticks,
+ * no shard can receive a message for a tick it has already simulated:
+ *
+ *     window = [m, m+Q-1], departure T >= m  =>  arrival T+L >= m+Q.
+ *
+ * Between windows all shards meet at a barrier where each channel's
+ * outbox (written only by its source shard during the window) is
+ * drained by the destination shard, which re-materializes the payload
+ * into its own thread-local object pools (ownership transfer — pooled
+ * objects have non-atomic refcounts and never cross threads) and
+ * schedules the arrivals as wire-phase events in its own engine.
+ * Wire-phase events fire before a tick's default events and same-tick
+ * wire events commute, so execution is bit-identical to the serial
+ * engine, which runs the very same channels inline on one Engine.
+ *
+ * Threading model: shard 0 runs on the caller's thread; shards 1..N-1
+ * each own a persistent worker thread that parks between run() calls.
+ * The same OS thread always drives the same shard for the lifetime of
+ * the ShardedEngine, keeping thread-local pools and per-GPU packet-id
+ * counters stable across kernels. A ShardedEngine must only be
+ * destroyed after its runs drained completely (no pooled objects may
+ * outlive the worker threads that own their arenas).
+ */
+
+#ifndef NETCRAFTER_SIM_SHARDED_ENGINE_HH
+#define NETCRAFTER_SIM_SHARDED_ENGINE_HH
+
+#include <barrier>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/sim/engine.hh"
+#include "src/sim/types.hh"
+
+namespace netcrafter::sim {
+
+/**
+ * A directed cross-shard message queue, implemented by the wire
+ * channels. During a window only the owning side writes; at the barrier
+ * the opposite side drains. The barrier provides the happens-before
+ * edge, so the queues themselves need no synchronization.
+ */
+class CrossShardPort
+{
+  public:
+    virtual ~CrossShardPort() = default;
+
+    /** Shard that produces flits (and consumes credit returns). */
+    virtual unsigned srcShard() const = 0;
+
+    /** Shard that consumes flits (and produces credit returns). */
+    virtual unsigned dstShard() const = 0;
+
+    /** Drain queued flits into the destination shard (its thread). */
+    virtual void importAtDst() = 0;
+
+    /** Drain queued credit returns into the source shard (its thread). */
+    virtual void importAtSrc() = 0;
+};
+
+/** Drives N shard Engines through conservative barrier-synced quanta. */
+class ShardedEngine
+{
+  public:
+    explicit ShardedEngine(unsigned shards);
+    ~ShardedEngine();
+
+    ShardedEngine(const ShardedEngine &) = delete;
+    ShardedEngine &operator=(const ShardedEngine &) = delete;
+
+    /** Number of shards (1 = plain serial execution, no threads). */
+    unsigned
+    numShards() const
+    {
+        return static_cast<unsigned>(engines_.size());
+    }
+
+    /** The engine of shard @p s; components bind to it at build time. */
+    Engine &shard(unsigned s) { return *engines_[s]; }
+    const Engine &shard(unsigned s) const { return *engines_[s]; }
+
+    /**
+     * Register a cross-shard channel endpoint. Must happen before the
+     * first run(); registration order fixes the (deterministic) order
+     * in which a shard drains its inboxes at each barrier.
+     */
+    void registerPort(CrossShardPort &port);
+
+    /**
+     * Set the conservative lookahead: the minimum latency over all
+     * cross-shard channels, in ticks. Defaults to kTickNever (no
+     * cross-shard traffic possible, a drain runs as one window).
+     */
+    void setLookahead(Tick ticks);
+
+    /** The current lookahead. */
+    Tick lookahead() const { return lookahead_; }
+
+    /**
+     * Drain every shard (or stop once the earliest pending event lies
+     * beyond @p limit, returning LimitHit like Engine::run). With one
+     * shard this is exactly Engine::run on the caller's thread.
+     */
+    RunStatus run(Tick limit = kTickNever);
+
+    /**
+     * Advance every shard's clock to the global maximum. Call after a
+     * drained run(): shards stop at their own last event, but the next
+     * kernel must dispatch from the same base tick the serial engine
+     * would be at, and utilization denominators read now().
+     */
+    void alignClocks();
+
+    /** Global time: the maximum over the shard clocks. */
+    Tick now() const;
+
+    /** Total events executed across all shards. */
+    std::uint64_t eventsExecuted() const;
+
+    /** Barrier-synchronized windows executed (0 when serial). */
+    std::uint64_t quantaExecuted() const { return quantaExecuted_; }
+
+    /**
+     * Ticks at the tail of windows during which shard @p s had no
+     * events left — idle time imposed by the conservative barrier.
+     */
+    std::uint64_t
+    barrierStallTicks(unsigned s) const
+    {
+        return stallTicks_[s];
+    }
+
+    /** Sum of barrierStallTicks over all shards. */
+    std::uint64_t totalBarrierStallTicks() const;
+
+  private:
+    struct Coordination;
+
+    void decide() noexcept;
+    void shardLoop(unsigned s);
+    void workerMain(unsigned s);
+
+    std::vector<std::unique_ptr<Engine>> engines_;
+    std::vector<CrossShardPort *> ports_;
+    Tick lookahead_ = kTickNever;
+
+    std::unique_ptr<Coordination> coord_;
+    std::vector<std::uint64_t> stallTicks_;
+    std::uint64_t quantaExecuted_ = 0;
+};
+
+} // namespace netcrafter::sim
+
+#endif // NETCRAFTER_SIM_SHARDED_ENGINE_HH

@@ -22,7 +22,9 @@ class SimObject
   public:
     SimObject(Engine &engine, std::string name)
         : engine_(engine), name_(std::move(name))
-    {}
+    {
+        engine_.attachObject(name_);
+    }
 
     virtual ~SimObject() = default;
 

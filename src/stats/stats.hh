@@ -50,6 +50,26 @@ class Average
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
 
+    /**
+     * Fold @p other into this average. Merge order matters for the
+     * floating-point sum, so callers must merge in a deterministic
+     * order (e.g. GPU id) when reproducibility is required.
+     */
+    void
+    merge(const Average &other)
+    {
+        if (other.count_ == 0)
+            return;
+        if (count_ == 0) {
+            *this = other;
+            return;
+        }
+        sum_ += other.sum_;
+        count_ += other.count_;
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+
     void
     reset()
     {
@@ -93,6 +113,21 @@ class Distribution
     std::uint64_t total() const { return total_; }
     const std::vector<double> &bounds() const { return bounds_; }
     std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+
+    /** Fold @p other (with identical bucket bounds) into this one. */
+    void
+    merge(const Distribution &other)
+    {
+        if (other.counts_.empty())
+            return;
+        if (counts_.empty()) {
+            *this = other;
+            return;
+        }
+        for (std::size_t i = 0; i < counts_.size(); ++i)
+            counts_[i] += other.counts_.at(i);
+        total_ += other.total_;
+    }
 
     /** Fraction of samples in bucket @p i, 0 if no samples. */
     double

@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <thread>
+
 #include "src/exp/export.hh"
 #include "src/exp/result_cache.hh"
 #include "src/exp/scheduler.hh"
@@ -151,6 +154,59 @@ TEST(Scheduler, HistoryQualifiesJobNamesAcrossSweeps)
     EXPECT_EQ(records[0].label, "sweep-a/x");
     EXPECT_EQ(records[1].label, "sweep-b/x");
     EXPECT_EQ(records[0].configDigest, tiny(false).digest());
+}
+
+TEST(Scheduler, ShardCountIsNotPartOfTheCacheKey)
+{
+    // Sharding is an execution strategy, not a design point: a serial
+    // run populates the cache, and later 2- and 4-shard schedulers
+    // sharing it must hit the same entry without re-simulating.
+    SweepSpec spec("shard-invariant");
+    spec.add("p/GUPS", "GUPS", tiny(false), 0.1);
+
+    ResultCache cache;
+    Scheduler::Options serial_opts;
+    serial_opts.workers = 1;
+    serial_opts.shards = 1;
+    Scheduler serial(serial_opts, &cache);
+    const SweepResult s = serial.run(spec);
+    EXPECT_EQ(s.cacheMisses, 1u);
+
+    for (unsigned shards : {2u, 4u}) {
+        Scheduler::Options opts;
+        opts.workers = 1;
+        opts.shards = shards;
+        Scheduler sharded(opts, &cache);
+        EXPECT_EQ(sharded.shards(), shards);
+        const SweepResult p = sharded.run(spec);
+        EXPECT_EQ(p.cacheMisses, 0u)
+            << shards << " shards re-simulated a cached point";
+        EXPECT_EQ(p.cacheHits, 1u);
+        EXPECT_TRUE(harness::sameMeasurement(s.at("p/GUPS"),
+                                             p.at("p/GUPS")));
+    }
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(Scheduler, ShardsDivideTheAutoWorkerCount)
+{
+    // With an automatic worker count, run-level workers x intra-run
+    // shards must not oversubscribe the host.
+    Scheduler::Options opts;
+    opts.workers = 0;
+    opts.shards = 4;
+    Scheduler sched(opts);
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    EXPECT_EQ(sched.workers(), std::max(1u, hw / 4));
+    EXPECT_EQ(sched.shards(), 4u);
+
+    // An explicit worker count is honored as given.
+    opts.workers = 3;
+    Scheduler manual(opts);
+    EXPECT_EQ(manual.workers(), 3u);
 }
 
 TEST(SchedulerDeathTest, UnknownResultNameIsFatal)

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Serial-vs-sharded determinism: the same (workload, config) run on 1,
+ * 2, and 4 engine shards must produce bit-identical measurements —
+ * figure outputs and the event census alike. These points mirror the
+ * fig03 (baseline vs ideal) and fig14 (cumulative NetCrafter
+ * mechanisms) grids at test scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/harness/runner.hh"
+
+namespace netcrafter {
+namespace {
+
+config::SystemConfig
+shrink(config::SystemConfig cfg)
+{
+    cfg.cusPerGpu = 8;
+    cfg.maxWavesPerCu = 4;
+    return cfg;
+}
+
+constexpr double kTinyScale = 0.34;
+
+void
+expectShardInvariant(const std::string &app,
+                     const config::SystemConfig &cfg, unsigned shards)
+{
+    const harness::RunResult serial =
+        harness::runWorkload(app, cfg, kTinyScale, 1);
+    const harness::RunResult parallel =
+        harness::runWorkload(app, cfg, kTinyScale, shards);
+
+    EXPECT_TRUE(sameMeasurement(serial, parallel))
+        << app << " diverged at " << shards << " shards: serial "
+        << serial.cycles << " cycles / " << serial.events
+        << " events, sharded " << parallel.cycles << " cycles / "
+        << parallel.events << " events";
+    // The event census must match exactly, not just the figures.
+    EXPECT_EQ(serial.events, parallel.events) << app;
+    EXPECT_EQ(serial.interFlits, parallel.interFlits) << app;
+
+    EXPECT_EQ(serial.shards, 1u);
+    EXPECT_EQ(serial.crossShardFlits, 0u);
+    if (shards > 1) {
+        EXPECT_EQ(parallel.shards, shards) << app;
+        EXPECT_GT(parallel.quantaExecuted, 0u) << app;
+        if (parallel.interFlits > 0)
+            EXPECT_GT(parallel.crossShardFlits, 0u) << app;
+    }
+}
+
+TEST(ShardedDeterminismTest, Fig03PointBaselineTwoShards)
+{
+    expectShardInvariant("GUPS", shrink(config::baselineConfig()), 2);
+}
+
+TEST(ShardedDeterminismTest, Fig03PointIdealTwoShards)
+{
+    expectShardInvariant("GUPS", shrink(config::idealConfig()), 2);
+}
+
+TEST(ShardedDeterminismTest, Fig14PointFullNetcrafterTwoShards)
+{
+    // Full NetCrafter exercises stitched flits (with pooled piece
+    // packets) crossing the shard boundary.
+    expectShardInvariant("MT", shrink(config::netcrafterConfig()), 2);
+}
+
+TEST(ShardedDeterminismTest, Fig14PointSectorCacheTwoShards)
+{
+    expectShardInvariant("GUPS", shrink(config::sectorCacheConfig(16)),
+                         2);
+}
+
+TEST(ShardedDeterminismTest, FourClustersFourShards)
+{
+    config::SystemConfig cfg = shrink(config::baselineConfig());
+    cfg.numClusters = 4;
+    cfg.gpusPerCluster = 1;
+    expectShardInvariant("GUPS", cfg, 4);
+
+    config::SystemConfig nc = shrink(config::netcrafterConfig());
+    nc.numClusters = 4;
+    nc.gpusPerCluster = 1;
+    expectShardInvariant("MT", nc, 4);
+}
+
+TEST(ShardedDeterminismTest, TwoShardsMatchFourShardsOnMesh)
+{
+    // Shard counts that don't divide the system evenly still agree.
+    config::SystemConfig cfg = shrink(config::baselineConfig());
+    cfg.numClusters = 4;
+    cfg.gpusPerCluster = 1;
+    const harness::RunResult two =
+        harness::runWorkload("GUPS", cfg, kTinyScale, 2);
+    const harness::RunResult four =
+        harness::runWorkload("GUPS", cfg, kTinyScale, 3);
+    EXPECT_TRUE(sameMeasurement(two, four));
+}
+
+} // namespace
+} // namespace netcrafter

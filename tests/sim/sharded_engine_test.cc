@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Unit tests for the conservative barrier-synchronized sharded engine:
+ * quantum windows, clock alignment, stall accounting, and the wire
+ * event phase ordering the protocol's determinism rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/engine.hh"
+#include "src/sim/sharded_engine.hh"
+
+namespace netcrafter::sim {
+namespace {
+
+TEST(ShardedEngineTest, SingleShardRunsSerially)
+{
+    ShardedEngine eng(1);
+    ASSERT_EQ(eng.numShards(), 1u);
+
+    std::vector<Tick> fired;
+    eng.shard(0).schedule(5, [&] { fired.push_back(eng.shard(0).now()); });
+    eng.shard(0).schedule(2, [&] { fired.push_back(eng.shard(0).now()); });
+
+    EXPECT_EQ(eng.run(), RunStatus::Drained);
+    ASSERT_EQ(fired.size(), 2u);
+    EXPECT_EQ(fired[0], 2u);
+    EXPECT_EQ(fired[1], 5u);
+    EXPECT_EQ(eng.quantaExecuted(), 0u); // no barriers when serial
+    EXPECT_EQ(eng.eventsExecuted(), 2u);
+}
+
+TEST(ShardedEngineTest, TwoShardsDrainIndependentWork)
+{
+    ShardedEngine eng(2);
+    eng.setLookahead(10);
+
+    std::vector<Tick> fired0, fired1;
+    for (Tick t : {3u, 17u, 42u})
+        eng.shard(0).schedule(t, [&fired0, &eng] {
+            fired0.push_back(eng.shard(0).now());
+        });
+    for (Tick t : {5u, 25u})
+        eng.shard(1).schedule(t, [&fired1, &eng] {
+            fired1.push_back(eng.shard(1).now());
+        });
+
+    EXPECT_EQ(eng.run(), RunStatus::Drained);
+    EXPECT_EQ(fired0, (std::vector<Tick>{3, 17, 42}));
+    EXPECT_EQ(fired1, (std::vector<Tick>{5, 25}));
+    EXPECT_EQ(eng.eventsExecuted(), 5u);
+    // Windows of 10 ticks starting at the global minimum pending tick:
+    // [3,12] [17,26] [42,51] — barriers only where events remain.
+    EXPECT_GE(eng.quantaExecuted(), 3u);
+}
+
+TEST(ShardedEngineTest, LimitHitStopsBeforeFutureEvents)
+{
+    ShardedEngine eng(2);
+    eng.setLookahead(16);
+
+    bool late_fired = false;
+    eng.shard(0).schedule(5, [] {});
+    eng.shard(1).schedule(100, [&] { late_fired = true; });
+
+    EXPECT_EQ(eng.run(50), RunStatus::LimitHit);
+    EXPECT_FALSE(late_fired);
+    // The late event survives and fires on the next run.
+    EXPECT_EQ(eng.run(), RunStatus::Drained);
+    EXPECT_TRUE(late_fired);
+}
+
+TEST(ShardedEngineTest, AlignClocksBringsAllShardsToGlobalMax)
+{
+    ShardedEngine eng(2);
+    eng.setLookahead(8);
+
+    eng.shard(0).schedule(7, [] {});
+    eng.shard(1).schedule(31, [] {});
+
+    EXPECT_EQ(eng.run(), RunStatus::Drained);
+    eng.alignClocks();
+    EXPECT_EQ(eng.shard(0).now(), 31u);
+    EXPECT_EQ(eng.shard(1).now(), 31u);
+    EXPECT_EQ(eng.now(), 31u);
+}
+
+TEST(ShardedEngineTest, BarrierStallTicksAccrueOnIdleShard)
+{
+    ShardedEngine eng(2);
+    eng.setLookahead(4);
+
+    // Shard 0 has events across several windows; shard 1 has none, so
+    // it stalls for every tick of every window.
+    for (Tick t : {1u, 6u, 11u})
+        eng.shard(0).schedule(t, [] {});
+
+    EXPECT_EQ(eng.run(), RunStatus::Drained);
+    EXPECT_GT(eng.barrierStallTicks(1), 0u);
+    EXPECT_EQ(eng.totalBarrierStallTicks(),
+              eng.barrierStallTicks(0) + eng.barrierStallTicks(1));
+}
+
+TEST(ShardedEngineTest, RepeatedRunsAcrossKernelBarriers)
+{
+    // Mimic the inter-kernel pattern: run to drain, align, schedule
+    // more, run again — worker threads must park and resume cleanly.
+    ShardedEngine eng(2);
+    eng.setLookahead(16);
+
+    // Per-shard counters: callbacks run concurrently on their shard's
+    // thread, so they must not share mutable state.
+    int fired0 = 0, fired1 = 0;
+    for (int kernel = 0; kernel < 3; ++kernel) {
+        eng.shard(0).schedule(4, [&fired0] { ++fired0; });
+        eng.shard(1).schedule(9, [&fired1] { ++fired1; });
+        EXPECT_EQ(eng.run(), RunStatus::Drained);
+        eng.alignClocks();
+    }
+    EXPECT_EQ(fired0, 3);
+    EXPECT_EQ(fired1, 3);
+    EXPECT_EQ(eng.eventsExecuted(), 6u);
+}
+
+TEST(ShardedEngineTest, WirePhaseFiresBeforeDefaultAtSameTick)
+{
+    // The determinism argument requires wire-phase events (deliveries,
+    // credit returns) to sort before a tick's default events regardless
+    // of scheduling order.
+    Engine eng;
+    std::vector<int> order;
+    eng.schedule(10, [&] { order.push_back(1); }); // default phase
+    eng.scheduleWireAbs(10, [&] { order.push_back(0); });
+    eng.schedule(10, [&] { order.push_back(2); }); // default phase
+    EXPECT_EQ(eng.run(), RunStatus::Drained);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ShardedEngineTest, WindowNeverExecutesEventsPastTheQuantum)
+{
+    // An event scheduled inside a window for a tick beyond it must wait
+    // for a later window; runWindow() must not run past its limit.
+    Engine eng;
+    std::vector<Tick> fired;
+    eng.schedule(2, [&] {
+        fired.push_back(eng.now());
+        eng.schedule(100, [&] { fired.push_back(eng.now()); });
+    });
+    EXPECT_EQ(eng.runWindow(50), RunStatus::LimitHit);
+    EXPECT_EQ(fired, (std::vector<Tick>{2}));
+    // runWindow leaves now() at the last executed event, not the limit.
+    EXPECT_EQ(eng.now(), 2u);
+    EXPECT_EQ(eng.nextEventTick(), 102u);
+}
+
+} // namespace
+} // namespace netcrafter::sim

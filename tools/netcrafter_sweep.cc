@@ -42,6 +42,11 @@ usage(int code)
           "  --list            list available figures and exit\n"
           "  --jobs N          worker threads (default: all cores;\n"
           "                    1 = serial)\n"
+          "  --shards N        engine shards per simulation (default 1\n"
+          "                    = serial; capped at the cluster count;\n"
+          "                    results are bit-identical either way).\n"
+          "                    The default worker count is divided by N\n"
+          "                    so jobs x shards never oversubscribes\n"
           "  --scale X         set NETCRAFTER_SCALE for this run\n"
           "  --json FILE       export every simulated result as JSON\n"
           "  --csv FILE        export every simulated result as CSV\n"
@@ -127,6 +132,18 @@ main(int argc, char **argv)
             }
             opts.workers = static_cast<unsigned>(n);
         }
+        else if (arg == "--shards") {
+            const std::string text = value("--shards");
+            char *end = nullptr;
+            const long n = std::strtol(text.c_str(), &end, 10);
+            if (end == text.c_str() || *end != '\0' || n < 1) {
+                std::cerr << "--shards must be a positive integer, "
+                             "got '"
+                          << text << "'\n";
+                return usage(1);
+            }
+            opts.shards = static_cast<unsigned>(n);
+        }
         else if (arg == "--scale")
             setenv("NETCRAFTER_SCALE", value("--scale").c_str(), 1);
         else if (arg == "--json")
@@ -204,6 +221,7 @@ main(int argc, char **argv)
               << cache.misses() << " unique point(s) simulated, "
               << cache.hits() << " cache hit(s), "
               << scheduler.workers() << " worker(s), "
+              << scheduler.shards() << " shard(s), "
               << harness::Table::fmt(sim_seconds, 2)
               << "s total simulation time\n";
 
