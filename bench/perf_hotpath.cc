@@ -12,10 +12,11 @@
  * stay bit-identical while this number grows.
  *
  * Usage:
- *   perf_hotpath [--out FILE] [--quick] [--scale S] [--shards]
+ *   perf_hotpath [--out FILE] [--quick] [--scale S] [--shards] [--obs]
  *
- *   --out FILE   write JSON to FILE (default BENCH_hotpath.json, or
- *                BENCH_parallel.json with --shards)
+ *   --out FILE   write JSON to FILE (default BENCH_hotpath.json,
+ *                BENCH_parallel.json with --shards, or BENCH_obs.json
+ *                with --obs)
  *   --quick      baseline + full NetCrafter configs only (CI smoke)
  *   --scale S    extra problem-size multiplier on top of
  *                NETCRAFTER_SCALE (default 1.0)
@@ -27,6 +28,15 @@
  *                at least as many host cores as shards, so on a
  *                single-core host the sharded points only measure
  *                barrier overhead.
+ *   --obs        observability-overhead mode: run the grid once with
+ *                tracing disabled and once with packet-level tracing +
+ *                interval sampling held in memory, and fail unless
+ *                every measured statistic is identical. Writes
+ *                BENCH_obs.json with both throughputs; with
+ *                --ref BENCH_hotpath.json it also reports
+ *                (informationally) whether the disabled-path
+ *                throughput stayed within 2% of the reference.
+ *   --ref FILE   reference BENCH_hotpath.json for --obs
  */
 
 #include <chrono>
@@ -41,6 +51,8 @@
 #include "bench/bench_common.hh"
 #include "src/config/system_config.hh"
 #include "src/exp/export.hh"
+#include "src/obs/json_validate.hh"
+#include "src/obs/trace.hh"
 
 namespace {
 
@@ -184,6 +196,161 @@ runShardBench(const std::string &out_path, bool quick, double scale)
     return census_ok ? 0 : 1;
 }
 
+/**
+ * Observability-overhead bench: every grid point twice — tracing
+ * disabled vs packet-level tracing + sampling kept in memory — with a
+ * hard identity check on the measurements. Writes BENCH_obs.json.
+ */
+int
+runObsBench(const std::string &out_path, bool quick, double scale,
+            const std::string &ref_path)
+{
+    using namespace netcrafter;
+
+    std::vector<std::pair<std::string, SystemConfig>> configs = {
+        {"base", config::baselineConfig()},
+        {"full", bench::fullNetcrafter()},
+    };
+    if (!quick) {
+        configs.insert(configs.begin() + 1,
+                       {"stitch", bench::stitchSelective32()});
+        configs.insert(configs.begin() + 2,
+                       {"trim", bench::stitchTrim()});
+        configs.push_back({"sector", config::sectorCacheConfig(16)});
+    }
+
+    obs::TraceOptions disabled; // level Off: the compiled-in no-op path
+    obs::TraceOptions enabled;
+    enabled.level = obs::TraceLevel::Packets;
+    enabled.sampleInterval = 10'000;
+
+    struct Totals
+    {
+        std::uint64_t events = 0;
+        double wall = 0;
+    };
+    Totals off_t, on_t;
+    std::uint64_t trace_records = 0, trace_dropped = 0, sample_rows = 0;
+    bool identical = true;
+
+    // All disabled legs run contiguously before any enabled leg: the
+    // enabled runs touch a ~128 MB record buffer each, and interleaving
+    // that churn with the disabled measurements used to depress them by
+    // far more than the 2% budget the --ref comparison checks.
+    std::vector<RunResult> off_results;
+    for (const auto &[cfg_name, cfg] : configs)
+        for (const auto &app : bench::apps())
+            off_results.push_back(
+                harness::runWorkload(app, cfg, scale, 1, disabled));
+
+    std::size_t point = 0;
+    for (const auto &[cfg_name, cfg] : configs) {
+        for (const auto &app : bench::apps()) {
+            const RunResult &off = off_results[point++];
+            const RunResult on =
+                harness::runWorkload(app, cfg, scale, 1, enabled);
+            off_t.events += off.events;
+            off_t.wall += off.wallSeconds;
+            on_t.events += on.events;
+            on_t.wall += on.wallSeconds;
+            trace_records += on.traceRecords;
+            trace_dropped += on.traceDropped;
+            sample_rows += on.sampleRows;
+            if (!harness::sameMeasurement(off, on)) {
+                std::cerr << "perf_hotpath --obs: tracing CHANGED the "
+                             "measurement at "
+                          << cfg_name << "/" << app << "\n";
+                identical = false;
+            }
+            std::cerr << cfg_name << "/" << app << ": "
+                      << eventsPerSecond(off.events, off.wallSeconds)
+                      << " ev/s off, "
+                      << eventsPerSecond(on.events, on.wallSeconds)
+                      << " ev/s on (" << on.traceRecords
+                      << " records)\n";
+        }
+    }
+
+    // Optional reference: the disabled path against a plain
+    // BENCH_hotpath.json from the same machine. Informational — wall
+    // clock noise on shared CI runners is larger than the 2% budget,
+    // so the hard gate stays measurements_identical.
+    double ref_evps = 0;
+    bool have_ref = false, within_2pct = false;
+    if (!ref_path.empty()) {
+        std::ifstream is(ref_path);
+        std::ostringstream text;
+        text << is.rdbuf();
+        obs::JsonValue root;
+        std::string err;
+        if (is && obs::parseJson(text.str(), root, &err)) {
+            if (const obs::JsonValue *v =
+                    root.find("events_per_second");
+                v != nullptr && v->isNumber()) {
+                ref_evps = v->number;
+                have_ref = ref_evps > 0;
+            }
+        }
+        if (!have_ref) {
+            std::cerr << "perf_hotpath --obs: cannot read "
+                         "events_per_second from '"
+                      << ref_path << "' (ignored)\n";
+        } else {
+            within_2pct = eventsPerSecond(off_t.events, off_t.wall) >=
+                          0.98 * ref_evps;
+        }
+    }
+
+    std::ofstream os(out_path);
+    if (!os) {
+        std::cerr << "cannot open " << out_path << " for writing\n";
+        return 1;
+    }
+    os.precision(17);
+    os << "{\n";
+    os << "  \"bench\": \"perf_obs\",\n";
+    os << "  \"workload_set\": \"fig14\",\n";
+    os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+    os << "  \"scale\": " << scale << ",\n";
+    os << "  \"env_scale\": " << harness::envScale() << ",\n";
+    os << "  \"trace_level\": \""
+       << obs::TraceOptions::levelName(enabled.level) << "\",\n";
+    os << "  \"sample_interval\": " << enabled.sampleInterval << ",\n";
+    os << "  \"measurements_identical\": "
+       << (identical ? "true" : "false") << ",\n";
+    os << "  \"disabled\": {\"events\": " << off_t.events
+       << ", \"wall_seconds\": " << off_t.wall
+       << ", \"events_per_second\": "
+       << eventsPerSecond(off_t.events, off_t.wall) << "},\n";
+    os << "  \"enabled\": {\"events\": " << on_t.events
+       << ", \"wall_seconds\": " << on_t.wall
+       << ", \"events_per_second\": "
+       << eventsPerSecond(on_t.events, on_t.wall)
+       << ", \"trace_records\": " << trace_records
+       << ", \"trace_dropped\": " << trace_dropped
+       << ", \"sample_rows\": " << sample_rows << "},\n";
+    os << "  \"enabled_over_disabled_wall\": "
+       << (off_t.wall > 0 ? on_t.wall / off_t.wall : 0.0) << ",\n";
+    os << "  \"ref\": "
+       << (ref_path.empty() ? std::string("null")
+                            : "\"" + exp::jsonEscape(ref_path) + "\"")
+       << ",\n";
+    os << "  \"ref_events_per_second\": " << ref_evps << ",\n";
+    os << "  \"disabled_within_2pct_of_ref\": "
+       << (have_ref && within_2pct ? "true" : "false") << "\n";
+    os << "}\n";
+
+    std::cout << "perf_hotpath --obs: "
+              << (identical ? "measurements identical"
+                            : "MEASUREMENTS DIVERGED")
+              << ", " << eventsPerSecond(off_t.events, off_t.wall)
+              << " ev/s disabled vs "
+              << eventsPerSecond(on_t.events, on_t.wall)
+              << " ev/s enabled, " << trace_records
+              << " records (JSON: " << out_path << ")\n";
+    return identical ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -192,17 +359,23 @@ main(int argc, char **argv)
     using namespace netcrafter;
 
     std::string out_path;
+    std::string ref_path;
     bool quick = false;
     bool shard_bench = false;
+    bool obs_bench = false;
     double scale = 1.0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--out" && i + 1 < argc) {
             out_path = argv[++i];
+        } else if (arg == "--ref" && i + 1 < argc) {
+            ref_path = argv[++i];
         } else if (arg == "--quick") {
             quick = true;
         } else if (arg == "--shards") {
             shard_bench = true;
+        } else if (arg == "--obs") {
+            obs_bench = true;
         } else if (arg == "--scale" && i + 1 < argc) {
             const std::string value = argv[++i];
             char *end = nullptr;
@@ -215,15 +388,19 @@ main(int argc, char **argv)
             }
         } else {
             std::cerr << "usage: perf_hotpath [--out FILE] [--quick]"
-                         " [--scale S] [--shards]\n";
+                         " [--scale S] [--shards] [--obs [--ref FILE]]\n";
             return 2;
         }
     }
-    if (out_path.empty())
-        out_path = shard_bench ? "BENCH_parallel.json"
+    if (out_path.empty()) {
+        out_path = shard_bench  ? "BENCH_parallel.json"
+                   : obs_bench ? "BENCH_obs.json"
                                : "BENCH_hotpath.json";
+    }
     if (shard_bench)
         return runShardBench(out_path, quick, scale);
+    if (obs_bench)
+        return runObsBench(out_path, quick, scale, ref_path);
 
     std::vector<std::pair<std::string, SystemConfig>> configs = {
         {"base", config::baselineConfig()},

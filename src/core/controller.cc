@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/trace_buffer.hh"
 #include "src/sim/logging.hh"
 
 namespace netcrafter::core {
@@ -22,6 +23,7 @@ NetCrafterController::NetCrafterController(
     // Space freed on the inter-cluster link's source buffer lets the
     // controller eject more flits.
     out_.setOnPop([this] { schedulePump(); });
+    traceLane_ = obs::internLane(engine, this->name());
 }
 
 bool
@@ -64,7 +66,12 @@ NetCrafterController::completePacket(const noc::PacketPtr &pkt,
                                      std::vector<noc::FlitPtr> flits)
 {
     if (cfg_.trimming && trim_.shouldTrim(*pkt)) {
+        const std::uint32_t bytes_before = pkt->totalBytes();
         trim_.trim(*pkt);
+        obs::tracepoint(engine(), obs::TraceLevel::Links,
+                        obs::TraceKind::CtrlDecision,
+                        obs::TraceStage::CtrlTrim, traceLane_, pkt->id,
+                        bytes_before, pkt->totalBytes());
         // Re-segment the now-smaller packet; the discarded flits are
         // never transmitted on the lower-bandwidth network.
         flits = noc::segmentPacket(pkt, flits.front()->capacity);
@@ -121,7 +128,18 @@ NetCrafterController::pump()
                     cfg_.stitchSearchDepth, parent.get());
                 if (!cand)
                     break;
+                const std::uint32_t cand_bytes = cand->usedBytes();
+                const std::uint32_t cand_pkt =
+                    cand->pkt != nullptr
+                        ? static_cast<std::uint32_t>(cand->pkt->id)
+                        : 0;
                 stitch_.stitch(*parent, std::move(cand));
+                obs::tracepoint(
+                    engine(), obs::TraceLevel::Links,
+                    obs::TraceKind::CtrlDecision,
+                    obs::TraceStage::CtrlStitch, traceLane_,
+                    parent->pkt != nullptr ? parent->pkt->id : 0,
+                    cand_bytes, cand_pkt);
                 freed_space = true;
             }
         }
@@ -151,6 +169,13 @@ NetCrafterController::pump()
                 parent->pooledOnce = true;
                 cq_.blockUntil(*pick, t + cfg_.poolingWindow);
                 ++stats_.poolingArms;
+                obs::tracepoint(
+                    engine(), obs::TraceLevel::Links,
+                    obs::TraceKind::CtrlDecision,
+                    obs::TraceStage::CtrlArm, traceLane_,
+                    parent->pkt != nullptr ? parent->pkt->id : 0,
+                    parent->freeBytes(),
+                    static_cast<std::uint32_t>(pick->cls));
                 ++stats_.armsByClass[static_cast<std::size_t>(
                     pick->cls)];
                 stats_.occupancyAtArmSum += cq_.occupancy(pick->dst);
@@ -166,6 +191,15 @@ NetCrafterController::pump()
                   "CQ front changed under the stitching engine");
         freed_space = true;
         ++stats_.flitsEjected;
+        obs::tracepoint(
+            engine(), obs::TraceLevel::Links,
+            obs::TraceKind::CtrlDecision, obs::TraceStage::CtrlEject,
+            traceLane_,
+            parent->pkt != nullptr ? parent->pkt->id : 0,
+            obs::packFlitBytes(parent->capacity, parent->usedBytes()),
+            obs::packFlitSeq(
+                static_cast<std::uint32_t>(parent->stitched.size()),
+                parent->seq));
         out_.tryPush(std::move(flit));
         --budget;
     }

@@ -98,6 +98,7 @@ class NetCrafterController : public sim::SimObject,
         pumpWake_;
     Tick lastPumpTick_ = kTickNever;
     ControllerStats stats_;
+    std::uint16_t traceLane_ = 0;
 };
 
 /**

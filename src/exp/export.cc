@@ -108,6 +108,10 @@ fields()
         NUM_FIELD("barrier_stall_ticks", r.result.barrierStallTicks),
         NUM_FIELD("cross_shard_flits", r.result.crossShardFlits),
         NUM_FIELD("max_ingress_depth", r.result.maxIngressDepth),
+        // Observability diagnostics (all zero with tracing off).
+        NUM_FIELD("trace_records", r.result.traceRecords),
+        NUM_FIELD("trace_dropped", r.result.traceDropped),
+        NUM_FIELD("sample_rows", r.result.sampleRows),
     };
     return defs;
 }

@@ -314,6 +314,9 @@ figureMain(const std::string &name, int argc, char **argv)
         opts.workers = static_cast<unsigned>(std::atoi(env));
     if (const char *env = std::getenv("NETCRAFTER_SHARDS"))
         opts.shards = static_cast<unsigned>(std::atoi(env));
+    // Flags below override the NETCRAFTER_TRACE_* environment.
+    opts.trace = obs::TraceOptions::fromEnv();
+    bool explicit_level = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if ((arg == "--jobs" || arg == "--shards") && i + 1 < argc) {
@@ -324,12 +327,32 @@ figureMain(const std::string &name, int argc, char **argv)
             }
             (arg == "--jobs" ? opts.workers : opts.shards) =
                 static_cast<unsigned>(n);
+        } else if (arg == "--trace-out" && i + 1 < argc) {
+            opts.trace.outDir = argv[++i];
+        } else if (arg == "--trace-level" && i + 1 < argc) {
+            opts.trace.level = obs::TraceOptions::parseLevel(argv[++i]);
+            explicit_level = true;
+        } else if (arg == "--sample-interval" && i + 1 < argc) {
+            const long n = std::atol(argv[++i]);
+            if (n < 0) {
+                std::cerr << arg << " requires a non-negative integer\n";
+                return 1;
+            }
+            opts.trace.sampleInterval = static_cast<Tick>(n);
         } else {
             std::cerr << "usage: " << name
-                      << " [--jobs N] [--shards N]\n";
+                      << " [--jobs N] [--shards N] [--trace-out DIR]"
+                         " [--trace-level off|links|packets|full]"
+                         " [--sample-interval TICKS]\n";
             return arg == "--help" || arg == "-h" ? 0 : 1;
         }
     }
+    // Asking for output or sampling without naming a tier means the
+    // caller wants tracing; default to the packet tier (mirrors
+    // TraceOptions::fromEnv).
+    if (!explicit_level && !opts.trace.enabled() &&
+        (!opts.trace.outDir.empty() || opts.trace.sampleInterval > 0))
+        opts.trace.level = obs::TraceLevel::Packets;
     ResultCache cache;
     Scheduler scheduler(opts, &cache);
     FigureContext ctx{scheduler, std::cout};

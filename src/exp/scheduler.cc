@@ -22,7 +22,8 @@ SweepResult::at(const std::string &job_name) const
 }
 
 Scheduler::Scheduler(Options opts, ResultCache *cache)
-    : opts_(opts), cache_(cache)
+    : opts_(opts), cache_(cache),
+      epoch_(std::chrono::steady_clock::now())
 {
     shards_ = opts.shards != 0 ? opts.shards : 1;
     if (opts.workers != 0) {
@@ -42,21 +43,27 @@ harness::RunResult
 Scheduler::runJob(const Job &job, JobTiming &timing)
 {
     const auto t0 = std::chrono::steady_clock::now();
+    timing.startSeconds =
+        std::chrono::duration<double>(t0 - epoch_).count();
+    // With tracing requested the explicit options override the
+    // NETCRAFTER_TRACE_* environment the 4-argument overload consults.
+    auto simulate = [&] {
+        return opts_.trace.enabled()
+                   ? harness::runWorkload(job.workload, job.config,
+                                          job.scale, shards_,
+                                          opts_.trace)
+                   : harness::runWorkload(job.workload, job.config,
+                                          job.scale, shards_);
+    };
     harness::RunResult result;
     if (cache_ != nullptr) {
         // The cache key deliberately excludes shards_: sharding is an
         // execution strategy, not a design point, and results are
         // bit-identical across shard counts.
-        result = cache_->getOrRun(
-            keyOf(job),
-            [&] {
-                return harness::runWorkload(job.workload, job.config,
-                                            job.scale, shards_);
-            },
-            &timing.cacheHit);
+        result = cache_->getOrRun(keyOf(job), simulate,
+                                  &timing.cacheHit);
     } else {
-        result = harness::runWorkload(job.workload, job.config,
-                                      job.scale, shards_);
+        result = simulate();
     }
     timing.name = job.name;
     timing.seconds = std::chrono::duration<double>(
@@ -130,6 +137,12 @@ Scheduler::run(const SweepSpec &spec)
         Job qualified = spec.jobs()[i];
         qualified.name = spec.name() + "/" + qualified.name;
         history_.emplace_back(std::move(qualified), out.results[i]);
+    }
+    timingHistory_.reserve(timingHistory_.size() + spec.size());
+    for (std::size_t i = 0; i < spec.size(); ++i) {
+        JobTiming qualified = out.timings[i];
+        qualified.name = spec.name() + "/" + qualified.name;
+        timingHistory_.push_back(std::move(qualified));
     }
     out.wallSeconds = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - t0)

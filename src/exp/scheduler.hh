@@ -10,6 +10,7 @@
 #ifndef NETCRAFTER_EXP_SCHEDULER_HH
 #define NETCRAFTER_EXP_SCHEDULER_HH
 
+#include <chrono>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -30,6 +31,10 @@ struct JobTiming
 
     /** Host seconds this job occupied a worker. */
     double seconds = 0;
+
+    /** Host seconds from the scheduler's construction to job start —
+     *  places the job on the scheduler's host timeline. */
+    double startSeconds = 0;
 
     /** True when the result came from the cache (no simulation ran). */
     bool cacheHit = false;
@@ -78,6 +83,13 @@ struct SchedulerOptions
 
     /** Progress sink; null = std::cerr. */
     std::ostream *log = nullptr;
+
+    /**
+     * Trace options handed to every simulated job. Disabled by default;
+     * when enabled, jobs satisfied from the result cache still produce
+     * no trace files (no simulation ran).
+     */
+    obs::TraceOptions trace{};
 };
 
 class Scheduler
@@ -114,6 +126,16 @@ class Scheduler
         return history_;
     }
 
+    /**
+     * Timing of every job across all sweeps, in execution-completion
+     * order per sweep. startSeconds values share the scheduler's epoch,
+     * so exporters can lay all sweeps on one host timeline.
+     */
+    const std::vector<JobTiming> &timingHistory() const
+    {
+        return timingHistory_;
+    }
+
   private:
     harness::RunResult runJob(const Job &job, JobTiming &timing);
 
@@ -121,7 +143,9 @@ class Scheduler
     unsigned workers_ = 1;
     unsigned shards_ = 1;
     ResultCache *cache_ = nullptr;
+    std::chrono::steady_clock::time_point epoch_;
     std::vector<std::pair<Job, harness::RunResult>> history_;
+    std::vector<JobTiming> timingHistory_;
 };
 
 } // namespace netcrafter::exp

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdlib>
 
+#include "src/obs/trace_buffer.hh"
 #include "src/sim/logging.hh"
 #include "src/sim/pool.hh"
 #include "src/sim/small_fn.hh"
@@ -19,17 +21,38 @@ MultiGpuSystem::clampShards(const config::SystemConfig &cfg,
 }
 
 MultiGpuSystem::MultiGpuSystem(const config::SystemConfig &cfg,
-                               unsigned shards)
+                               unsigned shards,
+                               const obs::TraceOptions &trace)
     : cfg_(cfg), engine_(clampShards(cfg, shards)),
       pageTable_(cfg.numGpus())
 {
     cfg_.validate();
     noc::resetPacketIds();
+    if (trace.enabled()) {
+        // The sink must exist before any component constructs: lanes
+        // are interned (and engine trace pointers installed) so the
+        // builders below see tracing already live.
+        traceSink_ = std::make_unique<obs::TraceSink>(
+            trace, engine_.numShards());
+        for (unsigned s = 0; s < engine_.numShards(); ++s) {
+            engine_.shard(s).setTrace(traceSink_.get(),
+                                      &traceSink_->buffer(s));
+        }
+        engine_.setHostTimelineEnabled(true);
+    }
     network_ = std::make_unique<noc::Network>(engine_, cfg_);
     buildChips();
 }
 
-MultiGpuSystem::~MultiGpuSystem() = default;
+MultiGpuSystem::~MultiGpuSystem()
+{
+    // Opt-in leak census for CI and tests: abandoning a run must not
+    // leave events or cross-shard exports behind.
+    static const bool census =
+        std::getenv("NETCRAFTER_TEARDOWN_CENSUS") != nullptr;
+    if (census)
+        auditTeardown();
+}
 
 void
 MultiGpuSystem::buildChips()
@@ -48,6 +71,8 @@ MultiGpuSystem::buildChips()
         gpuLocal_[g].priorityRng = Pcg32(
             cfg_.seed ^ 0x9e3779b97f4a7c15ull,
             0xda3e39cb94b95bdbull + 2 * static_cast<std::uint64_t>(g));
+        gpuLocal_[g].traceLane =
+            obs::internLane(engine, prefix + ".mem");
 
         chip.dram = std::make_unique<mem::Dram>(
             engine, prefix + ".dram", cfg_.dramLatency,
@@ -188,6 +213,10 @@ MultiGpuSystem::l1Fill(GpuId g, mem::FillRequest req)
     const Addr line = req.line;
     const GpuId owner = pageTable_.dataOwner(line);
     GpuLocal &local = gpuLocal_[g];
+    obs::tracepoint(engineOf(g), obs::TraceLevel::Packets,
+                    obs::TraceKind::PktStage, obs::TraceStage::L1Miss,
+                    local.traceLane, line, req.bytes,
+                    req.isWrite ? 1u : 0u);
 
     if (req.isWrite) {
         if (owner == g) {
@@ -333,6 +362,12 @@ MultiGpuSystem::handleResponse(noc::PacketPtr rsp)
     // Responses are delivered by the requester's RDMA engine, so this
     // runs on the requester's shard and only touches its GpuLocal.
     GpuLocal &local = gpuLocal_[rsp->dst];
+    sim::Engine &eng = engineOf(rsp->dst);
+    obs::tracepoint(eng, obs::TraceLevel::Packets,
+                    obs::TraceKind::PktStage, obs::TraceStage::Complete,
+                    local.traceLane, rsp->reqId,
+                    static_cast<std::uint32_t>(eng.now() -
+                                               rsp->injectedAt));
     auto it = local.outstanding.find(rsp->reqId);
     NC_ASSERT(it != local.outstanding.end(),
               "response for unknown request: ", rsp->toString());
@@ -382,6 +417,17 @@ void
 MultiGpuSystem::run(workloads::Workload &workload, double scale,
                     Tick max_cycles)
 {
+    const sim::RunStatus status = runFor(workload, scale, max_cycles);
+    if (status != sim::RunStatus::Drained) {
+        NC_FATAL(workload.name(), ": kernel exceeded the cycle limit (",
+                 max_cycles, ") - livelock or undersized limit");
+    }
+}
+
+sim::RunStatus
+MultiGpuSystem::runFor(workloads::Workload &workload, double scale,
+                       Tick max_cycles)
+{
     workloads::BuildContext ctx;
     ctx.numGpus = cfg_.numGpus();
     ctx.scale = scale;
@@ -399,15 +445,17 @@ MultiGpuSystem::run(workloads::Workload &workload, double scale,
         // inter-kernel barrier.
         const sim::RunStatus status = engine_.run(max_cycles);
         if (status != sim::RunStatus::Drained) {
-            NC_FATAL(workload.name(), ": kernel ", kernel_idx,
-                     " exceeded the cycle limit (", max_cycles,
-                     ") - livelock or undersized limit");
+            // Abandoned mid-kernel: events (and possibly cross-shard
+            // exports) are still in flight. The caller decides whether
+            // that is fatal; auditTeardown() makes it visible.
+            return status;
         }
         // Shards stop at their own last event; the next kernel (and
         // every cycle-denominated statistic) must see the clock the
         // serial engine would be at.
         engine_.alignClocks();
     }
+    return sim::RunStatus::Drained;
 }
 
 stats::Average

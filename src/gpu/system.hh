@@ -34,6 +34,7 @@
 #include "src/mem/dram.hh"
 #include "src/mem/l2_cache.hh"
 #include "src/noc/network.hh"
+#include "src/obs/trace.hh"
 #include "src/sim/engine.hh"
 #include "src/sim/sharded_engine.hh"
 #include "src/stats/stats.hh"
@@ -41,6 +42,10 @@
 #include "src/vm/page_table.hh"
 #include "src/vm/tlb.hh"
 #include "src/workloads/workload.hh"
+
+namespace netcrafter::obs {
+class TraceSink;
+} // namespace netcrafter::obs
 
 namespace netcrafter::gpu {
 
@@ -55,7 +60,8 @@ class MultiGpuSystem : public workloads::PlacementDirectory
      * every shard count.
      */
     explicit MultiGpuSystem(const config::SystemConfig &cfg,
-                            unsigned shards = 1);
+                            unsigned shards = 1,
+                            const obs::TraceOptions &trace = {});
     ~MultiGpuSystem() override;
 
     /**
@@ -65,6 +71,27 @@ class MultiGpuSystem : public workloads::PlacementDirectory
      */
     void run(workloads::Workload &workload, double scale = 1.0,
              Tick max_cycles = 2'000'000'000ull);
+
+    /**
+     * Like run(), but a kernel exceeding @p max_cycles returns the
+     * non-Drained status instead of aborting the process. An aborted
+     * simulation leaves events in flight; auditTeardown() can census
+     * them (and tests do).
+     */
+    sim::RunStatus runFor(workloads::Workload &workload,
+                          double scale = 1.0,
+                          Tick max_cycles = 2'000'000'000ull);
+
+    /**
+     * Walk shard event queues and cross-shard ports and NC_PANIC on
+     * anything still pending — the leak census run by tests and, when
+     * NETCRAFTER_TEARDOWN_CENSUS is set, by the destructor. Only
+     * meaningful after a run; a no-op for serial (1-shard) systems.
+     */
+    void auditTeardown() const { engine_.auditTeardown(); }
+
+    /** Trace sink collecting this system's records (null if disabled). */
+    obs::TraceSink *traceSink() const { return traceSink_.get(); }
 
     // PlacementDirectory -----------------------------------------------
     void place(Addr vaddr, GpuId owner) override;
@@ -172,6 +199,7 @@ class MultiGpuSystem : public workloads::PlacementDirectory
         std::uint64_t remoteReads = 0;
         std::uint64_t localReads = 0;
         Pcg32 priorityRng;
+        std::uint16_t traceLane = 0;
     };
 
     /** The engine of @p g's cluster's shard. */
@@ -211,6 +239,13 @@ class MultiGpuSystem : public workloads::PlacementDirectory
      * pooled objects have drained back to their owning arenas.
      */
     sim::ShardedEngine engine_;
+
+    /**
+     * Owns the per-shard trace buffers the engines point at. Destroyed
+     * before engine_, which is safe: worker threads only append inside
+     * runWindow(), and no component traces from its destructor.
+     */
+    std::unique_ptr<obs::TraceSink> traceSink_;
 
     vm::PageTable pageTable_;
     std::unique_ptr<noc::Network> network_;

@@ -3,9 +3,16 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <vector>
 
 #include "src/gpu/system.hh"
+#include "src/obs/chrome_trace.hh"
+#include "src/obs/interval_sampler.hh"
+#include "src/obs/lifecycle.hh"
+#include "src/obs/trace_buffer.hh"
 #include "src/sim/logging.hh"
 #include "src/sim/pool.hh"
 #include "src/sim/small_fn.hh"
@@ -13,15 +20,41 @@
 
 namespace netcrafter::harness {
 
+namespace {
+
+/** Per-run output path prefix inside the trace directory. */
+std::string
+traceFileBase(const obs::TraceOptions &trace,
+              const std::string &workload,
+              const config::SystemConfig &cfg, double scale,
+              unsigned shards)
+{
+    std::ostringstream base;
+    base << trace.outDir << '/' << workload << '-'
+         << config::digestHex(cfg) << "-s" << scale << "-n" << shards;
+    return base.str();
+}
+
+} // namespace
+
 RunResult
 runWorkload(const std::string &workload_name,
             const config::SystemConfig &cfg, double scale,
             unsigned shards)
 {
+    return runWorkload(workload_name, cfg, scale, shards,
+                       obs::TraceOptions::fromEnv());
+}
+
+RunResult
+runWorkload(const std::string &workload_name,
+            const config::SystemConfig &cfg, double scale,
+            unsigned shards, const obs::TraceOptions &trace)
+{
     const auto t_start = std::chrono::steady_clock::now();
 
     auto workload = workloads::makeWorkload(workload_name);
-    gpu::MultiGpuSystem system(cfg, shards);
+    gpu::MultiGpuSystem system(cfg, shards, trace);
     system.run(*workload, scale * envScale());
 
     RunResult r;
@@ -95,6 +128,49 @@ runWorkload(const std::string &workload_name,
     r.flitPoolHighWater = flit_pool.highWater();
     r.poolArenaBytes = packet_pool.arenaBytes() + flit_pool.arenaBytes();
     r.smallFnHeapAllocs = sim::SmallFn::heapAllocations();
+
+    if (system.traceSink() != nullptr) {
+        const obs::TraceSink &sink = *system.traceSink();
+        const std::vector<obs::TraceRecord> merged = sink.merged();
+        r.traceRecords = sink.totalRecords();
+        r.traceDropped = sink.totalDropped();
+
+        obs::TimeSeries series;
+        if (trace.sampleInterval > 0) {
+            series = obs::IntervalSampler(trace.sampleInterval)
+                         .sample(merged, sink.laneNames());
+            r.sampleRows = series.rows.size();
+        }
+
+        if (!trace.outDir.empty()) {
+            std::filesystem::create_directories(trace.outDir);
+            const std::string base = traceFileBase(
+                trace, workload_name, cfg, scale, system.numShards());
+            {
+                std::ofstream os(base + ".trace.json");
+                obs::writeSimChromeTrace(merged, sink.laneNames(), os);
+            }
+            {
+                std::ofstream os(base + ".host.trace.json");
+                obs::writeHostChromeTrace(system.engines(), os);
+            }
+            if (trace.sampleInterval > 0) {
+                std::ofstream os(base + ".timeseries.csv");
+                obs::writeTimeSeriesCsv(series, os);
+            }
+            {
+                // Lifecycle stats only: the full collectStats() registry
+                // also carries host-execution diagnostics (barrier
+                // stalls, pool high-water marks) that legitimately vary
+                // with the shard count, and this file must stay
+                // byte-identical across shard counts.
+                stats::Registry reg;
+                obs::foldLifecycle(merged, reg);
+                std::ofstream os(base + ".stats.json");
+                obs::writeRegistryJson(reg, os);
+            }
+        }
+    }
 
     const auto t_end = std::chrono::steady_clock::now();
     r.wallSeconds =

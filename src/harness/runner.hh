@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/config/system_config.hh"
+#include "src/obs/trace.hh"
 #include "src/sim/types.hh"
 
 namespace netcrafter::harness {
@@ -122,6 +123,17 @@ struct RunResult
     /** SmallFn captures that spilled to the heap on this thread; the
      *  hot path stays at 0 (diagnostics only). */
     std::uint64_t smallFnHeapAllocs = 0;
+
+    // Observability census (diagnostics only: tracing never changes a
+    // measurement, and the record count depends on the trace level) ----
+    /** Trace records captured across all shards (0 with tracing off). */
+    std::uint64_t traceRecords = 0;
+
+    /** Trace records dropped because a shard buffer hit its cap. */
+    std::uint64_t traceDropped = 0;
+
+    /** Time-series rows the interval sampler produced. */
+    std::uint64_t sampleRows = 0;
 };
 
 /**
@@ -134,6 +146,19 @@ struct RunResult
 RunResult runWorkload(const std::string &workload_name,
                       const config::SystemConfig &cfg,
                       double scale = 1.0, unsigned shards = 1);
+
+/**
+ * As above, with explicit trace options instead of the
+ * NETCRAFTER_TRACE_* environment (which the 4-argument overload
+ * consults). When @p trace names an output directory, the run writes
+ * `<outDir>/<workload>-<digest>-s<scale>-n<shards>.{trace.json,
+ * host.trace.json,timeseries.csv,stats.json}` — sim-time and host-time
+ * Chrome traces, the interval time-series, and the full statistics
+ * registry with the folded packet-lifecycle distributions.
+ */
+RunResult runWorkload(const std::string &workload_name,
+                      const config::SystemConfig &cfg, double scale,
+                      unsigned shards, const obs::TraceOptions &trace);
 
 /** Geometric mean of a sequence of positive ratios. */
 double geomean(const std::vector<double> &xs);

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "src/obs/trace_buffer.hh"
 #include "src/sim/sim_object.hh"
 
 namespace netcrafter::mem {
@@ -25,7 +26,9 @@ class Dram : public sim::SimObject
          std::uint32_t bytes_per_cycle)
         : SimObject(engine, std::move(name)), latency_(latency),
           bytesPerCycle_(bytes_per_cycle)
-    {}
+    {
+        traceLane_ = obs::internLane(engine, this->name());
+    }
 
     /**
      * Perform an access of @p bytes. @p done (may be null for writes
@@ -40,6 +43,10 @@ class Dram : public sim::SimObject
         nextFree_ = start + occupancy;
         ++accesses_;
         bytesAccessed_ += bytes;
+        obs::tracepoint(engine(), obs::TraceLevel::Full,
+                        obs::TraceKind::PktStage,
+                        obs::TraceStage::DramAccess, traceLane_, bytes,
+                        bytes);
         if (done) {
             engine().scheduleAbs(start + occupancy + latency_,
                                  std::move(done));
@@ -55,6 +62,7 @@ class Dram : public sim::SimObject
     Tick nextFree_ = 0;
     std::uint64_t accesses_ = 0;
     std::uint64_t bytesAccessed_ = 0;
+    std::uint16_t traceLane_ = 0;
 };
 
 } // namespace netcrafter::mem

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/trace_buffer.hh"
+
 namespace netcrafter::mem {
 
 L2Cache::L2Cache(sim::Engine &engine, std::string name,
@@ -12,6 +14,7 @@ L2Cache::L2Cache(sim::Engine &engine, std::string name,
       dram_(dram), mshr_(params.mshrEntries),
       bankNextFree_(params.banks, 0)
 {
+    traceLane_ = obs::internLane(engine, this->name());
 }
 
 Tick
@@ -41,6 +44,9 @@ void
 L2Cache::start(Addr line, bool is_write, Callback done)
 {
     ++accesses_;
+    obs::tracepoint(engine(), obs::TraceLevel::Full,
+                    obs::TraceKind::PktStage, obs::TraceStage::L2Lookup,
+                    traceLane_, line, is_write ? 1 : 0);
     const Tick ready = bankReadyTime(line) + params_.lookupLatency;
 
     if (tags_.present(line)) {
@@ -53,6 +59,9 @@ L2Cache::start(Addr line, bool is_write, Callback done)
     }
 
     ++misses_;
+    obs::tracepoint(engine(), obs::TraceLevel::Full,
+                    obs::TraceKind::PktStage, obs::TraceStage::L2Miss,
+                    traceLane_, line, is_write ? 1 : 0);
     Waiter waiter{is_write, std::move(done)};
     if (mshr_.outstanding(line)) {
         mshr_.merge(line, std::move(waiter));

@@ -84,6 +84,7 @@ class L2Cache : public sim::SimObject
     std::uint64_t misses_ = 0;
     std::uint64_t writebacks_ = 0;
     std::uint64_t mshrStalls_ = 0;
+    std::uint16_t traceLane_ = 0;
 };
 
 } // namespace netcrafter::mem

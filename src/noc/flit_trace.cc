@@ -1,12 +1,9 @@
 #include "src/noc/flit_trace.hh"
 
-namespace netcrafter::noc {
+#include <algorithm>
+#include <tuple>
 
-FlitTracer::FlitTracer(sim::Engine &engine, std::ostream &os)
-    : engine_(engine), os_(os)
-{
-    os_ << header() << "\n";
-}
+namespace netcrafter::noc {
 
 const char *
 FlitTracer::header()
@@ -17,24 +14,77 @@ FlitTracer::header()
 }
 
 std::function<void(const Flit &)>
-FlitTracer::observer(std::string link_name)
+FlitTracer::observer(std::string link_name, sim::Engine &engine)
 {
-    return [this, link = std::move(link_name)](const Flit &flit) {
-        record(link, flit);
+    auto channel = std::make_unique<Channel>();
+    channel->link = std::move(link_name);
+    channel->engine = &engine;
+    Channel *ch = channel.get();
+    channels_.push_back(std::move(channel));
+    // The closure only touches its own channel, so concurrent observers
+    // on different shard threads never share state.
+    return [ch](const Flit &flit) {
+        const Packet &pkt = *flit.pkt;
+        Row row;
+        row.tick = ch->engine->now();
+        row.pktId = pkt.id;
+        row.type = pkt.type;
+        row.src = pkt.src;
+        row.dst = pkt.dst;
+        row.seq = flit.seq;
+        row.numFlits = flit.numFlits;
+        row.occupiedBytes = flit.occupiedBytes;
+        row.usedBytes = flit.usedBytes();
+        row.stitchedPieces =
+            static_cast<std::uint16_t>(flit.stitched.size());
+        row.latencyCritical = pkt.latencyCritical;
+        row.trimmed = pkt.trimmed;
+        ch->rows.push_back(row);
     };
 }
 
-void
-FlitTracer::record(const std::string &link, const Flit &flit)
+std::uint64_t
+FlitTracer::rows() const
 {
-    const Packet &pkt = *flit.pkt;
-    os_ << engine_.now() << ',' << link << ',' << pkt.id << ','
-        << packetTypeName(pkt.type) << ',' << pkt.src << ',' << pkt.dst
-        << ',' << flit.seq << ',' << flit.numFlits << ','
-        << flit.occupiedBytes << ',' << flit.usedBytes() << ','
-        << flit.stitched.size() << ',' << (pkt.latencyCritical ? 1 : 0)
-        << ',' << (pkt.trimmed ? 1 : 0) << '\n';
-    ++rows_;
+    std::uint64_t n = 0;
+    for (const auto &ch : channels_)
+        n += ch->rows.size();
+    return n;
+}
+
+void
+FlitTracer::writeCsv(std::ostream &os) const
+{
+    // Merge to one deterministic order: a flit crossing is identified
+    // by (tick, link, packet, seq) regardless of which shard pumped it.
+    struct Keyed
+    {
+        const Channel *ch;
+        const Row *row;
+    };
+    std::vector<Keyed> merged;
+    merged.reserve(static_cast<std::size_t>(rows()));
+    for (const auto &ch : channels_)
+        for (const Row &row : ch->rows)
+            merged.push_back(Keyed{ch.get(), &row});
+    std::sort(merged.begin(), merged.end(),
+              [](const Keyed &a, const Keyed &b) {
+                  return std::tie(a.row->tick, a.ch->link, a.row->pktId,
+                                  a.row->seq) <
+                         std::tie(b.row->tick, b.ch->link, b.row->pktId,
+                                  b.row->seq);
+              });
+
+    os << header() << "\n";
+    for (const Keyed &k : merged) {
+        const Row &r = *k.row;
+        os << r.tick << ',' << k.ch->link << ',' << r.pktId << ','
+           << packetTypeName(r.type) << ',' << r.src << ',' << r.dst
+           << ',' << r.seq << ',' << r.numFlits << ','
+           << r.occupiedBytes << ',' << r.usedBytes << ','
+           << r.stitchedPieces << ',' << (r.latencyCritical ? 1 : 0)
+           << ',' << (r.trimmed ? 1 : 0) << '\n';
+    }
 }
 
 } // namespace netcrafter::noc

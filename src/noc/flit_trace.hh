@@ -1,9 +1,16 @@
 /**
  * @file
- * Flit-level trace recorder: attaches to Link observers and writes one
+ * Flit-level trace recorder: attaches to Link observers and collects one
  * CSV row per flit crossing the observed links — the raw material for
  * offline traffic analysis (occupancy plots, inter-arrival studies,
  * stitching audits) without recompiling the simulator.
+ *
+ * Sharded-safe by construction: each observer buffers rows privately
+ * (an observed link is pumped by exactly one shard thread), and
+ * writeCsv() merges the buffers into one deterministic order — sorted
+ * by (tick, link, packet id, seq) — so the CSV is byte-identical no
+ * matter how the links were partitioned onto shards. Nothing is
+ * streamed during the run.
  */
 
 #ifndef NETCRAFTER_NOC_FLIT_TRACE_HH
@@ -11,8 +18,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "src/noc/flit.hh"
 #include "src/sim/engine.hh"
@@ -20,32 +29,68 @@
 namespace netcrafter::noc {
 
 /**
- * Streams a CSV trace of observed flits. Attach via observer():
+ * Collects per-flit rows and writes them as one merged CSV. Attach via
+ * observer():
  *
- *   FlitTracer tracer(engine, out);
- *   link.setObserver(tracer.observer("inter0to1"));
+ *   FlitTracer tracer;
+ *   link.setObserver(tracer.observer("inter0to1", engine));
+ *   ... run ...
+ *   tracer.writeCsv(out);
+ *
+ * Each observer must only fire on its engine's shard thread (true for
+ * link/wire-channel observers). Create observers before the run;
+ * writeCsv() and rows() only after it.
  */
 class FlitTracer
 {
   public:
-    /** @param engine supplies timestamps. @param os receives CSV rows. */
-    FlitTracer(sim::Engine &engine, std::ostream &os);
+    FlitTracer() = default;
 
-    /** An observer callback tagging rows with @p link_name. */
-    std::function<void(const Flit &)> observer(std::string link_name);
+    /**
+     * An observer callback tagging rows with @p link_name and
+     * timestamping them from @p engine (the shard that pumps the
+     * observed link).
+     */
+    std::function<void(const Flit &)> observer(std::string link_name,
+                                               sim::Engine &engine);
 
-    /** Rows written so far. */
-    std::uint64_t rows() const { return rows_; }
+    /** Rows recorded so far, across every observer. */
+    std::uint64_t rows() const;
 
-    /** The CSV header this tracer writes. */
+    /** Merge all observers' rows and write the CSV to @p os. */
+    void writeCsv(std::ostream &os) const;
+
+    /** The CSV header writeCsv emits. */
     static const char *header();
 
   private:
-    void record(const std::string &link, const Flit &flit);
+    /** One recorded flit crossing; everything the CSV row needs. */
+    struct Row
+    {
+        Tick tick = 0;
+        std::uint64_t pktId = 0;
+        PacketType type = PacketType::ReadReq;
+        GpuId src = 0;
+        GpuId dst = 0;
+        std::uint32_t seq = 0;
+        std::uint32_t numFlits = 0;
+        std::uint16_t occupiedBytes = 0;
+        std::uint16_t usedBytes = 0;
+        std::uint16_t stitchedPieces = 0;
+        bool latencyCritical = false;
+        bool trimmed = false;
+    };
 
-    sim::Engine &engine_;
-    std::ostream &os_;
-    std::uint64_t rows_ = 0;
+    /** Per-observer buffer: written by one shard thread only. */
+    struct Channel
+    {
+        std::string link;
+        sim::Engine *engine = nullptr;
+        std::vector<Row> rows;
+    };
+
+    /** unique_ptr keeps Channel addresses stable across observer(). */
+    std::vector<std::unique_ptr<Channel>> channels_;
 };
 
 } // namespace netcrafter::noc

@@ -1,5 +1,6 @@
 #include "src/noc/rdma.hh"
 
+#include "src/obs/trace_buffer.hh"
 #include "src/sim/logging.hh"
 
 namespace netcrafter::noc {
@@ -18,6 +19,7 @@ RdmaEngine::RdmaEngine(sim::Engine &engine, std::string name, GpuId gpu,
     });
     // Arriving flits trigger reassembly.
     rx_.setOnPush([this] { rxWake_.notify(); });
+    traceLane_ = obs::internLane(engine, this->name());
 }
 
 void
@@ -25,6 +27,10 @@ RdmaEngine::sendPacket(PacketPtr pkt)
 {
     pkt->injectedAt = now();
     ++packetsSent_;
+    obs::tracepoint(engine(), obs::TraceLevel::Packets,
+                    obs::TraceKind::PktStage, obs::TraceStage::RdmaInject,
+                    traceLane_, pkt->id, pkt->totalBytes(),
+                    static_cast<std::uint32_t>(pkt->type));
     for (auto &flit : segmentPacket(pkt, flitBytes_))
         sendQueue_.push_back(std::move(flit));
     txWake_.notify();
@@ -60,6 +66,11 @@ RdmaEngine::pumpRx()
         if (got == pkt->totalBytes()) {
             reassembly_.erase(pkt->id);
             ++packetsReceived_;
+            obs::tracepoint(engine(), obs::TraceLevel::Packets,
+                            obs::TraceKind::PktStage,
+                            obs::TraceStage::RdmaDeliver, traceLane_,
+                            pkt->id, pkt->totalBytes(),
+                            static_cast<std::uint32_t>(pkt->type));
             if (isResponseType(pkt->type)) {
                 NC_ASSERT(responseHandler_ != nullptr,
                           name(), ": no response handler");

@@ -95,6 +95,7 @@ class RdmaEngine : public sim::SimObject
 
     std::uint64_t packetsSent_ = 0;
     std::uint64_t packetsReceived_ = 0;
+    std::uint16_t traceLane_ = 0;
 };
 
 } // namespace netcrafter::noc

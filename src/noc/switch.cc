@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/trace_buffer.hh"
 #include "src/sim/logging.hh"
 
 namespace netcrafter::noc {
@@ -11,6 +12,7 @@ Switch::Switch(sim::Engine &engine, std::string name,
     : SimObject(engine, std::move(name)), params_(params),
       wake_(engine, this)
 {
+    traceLane_ = obs::internLane(engine, this->name());
 }
 
 std::size_t
@@ -135,6 +137,14 @@ Switch::cycle()
             }
             --out_budget[out_port];
             ++flitsRouted_;
+            obs::tracepoint(engine(), obs::TraceLevel::Full,
+                            obs::TraceKind::PktStage,
+                            obs::TraceStage::SwitchRoute, traceLane_,
+                            flit != nullptr && flit->pkt != nullptr
+                                ? flit->pkt->id
+                                : 0,
+                            static_cast<std::uint32_t>(out_port),
+                            flit != nullptr ? flit->seq : 0);
             ++routed;
             port.pipeline.pop_front();
         }

@@ -139,6 +139,7 @@ class Switch : public sim::SimObject
 
     std::uint64_t flitsRouted_ = 0;
     std::uint64_t stallCycles_ = 0;
+    std::uint16_t traceLane_ = 0;
 };
 
 } // namespace netcrafter::noc

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/obs/trace_buffer.hh"
 #include "src/sim/logging.hh"
 
 namespace netcrafter::noc {
@@ -21,6 +22,7 @@ WireChannel::WireChannel(sim::Engine &src_engine,
     NC_ASSERT(latency_ >= 1, "wire channel latency must be >= 1 cycle");
     NC_ASSERT(!crossShard() || &src_engine != &dst_engine,
               "cross-shard endpoints must use distinct engines");
+    traceLane_ = obs::internLane(src_engine, this->name());
     source_.setOnPush([this] { notify(); });
     // The sink's pop hook belongs to this channel: every freed slot is
     // a credit heading back to the egress side. The sink's push hook
@@ -48,6 +50,14 @@ WireChannel::pump()
         ++moved;
         if (observer_)
             observer_(*flit);
+        obs::tracepoint(
+            srcEngine_, obs::TraceLevel::Links, obs::TraceKind::FlitXfer,
+            obs::TraceStage::WireDepart, traceLane_,
+            flit->pkt != nullptr ? flit->pkt->id : 0,
+            obs::packFlitBytes(flit->capacity, flit->usedBytes()),
+            obs::packFlitSeq(
+                static_cast<std::uint32_t>(flit->stitched.size()),
+                flit->seq));
         ship(std::move(flit), now() + latency_);
     }
     if (moved > 0) {
@@ -97,6 +107,14 @@ WireChannel::ship(FlitPtr flit, Tick arrival)
 void
 WireChannel::deliver(FlitPtr flit)
 {
+    obs::tracepoint(
+        dstEngine_, obs::TraceLevel::Links, obs::TraceKind::FlitXfer,
+        obs::TraceStage::WireArrive, traceLane_,
+        flit->pkt != nullptr ? flit->pkt->id : 0,
+        obs::packFlitBytes(flit->capacity, flit->usedBytes()),
+        obs::packFlitSeq(
+            static_cast<std::uint32_t>(flit->stitched.size()),
+            flit->seq));
     const bool pushed = sink_.tryPush(std::move(flit));
     NC_ASSERT(pushed, "wire channel overran its credit window");
 }

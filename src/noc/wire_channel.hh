@@ -117,6 +117,13 @@ class WireChannel : public sim::SimObject, public sim::CrossShardPort
     void importAtDst() override;
     void importAtSrc() override;
 
+    /** Flits + credits still queued for export (teardown census). */
+    std::size_t
+    pendingExports() const override
+    {
+        return flitOutbox_.size() + creditOutbox_.size();
+    }
+
   private:
     /** Value snapshot of a stitched piece for cross-shard transfer. */
     struct WirePiece
@@ -176,6 +183,7 @@ class WireChannel : public sim::SimObject, public sim::CrossShardPort
     bool everBusy_ = false;
     std::uint64_t flitsRematerialized_ = 0;
     std::size_t maxIngressDepth_ = 0;
+    std::uint16_t traceLane_ = 0;
 };
 
 } // namespace netcrafter::noc

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Chrome-trace / Perfetto JSON export. Two documents per traced run:
+ *
+ *  - sim-time trace: pid 1, one tid per interned lane. Wire-flight
+ *    slices ("X") per flit, async begin/end ("b"/"e") per PTW walk so
+ *    overlapping walks render, instants ("i") for controller decisions
+ *    and higher-level packet stages. Derived purely from the canonical
+ *    merged record stream, so it is byte-identical across shard counts.
+ *  - host-time trace: pid 2, one tid per shard, an "X" slice per
+ *    conservative quantum with the window and barrier stall ticks as
+ *    args, plus a stall counter track. Scheduler-job lanes go on pid 3
+ *    (written by the sweep tool). Host time is wall-clock and therefore
+ *    never compared byte-for-byte.
+ *
+ * Timebase: 1 core cycle = 1 ns (Table 2), so sim ts_us = tick / 1000.
+ * Load either file in chrome://tracing or https://ui.perfetto.dev.
+ */
+
+#ifndef NETCRAFTER_OBS_CHROME_TRACE_HH
+#define NETCRAFTER_OBS_CHROME_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/obs/trace.hh"
+
+namespace netcrafter::sim {
+class ShardedEngine;
+} // namespace netcrafter::sim
+
+namespace netcrafter::obs {
+
+/** Process ids used across the emitted documents. */
+inline constexpr int kSimPid = 1;
+inline constexpr int kHostPid = 2;
+inline constexpr int kSchedulerPid = 3;
+
+/** JSON string escaping (mirrors exp::jsonEscape; obs sits below exp). */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Accumulates Chrome-trace events and writes one {"traceEvents": [...]}
+ * document. write() stable-sorts by (pid, tid, ts) with metadata first,
+ * which both chrome://tracing and the repo's validator expect.
+ */
+class ChromeTraceWriter
+{
+  public:
+    /** Name a process ("process_name") or thread ("thread_name"). */
+    void processName(int pid, const std::string &name);
+    void threadName(int pid, int tid, const std::string &name);
+
+    /** A complete slice; @p args_json is a raw JSON object or empty. */
+    void slice(int pid, int tid, const std::string &name, double ts_us,
+               double dur_us, const std::string &args_json = "");
+
+    /** One point on a counter track. */
+    void counter(int pid, const std::string &track, double ts_us,
+                 const std::string &series, double value);
+
+    /** A zero-duration instant on a thread track. */
+    void instant(int pid, int tid, const std::string &name, double ts_us);
+
+    /** Async begin/end pair; @p id distinguishes overlapping spans. */
+    void asyncBegin(int pid, const std::string &cat,
+                    const std::string &name, std::uint64_t id,
+                    double ts_us);
+    void asyncEnd(int pid, const std::string &cat, const std::string &name,
+                  std::uint64_t id, double ts_us);
+
+    std::size_t events() const { return events_.size(); }
+
+    void write(std::ostream &os) const;
+
+  private:
+    struct Event
+    {
+        int pid = 0;
+        int tid = 0;
+        double ts = 0;
+        double dur = 0;
+        char ph = 'X';
+        std::string name;
+        std::string cat;
+        std::string argsJson;
+        std::uint64_t id = 0;
+        bool hasId = false;
+    };
+
+    std::vector<Event> events_;
+};
+
+/**
+ * Render the merged sim-time stream as a Chrome trace. @p lane_names
+ * comes from the TraceSink that produced @p records.
+ */
+void writeSimChromeTrace(const std::vector<TraceRecord> &records,
+                         const std::vector<std::string> &lane_names,
+                         std::ostream &os);
+
+/**
+ * Render the host-time lanes (per-shard quanta + barrier stalls) from
+ * the engine's host timeline. Requires setHostTimelineEnabled(true)
+ * before the run.
+ */
+void writeHostChromeTrace(const sim::ShardedEngine &engine,
+                          std::ostream &os);
+
+} // namespace netcrafter::obs
+
+#endif // NETCRAFTER_OBS_CHROME_TRACE_HH

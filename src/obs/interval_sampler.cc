@@ -1,0 +1,192 @@
+#include "src/obs/interval_sampler.hh"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "src/sim/logging.hh"
+
+namespace netcrafter::obs {
+
+namespace {
+
+/** Per-lane metrics discovered from the record stream. */
+enum Metric : std::uint8_t {
+    Flits,
+    WireBytes,
+    UsedBytes,
+    StitchedPieces,
+    WalksStarted,
+    WalksCompleted,
+    WalksInFlight,
+    PoolingArms,
+    Ejects,
+    Stitches,
+    Trims,
+    PacketsInjected,
+    PacketsDelivered,
+};
+
+const char *
+metricName(Metric m)
+{
+    switch (m) {
+      case Flits: return "flits";
+      case WireBytes: return "wireBytes";
+      case UsedBytes: return "usedBytes";
+      case StitchedPieces: return "stitchedPieces";
+      case WalksStarted: return "walksStarted";
+      case WalksCompleted: return "walksCompleted";
+      case WalksInFlight: return "walksInFlight";
+      case PoolingArms: return "poolingArms";
+      case Ejects: return "ejects";
+      case Stitches: return "stitches";
+      case Trims: return "trims";
+      case PacketsInjected: return "packetsInjected";
+      case PacketsDelivered: return "packetsDelivered";
+    }
+    return "(invalid)";
+}
+
+/** Metrics a record contributes to, with the value added per metric. */
+struct Contribution
+{
+    Metric metric;
+    std::uint64_t value;
+};
+
+std::size_t
+contributionsOf(const TraceRecord &rec, Contribution out[4])
+{
+    const auto stage = static_cast<TraceStage>(rec.stage);
+    switch (stage) {
+      case TraceStage::WireDepart:
+        out[0] = {Flits, 1};
+        out[1] = {WireBytes, rec.a >> 16};
+        out[2] = {UsedBytes, rec.a & 0xffffu};
+        out[3] = {StitchedPieces, rec.b >> 16};
+        return 4;
+      case TraceStage::WalkStart:
+        out[0] = {WalksStarted, 1};
+        return 1;
+      case TraceStage::WalkEnd:
+        out[0] = {WalksCompleted, 1};
+        return 1;
+      case TraceStage::CtrlArm:
+        out[0] = {PoolingArms, 1};
+        return 1;
+      case TraceStage::CtrlEject:
+        out[0] = {Ejects, 1};
+        return 1;
+      case TraceStage::CtrlStitch:
+        out[0] = {Stitches, 1};
+        return 1;
+      case TraceStage::CtrlTrim:
+        out[0] = {Trims, 1};
+        return 1;
+      case TraceStage::RdmaInject:
+        out[0] = {PacketsInjected, 1};
+        return 1;
+      case TraceStage::RdmaDeliver:
+        out[0] = {PacketsDelivered, 1};
+        return 1;
+      default:
+        return 0;
+    }
+}
+
+} // namespace
+
+TimeSeries
+IntervalSampler::sample(const std::vector<TraceRecord> &records,
+                        const std::vector<std::string> &lane_names) const
+{
+    TimeSeries series;
+    series.interval = interval_;
+    if (interval_ == 0 || records.empty())
+        return series;
+
+    // Pass 1: discover (lane, metric) columns. std::map keys sort by
+    // lane name then metric enum order, fixing the column order.
+    std::map<std::pair<std::string, Metric>, std::size_t> columns;
+    Contribution contribs[4];
+    auto laneName = [&](std::uint16_t lane) -> const std::string & {
+        NC_ASSERT(lane < lane_names.size(), "unknown trace lane ", lane);
+        return lane_names[lane];
+    };
+    for (const TraceRecord &rec : records) {
+        const std::size_t n = contributionsOf(rec, contribs);
+        for (std::size_t i = 0; i < n; ++i)
+            columns.emplace(
+                std::make_pair(laneName(rec.lane), contribs[i].metric), 0);
+        if (n > 0 && (contribs[0].metric == WalksStarted ||
+                      contribs[0].metric == WalksCompleted)) {
+            columns.emplace(
+                std::make_pair(laneName(rec.lane), WalksInFlight), 0);
+        }
+    }
+    if (columns.empty())
+        return series;
+    std::size_t idx = 0;
+    for (auto &[key, col] : columns) {
+        col = idx++;
+        series.columns.push_back(key.first + "." + metricName(key.second));
+    }
+
+    // Per-lane running walk concurrency, read at each interval boundary.
+    std::map<std::string, std::int64_t> walks_in_flight;
+
+    // Pass 2: accumulate rows. Records are sorted by tick, so one sweep
+    // suffices; empty intervals still get a row (zeros + carried gauges).
+    const Tick last_tick = records.back().tick;
+    const Tick num_intervals = last_tick / interval_ + 1;
+    std::vector<std::uint64_t> acc(columns.size(), 0);
+    std::size_t next = 0;
+    for (Tick iv = 0; iv < num_intervals; ++iv) {
+        const Tick start = iv * interval_;
+        const Tick end = start + interval_; // exclusive
+        std::fill(acc.begin(), acc.end(), 0);
+        while (next < records.size() && records[next].tick < end) {
+            const TraceRecord &rec = records[next++];
+            const std::size_t n = contributionsOf(rec, contribs);
+            for (std::size_t i = 0; i < n; ++i) {
+                const auto it = columns.find(
+                    {laneName(rec.lane), contribs[i].metric});
+                acc[it->second] += contribs[i].value;
+                if (contribs[i].metric == WalksStarted)
+                    ++walks_in_flight[laneName(rec.lane)];
+                else if (contribs[i].metric == WalksCompleted)
+                    --walks_in_flight[laneName(rec.lane)];
+            }
+        }
+        for (const auto &[lane, count] : walks_in_flight) {
+            const auto it = columns.find({lane, WalksInFlight});
+            if (it != columns.end())
+                acc[it->second] =
+                    static_cast<std::uint64_t>(std::max<std::int64_t>(
+                        count, 0));
+        }
+        TimeSeries::Row row;
+        row.intervalStart = start;
+        row.values = acc;
+        series.rows.push_back(std::move(row));
+    }
+    return series;
+}
+
+void
+writeTimeSeriesCsv(const TimeSeries &series, std::ostream &os)
+{
+    os << "interval_start";
+    for (const std::string &col : series.columns)
+        os << ',' << col;
+    os << '\n';
+    for (const TimeSeries::Row &row : series.rows) {
+        os << row.intervalStart;
+        for (const std::uint64_t v : row.values)
+            os << ',' << v;
+        os << '\n';
+    }
+}
+
+} // namespace netcrafter::obs

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * IntervalSampler: folds a merged trace-record stream into fixed-period
+ * time-series rows (link utilization, walk concurrency, controller
+ * decision rates per interval).
+ *
+ * Sampling is a post-processing step over the canonical merged stream
+ * rather than a simulated event: scheduling sampler events inside the
+ * engines would perturb the event census and make results depend on the
+ * shard count. Folding the already shard-invariant records keeps the
+ * CSV byte-identical across 1/2/4 shards for free.
+ */
+
+#ifndef NETCRAFTER_OBS_INTERVAL_SAMPLER_HH
+#define NETCRAFTER_OBS_INTERVAL_SAMPLER_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/obs/trace.hh"
+
+namespace netcrafter::obs {
+
+/** One sampled table: column names plus one row per interval. */
+struct TimeSeries
+{
+    Tick interval = 0;
+    std::vector<std::string> columns; ///< excludes interval_start
+    struct Row
+    {
+        Tick intervalStart = 0;
+        std::vector<std::uint64_t> values; ///< parallel to columns
+    };
+    std::vector<Row> rows;
+
+    bool empty() const { return rows.empty(); }
+};
+
+/**
+ * Classifies lanes by the record kinds seen on them and derives one
+ * column per (lane, metric):
+ *  - wire lanes:       .flits .wireBytes .usedBytes .stitchedPieces
+ *  - GMMU lanes:       .walksStarted .walksCompleted .walksInFlight
+ *  - controller lanes: .poolingArms .ejects .stitches .trims
+ *  - RDMA lanes:       .packetsInjected .packetsDelivered
+ * Count columns are per-interval deltas; walksInFlight is a gauge read
+ * at each interval's end and carried across empty intervals.
+ */
+class IntervalSampler
+{
+  public:
+    explicit IntervalSampler(Tick interval) : interval_(interval) {}
+
+    /**
+     * Sample @p records (must already be merged/sorted by tick) against
+     * the sink's @p lane_names. Returns an empty series when the
+     * interval is 0 or there are no records.
+     */
+    TimeSeries sample(const std::vector<TraceRecord> &records,
+                      const std::vector<std::string> &lane_names) const;
+
+  private:
+    Tick interval_;
+};
+
+/** Write @p series as CSV: interval_start, then its columns in order. */
+void writeTimeSeriesCsv(const TimeSeries &series, std::ostream &os);
+
+} // namespace netcrafter::obs
+
+#endif // NETCRAFTER_OBS_INTERVAL_SAMPLER_HH

@@ -1,0 +1,353 @@
+#include "src/obs/json_validate.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+namespace netcrafter::obs {
+
+namespace {
+
+/** Recursive-descent parser over a string view of the document. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *err)
+        : text_(text), err_(err)
+    {}
+
+    bool
+    parse(JsonValue &out)
+    {
+        skipSpace();
+        if (!parseValue(out))
+            return false;
+        skipSpace();
+        if (pos_ != text_.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &what)
+    {
+        if (err_ != nullptr) {
+            std::ostringstream os;
+            os << what << " at offset " << pos_;
+            *err_ = os.str();
+        }
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word, JsonValue &out, JsonValue::Type type,
+            bool boolean)
+    {
+        const std::size_t len = std::string(word).size();
+        if (text_.compare(pos_, len, word) != 0)
+            return fail("invalid literal");
+        pos_ += len;
+        out.type = type;
+        out.boolean = boolean;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (text_[pos_] != '"')
+            return fail("expected string");
+        ++pos_;
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("dangling escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                const std::string hex = text_.substr(pos_, 4);
+                char *end = nullptr;
+                const long code = std::strtol(hex.c_str(), &end, 16);
+                if (end != hex.c_str() + 4)
+                    return fail("bad \\u escape");
+                pos_ += 4;
+                // The repo's writers only escape control characters;
+                // anything else is preserved as a replacement byte.
+                out += code < 0x80 ? static_cast<char>(code) : '?';
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+            ++pos_;
+        bool digits = false;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '-' ||
+                text_[pos_] == '+')) {
+            digits |= std::isdigit(static_cast<unsigned char>(text_[pos_]));
+            ++pos_;
+        }
+        if (!digits)
+            return fail("expected number");
+        const std::string token = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        out.number = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size())
+            return fail("malformed number");
+        out.type = JsonValue::Type::Number;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of document");
+        const char c = text_[pos_];
+        switch (c) {
+          case '{': return parseObject(out);
+          case '[': return parseArray(out);
+          case '"': {
+            out.type = JsonValue::Type::String;
+            return parseString(out.text);
+          }
+          case 't': return literal("true", out, JsonValue::Type::Bool, true);
+          case 'f':
+            return literal("false", out, JsonValue::Type::Bool, false);
+          case 'n': return literal("null", out, JsonValue::Type::Null, false);
+          default: return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        out.type = JsonValue::Type::Object;
+        ++pos_; // '{'
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipSpace();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipSpace();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':' in object");
+            ++pos_;
+            JsonValue value;
+            if (!parseValue(value))
+                return false;
+            out.object.emplace(std::move(key), std::move(value));
+            skipSpace();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        out.type = JsonValue::Type::Array;
+        ++pos_; // '['
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            JsonValue value;
+            if (!parseValue(value))
+                return false;
+            out.array.push_back(std::move(value));
+            skipSpace();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    const std::string &text_;
+    std::string *err_;
+    std::size_t pos_ = 0;
+};
+
+bool
+validationError(std::string *err, std::size_t index,
+                const std::string &what)
+{
+    if (err != nullptr) {
+        std::ostringstream os;
+        os << "traceEvents[" << index << "]: " << what;
+        *err = os.str();
+    }
+    return false;
+}
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (type != Type::Object)
+        return nullptr;
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+}
+
+bool
+parseJson(const std::string &text, JsonValue &out, std::string *err)
+{
+    return Parser(text, err).parse(out);
+}
+
+bool
+validateChromeTrace(const JsonValue &root, std::string *err,
+                    ChromeTraceSummary *summary)
+{
+    ChromeTraceSummary local;
+    if (!root.isObject()) {
+        if (err != nullptr)
+            *err = "top level is not an object";
+        return false;
+    }
+    const JsonValue *events = root.find("traceEvents");
+    if (events == nullptr || !events->isArray()) {
+        if (err != nullptr)
+            *err = "missing traceEvents array";
+        return false;
+    }
+
+    std::map<std::pair<int, int>, double> last_ts; // (pid, tid) lanes
+    std::map<int, bool> pids;
+    for (std::size_t i = 0; i < events->array.size(); ++i) {
+        const JsonValue &ev = events->array[i];
+        if (!ev.isObject())
+            return validationError(err, i, "event is not an object");
+        const JsonValue *ph = ev.find("ph");
+        if (ph == nullptr || !ph->isString() || ph->text.size() != 1)
+            return validationError(err, i, "missing one-character ph");
+        const JsonValue *pid = ev.find("pid");
+        if (pid == nullptr || !pid->isNumber())
+            return validationError(err, i, "missing numeric pid");
+        const JsonValue *name = ev.find("name");
+        if (name == nullptr || !name->isString())
+            return validationError(err, i, "missing name");
+        pids[static_cast<int>(pid->number)] = true;
+
+        const char kind = ph->text[0];
+        ++local.events;
+        if (kind == 'M') {
+            ++local.metadata;
+            continue;
+        }
+        const JsonValue *ts = ev.find("ts");
+        if (ts == nullptr || !ts->isNumber())
+            return validationError(err, i, "timed event missing ts");
+        const JsonValue *tid = ev.find("tid");
+        const int tid_value =
+            tid != nullptr && tid->isNumber()
+                ? static_cast<int>(tid->number)
+                : 0;
+
+        switch (kind) {
+          case 'X': {
+            const JsonValue *dur = ev.find("dur");
+            if (dur == nullptr || !dur->isNumber())
+                return validationError(err, i, "slice missing dur");
+            ++local.slices;
+            break;
+          }
+          case 'C': ++local.counters; break;
+          case 'i': ++local.instants; break;
+          case 'b':
+          case 'e': ++local.asyncs; break;
+          default:
+            return validationError(err, i,
+                                   std::string("unexpected ph '") + kind +
+                                       "'");
+        }
+
+        // Per-lane monotonicity: slices and instants must appear in
+        // non-decreasing ts order within their (pid, tid) lane.
+        if (kind == 'X' || kind == 'i') {
+            const auto lane = std::make_pair(
+                static_cast<int>(pid->number), tid_value);
+            const auto it = last_ts.find(lane);
+            if (it != last_ts.end() && ts->number < it->second) {
+                std::ostringstream os;
+                os << "ts went backwards on lane (pid "
+                   << lane.first << ", tid " << lane.second
+                   << "): " << ts->number << " after " << it->second;
+                return validationError(err, i, os.str());
+            }
+            last_ts[lane] = ts->number;
+        }
+    }
+    local.lanes = last_ts.size();
+    local.pids = pids.size();
+    if (summary != nullptr)
+        *summary = local;
+    return true;
+}
+
+} // namespace netcrafter::obs

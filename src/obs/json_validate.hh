@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Dependency-free JSON parsing + Chrome-trace validation, used by the
+ * trace_validate CLI and the obs tests to check that emitted traces
+ * are well-formed and per-lane monotonic without any external schema
+ * tooling in the container/CI image.
+ */
+
+#ifndef NETCRAFTER_OBS_JSON_VALIDATE_HH
+#define NETCRAFTER_OBS_JSON_VALIDATE_HH
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace netcrafter::obs {
+
+/** A parsed JSON document node (recursive). */
+struct JsonValue
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string text;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    bool isObject() const { return type == Type::Object; }
+    bool isArray() const { return type == Type::Array; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isString() const { return type == Type::String; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+};
+
+/**
+ * Parse @p text into @p out. Returns false and fills @p err (when
+ * non-null) on malformed input. Handles the full JSON grammar the
+ * repo's writers emit: objects, arrays, strings with escapes, numbers,
+ * booleans, null.
+ */
+bool parseJson(const std::string &text, JsonValue &out, std::string *err);
+
+/** What validateChromeTrace saw, for reporting. */
+struct ChromeTraceSummary
+{
+    std::size_t events = 0;
+    std::size_t metadata = 0;
+    std::size_t slices = 0;
+    std::size_t counters = 0;
+    std::size_t instants = 0;
+    std::size_t asyncs = 0;
+    std::size_t lanes = 0; ///< distinct (pid, tid) pairs
+    std::size_t pids = 0;  ///< distinct pids
+};
+
+/**
+ * Validate a parsed Chrome-trace document: top-level object with a
+ * "traceEvents" array; every event is an object with a one-character
+ * "ph" and a numeric "pid"; timed events carry a numeric "ts"; and per
+ * (pid, tid) lane the "X"/"i" timestamps are non-decreasing in
+ * document order. Returns false and fills @p err on the first
+ * violation.
+ */
+bool validateChromeTrace(const JsonValue &root, std::string *err,
+                         ChromeTraceSummary *summary);
+
+} // namespace netcrafter::obs
+
+#endif // NETCRAFTER_OBS_JSON_VALIDATE_HH

@@ -1,0 +1,143 @@
+#include "src/obs/lifecycle.hh"
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "src/obs/chrome_trace.hh"
+
+namespace netcrafter::obs {
+
+namespace {
+
+std::string
+num(double v)
+{
+    std::ostringstream os;
+    os.precision(std::numeric_limits<double>::max_digits10);
+    os << v;
+    return os.str();
+}
+
+const std::vector<double> &
+latencyBounds()
+{
+    static const std::vector<double> bounds = {64,   128,  256,  512,
+                                               1024, 2048, 4096, 8192};
+    return bounds;
+}
+
+} // namespace
+
+void
+foldLifecycle(const std::vector<TraceRecord> &records, stats::Registry &reg)
+{
+    stats::Distribution &wire_flight = reg.distribution(
+        "obs.wireFlightCycles", latencyBounds());
+    stats::Distribution &walk_cycles = reg.distribution(
+        "obs.walkCycles", latencyBounds());
+    stats::Distribution &round_trip = reg.distribution(
+        "obs.requestRoundTripCycles", latencyBounds());
+    stats::Distribution &rsp_flight = reg.distribution(
+        "obs.responseFlightCycles", latencyBounds());
+
+    // In-flight state keyed by shard-invariant fields only, so the fold
+    // is identical whatever the shard count was.
+    std::map<std::tuple<std::uint16_t, std::uint64_t, std::uint32_t>, Tick>
+        wire_departs; // (lane, packet id, flit seq) -> depart tick
+    std::map<std::pair<std::uint16_t, std::uint64_t>, std::deque<Tick>>
+        walk_starts; // (lane, vpn) -> FIFO of start ticks
+    std::map<std::uint64_t, Tick> injects; // packet id -> inject tick
+
+    for (const TraceRecord &rec : records) {
+        const auto stage = static_cast<TraceStage>(rec.stage);
+        reg.counter(std::string("obs.stage.") + traceStageName(stage))
+            .inc();
+        switch (stage) {
+          case TraceStage::WireDepart:
+            wire_departs[{rec.lane, rec.id, rec.b & 0xffffu}] = rec.tick;
+            break;
+          case TraceStage::WireArrive: {
+            const auto it =
+                wire_departs.find({rec.lane, rec.id, rec.b & 0xffffu});
+            if (it != wire_departs.end()) {
+                wire_flight.sample(
+                    static_cast<double>(rec.tick - it->second));
+                wire_departs.erase(it);
+            }
+            break;
+          }
+          case TraceStage::WalkStart:
+            walk_starts[{rec.lane, rec.id}].push_back(rec.tick);
+            break;
+          case TraceStage::WalkEnd: {
+            const auto it = walk_starts.find({rec.lane, rec.id});
+            if (it != walk_starts.end() && !it->second.empty()) {
+                walk_cycles.sample(
+                    static_cast<double>(rec.tick - it->second.front()));
+                it->second.pop_front();
+                if (it->second.empty())
+                    walk_starts.erase(it);
+            }
+            break;
+          }
+          case TraceStage::RdmaInject:
+            injects.emplace(rec.id, rec.tick);
+            break;
+          case TraceStage::Complete: {
+            const auto it = injects.find(rec.id);
+            if (it != injects.end()) {
+                round_trip.sample(
+                    static_cast<double>(rec.tick - it->second));
+                injects.erase(it);
+            }
+            rsp_flight.sample(static_cast<double>(rec.a));
+            break;
+          }
+          default:
+            break;
+        }
+    }
+}
+
+void
+writeRegistryJson(const stats::Registry &reg, std::ostream &os)
+{
+    os << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, c] : reg.counters()) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+           << "\": " << c.value();
+        first = false;
+    }
+    os << "\n  },\n  \"averages\": {";
+    first = true;
+    for (const auto &[name, a] : reg.averages()) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+           << "\": {\"mean\": " << num(a.mean())
+           << ", \"min\": " << num(a.min())
+           << ", \"max\": " << num(a.max())
+           << ", \"count\": " << a.count() << "}";
+        first = false;
+    }
+    os << "\n  },\n  \"distributions\": {";
+    first = true;
+    for (const auto &[name, d] : reg.distributions()) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+           << "\": {\"total\": " << d.total() << ", \"bounds\": [";
+        for (std::size_t i = 0; i < d.bounds().size(); ++i)
+            os << (i ? ", " : "") << num(d.bounds()[i]);
+        os << "], \"counts\": [";
+        for (std::size_t i = 0; i < d.bounds().size() + 1; ++i)
+            os << (i ? ", " : "") << d.bucket(i);
+        os << "]}";
+        first = false;
+    }
+    os << "\n  }\n}\n";
+}
+
+} // namespace netcrafter::obs

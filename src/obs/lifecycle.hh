@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Packet-lifecycle folding: pairs up stage records from the canonical
+ * merged trace stream into per-stage latency breakdown distributions
+ * (wire flight, PTW walk, request round-trip) and per-stage event
+ * counters, all registered under "obs." in a stats::Registry.
+ *
+ * Lives in obs rather than exp because the harness writes these stats
+ * alongside the trace files and exp already depends on harness — obs is
+ * below both.
+ */
+
+#ifndef NETCRAFTER_OBS_LIFECYCLE_HH
+#define NETCRAFTER_OBS_LIFECYCLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/obs/trace.hh"
+#include "src/stats/stats.hh"
+
+namespace netcrafter::obs {
+
+/**
+ * Fold @p records (merged/sorted) into @p reg:
+ *  - obs.stage.<name> counters: events per lifecycle stage;
+ *  - obs.wireFlightCycles: WireDepart -> WireArrive latency per flit,
+ *    matched by (lane, packet id, seq);
+ *  - obs.walkCycles: WalkStart -> WalkEnd latency, FIFO-matched per
+ *    (lane, vpn) so waiter-merged walks pair with their primary;
+ *  - obs.requestRoundTripCycles: RdmaInject -> Complete latency per
+ *    request id (needs level >= packets);
+ *  - obs.responseFlightCycles: response inject -> delivery latency as
+ *    reported by the Complete record.
+ */
+void foldLifecycle(const std::vector<TraceRecord> &records,
+                   stats::Registry &reg);
+
+/**
+ * Dump @p reg as JSON ({"counters": {...}, "averages": {...},
+ * "distributions": {...}}), matching the exp exporter's layout so
+ * existing tooling reads both.
+ */
+void writeRegistryJson(const stats::Registry &reg, std::ostream &os);
+
+} // namespace netcrafter::obs
+
+#endif // NETCRAFTER_OBS_LIFECYCLE_HH

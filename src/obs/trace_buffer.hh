@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Per-shard trace buffers, the shared TraceSink that owns them, and the
+ * inline tracepoint() helper components call on the hot path.
+ *
+ * Threading model: each shard's Engine carries a raw pointer to its own
+ * TraceBuffer, so appends never synchronize. Lane names are interned in
+ * component constructors — construction happens single-threaded on the
+ * caller thread in the same order for every shard count, which makes
+ * lane ids deterministic. merged() concatenates the per-shard streams
+ * and sorts by the record's total order, recovering one canonical
+ * stream regardless of how the work was sharded.
+ */
+
+#ifndef NETCRAFTER_OBS_TRACE_BUFFER_HH
+#define NETCRAFTER_OBS_TRACE_BUFFER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/obs/trace.hh"
+#include "src/sim/engine.hh"
+
+namespace netcrafter::obs {
+
+/**
+ * One shard's append-only record stream. Not thread-safe by design:
+ * exactly one shard thread appends to it.
+ */
+class TraceBuffer
+{
+  public:
+    TraceBuffer(TraceLevel level, std::size_t cap)
+        : level_(level), cap_(cap)
+    {}
+
+    TraceLevel level() const { return level_; }
+
+    /** Does this buffer record events at @p min_level? */
+    bool wants(TraceLevel min_level) const { return level_ >= min_level; }
+
+    void
+    append(const TraceRecord &rec)
+    {
+        if (records_.size() >= cap_) {
+            noteDrop();
+            return;
+        }
+        records_.push_back(rec);
+    }
+
+    const std::vector<TraceRecord> &records() const { return records_; }
+    std::uint64_t dropped() const { return dropped_; }
+    void clear();
+
+  private:
+    void noteDrop(); // out of line: keeps the overflow path off append()
+
+    TraceLevel level_;
+    std::size_t cap_;
+    std::vector<TraceRecord> records_;
+    std::uint64_t dropped_ = 0;
+};
+
+/**
+ * Shared trace state for one MultiGpuSystem: the per-shard buffers and
+ * the interned lane-name table. Owned by the system, outlives every
+ * component that caches a lane id.
+ */
+class TraceSink
+{
+  public:
+    TraceSink(const TraceOptions &opts, unsigned shards);
+
+    const TraceOptions &options() const { return opts_; }
+    unsigned shards() const { return static_cast<unsigned>(buffers_.size()); }
+    TraceBuffer &buffer(unsigned shard) { return *buffers_.at(shard); }
+
+    /**
+     * Intern @p name, returning its stable lane id. Must only be called
+     * during single-threaded construction; lane 0 is reserved for
+     * "(unknown)".
+     */
+    std::uint16_t internLane(const std::string &name);
+
+    /** Lane names indexed by lane id. */
+    const std::vector<std::string> &laneNames() const { return laneNames_; }
+
+    /**
+     * All shards' records merged into the canonical total order
+     * (ascending over every TraceRecord field, tick first).
+     */
+    std::vector<TraceRecord> merged() const;
+
+    std::uint64_t totalRecords() const;
+    std::uint64_t totalDropped() const;
+
+  private:
+    TraceOptions opts_;
+    std::vector<std::unique_ptr<TraceBuffer>> buffers_;
+    std::vector<std::string> laneNames_;
+    std::unordered_map<std::string, std::uint16_t> laneIds_;
+};
+
+/**
+ * Intern @p name against the sink attached to @p engine. Returns 0 when
+ * tracing is disabled, which is the reserved "(unknown)" lane — callers
+ * cache the result unconditionally.
+ */
+std::uint16_t internLane(sim::Engine &engine, const std::string &name);
+
+/**
+ * The tracepoint every instrumented component calls. Compiles to a
+ * single null-check + level compare when tracing is off, and to nothing
+ * at all under -DNETCRAFTER_DISABLE_TRACING.
+ */
+inline void
+tracepoint(sim::Engine &engine, TraceLevel min_level, TraceKind kind,
+           TraceStage stage, std::uint16_t lane, std::uint64_t id,
+           std::uint32_t a = 0, std::uint32_t b = 0)
+{
+#if !defined(NETCRAFTER_DISABLE_TRACING)
+    TraceBuffer *tb = engine.trace();
+    if (tb == nullptr || !tb->wants(min_level))
+        return;
+    TraceRecord rec;
+    rec.tick = engine.now();
+    rec.id = id;
+    rec.a = a;
+    rec.b = b;
+    rec.lane = lane;
+    rec.kind = static_cast<std::uint8_t>(kind);
+    rec.stage = static_cast<std::uint8_t>(stage);
+    tb->append(rec);
+#else
+    (void)engine;
+    (void)min_level;
+    (void)kind;
+    (void)stage;
+    (void)lane;
+    (void)id;
+    (void)a;
+    (void)b;
+#endif
+}
+
+} // namespace netcrafter::obs
+
+#endif // NETCRAFTER_OBS_TRACE_BUFFER_HH

@@ -17,6 +17,11 @@
 #include "src/sim/small_fn.hh"
 #include "src/sim/types.hh"
 
+namespace netcrafter::obs {
+class TraceBuffer;
+class TraceSink;
+} // namespace netcrafter::obs
+
 namespace netcrafter::sim {
 
 /** How a call to Engine::run() ended. */
@@ -170,6 +175,24 @@ class Engine
         return attachedNames_;
     }
 
+    /**
+     * This engine's (shard-local) trace buffer, or nullptr when tracing
+     * is disabled. obs::tracepoint() null-checks this on every call —
+     * that null-check *is* the disabled-path cost.
+     */
+    obs::TraceBuffer *trace() const { return trace_; }
+
+    /** The shared trace sink (lane interning), or nullptr. */
+    obs::TraceSink *traceSink() const { return traceSink_; }
+
+    /** Attach trace state; the caller keeps ownership of both. */
+    void
+    setTrace(obs::TraceSink *sink, obs::TraceBuffer *buffer)
+    {
+        traceSink_ = sink;
+        trace_ = buffer;
+    }
+
   private:
     /** A pooled one-shot event: fires its callback, then recycles. */
     class CallbackEvent final : public Event
@@ -211,6 +234,8 @@ class Engine
     std::size_t poolAllocated_ = 0;
     std::size_t poolHighWater_ = 0;
     std::vector<std::string> attachedNames_;
+    obs::TraceBuffer *trace_ = nullptr;
+    obs::TraceSink *traceSink_ = nullptr;
 };
 
 } // namespace netcrafter::sim

@@ -1,15 +1,28 @@
 #include "src/sim/logging.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 
 namespace netcrafter {
+
+namespace {
+
+std::atomic<std::uint64_t> suppressed_warns{0};
+
+} // namespace
 
 bool
 quietLogging()
 {
     static const bool quiet = std::getenv("NETCRAFTER_QUIET") != nullptr;
     return quiet;
+}
+
+std::uint64_t
+suppressedWarnCount()
+{
+    return suppressed_warns.load(std::memory_order_relaxed);
 }
 
 namespace detail {
@@ -42,6 +55,12 @@ informImpl(const std::string &msg)
 {
     if (!quietLogging())
         std::cerr << "info: " << msg << std::endl;
+}
+
+void
+noteSuppressedWarn()
+{
+    suppressed_warns.fetch_add(1, std::memory_order_relaxed);
 }
 
 } // namespace detail

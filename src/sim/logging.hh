@@ -8,6 +8,8 @@
 #ifndef NETCRAFTER_SIM_LOGGING_HH
 #define NETCRAFTER_SIM_LOGGING_HH
 
+#include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -32,10 +34,20 @@ concat(Args &&...args)
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
 
+/** Bump the process-wide count of warnings muted by NC_WARN_ONCE. */
+void noteSuppressedWarn();
+
 } // namespace detail
 
 /** True when NETCRAFTER_QUIET is set; silences warn()/inform(). */
 bool quietLogging();
+
+/**
+ * Total warnings swallowed by NC_WARN_ONCE call sites after their first
+ * occurrence. Lets tests and end-of-run summaries surface how much spam
+ * was suppressed.
+ */
+std::uint64_t suppressedWarnCount();
 
 } // namespace netcrafter
 
@@ -58,6 +70,24 @@ bool quietLogging();
 /** Non-fatal warning about questionable behaviour. */
 #define NC_WARN(...)                                                         \
     ::netcrafter::detail::warnImpl(::netcrafter::detail::concat(__VA_ARGS__))
+
+/**
+ * Rate-limited warning for per-packet-scale call sites: prints on the
+ * first hit only, counting later hits into suppressedWarnCount() instead
+ * of flooding stderr. Each call site gets its own counter; the counter is
+ * process-wide, so a site stays muted across runs in the same process.
+ */
+#define NC_WARN_ONCE(...)                                                    \
+    do {                                                                     \
+        static std::atomic<std::uint64_t> nc_warn_once_hits{0};              \
+        if (nc_warn_once_hits.fetch_add(1, std::memory_order_relaxed) ==     \
+            0) {                                                             \
+            NC_WARN(__VA_ARGS__,                                             \
+                    " [further repeats of this warning suppressed]");        \
+        } else {                                                             \
+            ::netcrafter::detail::noteSuppressedWarn();                      \
+        }                                                                    \
+    } while (0)
 
 /** Informative status message. */
 #define NC_INFORM(...)                                                       \

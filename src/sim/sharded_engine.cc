@@ -47,12 +47,14 @@ struct ShardedEngine::Coordination
 };
 
 ShardedEngine::ShardedEngine(unsigned shards)
+    : epoch_(std::chrono::steady_clock::now())
 {
     NC_ASSERT(shards >= 1, "a system needs at least one shard");
     engines_.reserve(shards);
     for (unsigned s = 0; s < shards; ++s)
         engines_.push_back(std::make_unique<Engine>());
     stallTicks_.assign(shards, 0);
+    hostSpans_.resize(shards);
 
     if (shards > 1) {
         coord_ = std::make_unique<Coordination>(shards, this);
@@ -149,14 +151,23 @@ ShardedEngine::shardLoop(unsigned s)
             return;
 
         const Tick window_end = coord_->windowEnd;
+        const double host_begin = hostTimeline_ ? hostSeconds() : 0;
         engine.runWindow(window_end);
 
         // Idle ticks at the window tail: the barrier forced this shard
         // to wait even though it had nothing left to simulate.
         const Tick resume =
             std::max(engine.now() + 1, coord_->windowStart);
-        stallTicks_[s] +=
+        const std::uint64_t stall =
             (window_end + 1) - std::min(window_end + 1, resume);
+        stallTicks_[s] += stall;
+
+        if (hostTimeline_) {
+            // hostSpans_[s] is only ever touched by shard s's thread.
+            hostSpans_[s].push_back(QuantumSpan{coord_->windowStart,
+                                                window_end, host_begin,
+                                                hostSeconds(), stall});
+        }
 
         coord_->quiesce.arrive_and_wait();
     }
@@ -183,8 +194,18 @@ ShardedEngine::workerMain(unsigned s)
 RunStatus
 ShardedEngine::run(Tick limit)
 {
-    if (numShards() == 1)
-        return engines_[0]->run(limit);
+    if (numShards() == 1) {
+        if (!hostTimeline_)
+            return engines_[0]->run(limit);
+        // Serial runs have no quanta; record the whole drain as one
+        // span so the host-time trace is populated either way.
+        const Tick start_tick = engines_[0]->now();
+        const double host_begin = hostSeconds();
+        const RunStatus status = engines_[0]->run(limit);
+        hostSpans_[0].push_back(QuantumSpan{
+            start_tick, engines_[0]->now(), host_begin, hostSeconds(), 0});
+        return status;
+    }
 
     {
         std::lock_guard<std::mutex> lk(coord_->m);
@@ -229,6 +250,41 @@ ShardedEngine::totalBarrierStallTicks() const
     for (std::uint64_t ticks : stallTicks_)
         sum += ticks;
     return sum;
+}
+
+double
+ShardedEngine::hostSeconds() const
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+}
+
+void
+ShardedEngine::auditTeardown() const
+{
+    if (numShards() == 1)
+        return;
+    for (std::size_t i = 0; i < ports_.size(); ++i) {
+        const std::size_t pending = ports_[i]->pendingExports();
+        if (pending != 0) {
+            NC_PANIC("teardown census: cross-shard port #", i, " (",
+                     ports_[i]->srcShard(), " -> ",
+                     ports_[i]->dstShard(), ") still holds ", pending,
+                     " queued exports; an aborted run left in-flight "
+                     "state whose pooled arenas die with the worker "
+                     "threads");
+        }
+    }
+    for (unsigned s = 0; s < numShards(); ++s) {
+        const std::size_t pending = engines_[s]->pendingEvents();
+        if (pending != 0) {
+            NC_PANIC("teardown census: shard ", s, " still has ", pending,
+                     " pending events; pooled handles captured by those "
+                     "events outlive the thread-local arenas that own "
+                     "them");
+        }
+    }
 }
 
 } // namespace netcrafter::sim

@@ -37,6 +37,7 @@
 #define NETCRAFTER_SIM_SHARDED_ENGINE_HH
 
 #include <barrier>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -71,6 +72,29 @@ class CrossShardPort
 
     /** Drain queued credit returns into the source shard (its thread). */
     virtual void importAtSrc() = 0;
+
+    /**
+     * Entries still queued in this port's outboxes (flits not yet
+     * imported at the destination plus credits not yet returned home).
+     * The teardown census walks this; anything non-zero at destruction
+     * means an aborted run left in-flight state behind.
+     */
+    virtual std::size_t pendingExports() const { return 0; }
+};
+
+/**
+ * One conservative quantum as seen from a shard, on the host clock:
+ * which window it covered, when the shard entered/left it (seconds
+ * since the ShardedEngine's construction), and how many of its ticks
+ * were barrier-imposed idle time. Feeds the host-time trace lanes.
+ */
+struct QuantumSpan
+{
+    Tick windowStart = 0;
+    Tick windowEnd = 0;
+    double hostBegin = 0;
+    double hostEnd = 0;
+    std::uint64_t stallTicks = 0;
 };
 
 /** Drives N shard Engines through conservative barrier-synced quanta. */
@@ -148,6 +172,35 @@ class ShardedEngine
     /** Sum of barrierStallTicks over all shards. */
     std::uint64_t totalBarrierStallTicks() const;
 
+    /**
+     * Record a QuantumSpan per shard per window (and one span per
+     * serial run() call) for the host-time trace. Off by default: the
+     * spans cost a clock read per window.
+     */
+    void setHostTimelineEnabled(bool on) { hostTimeline_ = on; }
+    bool hostTimelineEnabled() const { return hostTimeline_; }
+
+    /** Host-time spans recorded for shard @p s, in execution order. */
+    const std::vector<QuantumSpan> &
+    hostSpans(unsigned s) const
+    {
+        return hostSpans_[s];
+    }
+
+    /**
+     * Teardown census: panics if any cross-shard outbox still holds
+     * exports or any shard still has pending events. Call before
+     * destroying a sharded system whose last run may have aborted
+     * (Engine::run hit its limit): pending events can hold pooled
+     * handles whose thread-local arenas die with the worker threads,
+     * making later destruction undefined. No-op with one shard, where
+     * every arena lives on the caller's thread.
+     */
+    void auditTeardown() const;
+
+    /** Seconds since construction on the host steady clock. */
+    double hostSeconds() const;
+
   private:
     struct Coordination;
 
@@ -162,6 +215,10 @@ class ShardedEngine
     std::unique_ptr<Coordination> coord_;
     std::vector<std::uint64_t> stallTicks_;
     std::uint64_t quantaExecuted_ = 0;
+
+    bool hostTimeline_ = false;
+    std::chrono::steady_clock::time_point epoch_;
+    std::vector<std::vector<QuantumSpan>> hostSpans_;
 };
 
 } // namespace netcrafter::sim

@@ -1,5 +1,6 @@
 #include "src/vm/gmmu.hh"
 
+#include "src/obs/trace_buffer.hh"
 #include "src/sim/logging.hh"
 
 namespace netcrafter::vm {
@@ -49,6 +50,7 @@ Gmmu::Gmmu(sim::Engine &engine, std::string name,
       pwc_(params.pwcEntries)
 {
     NC_ASSERT(fetch_ != nullptr, "GMMU needs a PTE fetch path");
+    traceLane_ = obs::internLane(engine, this->name());
 }
 
 void
@@ -62,6 +64,9 @@ Gmmu::walk(Addr vpn, Callback done)
     waiters_[vpn].push_back(std::move(done));
     queued_.push_back(vpn);
     ++walksStarted_;
+    obs::tracepoint(engine(), obs::TraceLevel::Links,
+                    obs::TraceKind::PktStage, obs::TraceStage::WalkStart,
+                    traceLane_, vpn);
     beginNextWalk();
 }
 
@@ -103,6 +108,9 @@ void
 Gmmu::finishWalk(Addr vpn)
 {
     ++walksCompleted_;
+    obs::tracepoint(engine(), obs::TraceLevel::Links,
+                    obs::TraceKind::PktStage, obs::TraceStage::WalkEnd,
+                    traceLane_, vpn);
     Translation t;
     t.owner = pageTable_.dataOwner(vpn * kPageBytes);
     auto it = waiters_.find(vpn);

@@ -120,6 +120,7 @@ class Gmmu : public sim::SimObject
     std::uint64_t walksStarted_ = 0;
     std::uint64_t walksCompleted_ = 0;
     std::uint64_t pteFetches_ = 0;
+    std::uint16_t traceLane_ = 0;
 };
 
 } // namespace netcrafter::vm

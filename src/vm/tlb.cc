@@ -1,5 +1,6 @@
 #include "src/vm/tlb.hh"
 
+#include "src/obs/trace_buffer.hh"
 #include "src/sim/logging.hh"
 
 namespace netcrafter::vm {
@@ -15,6 +16,7 @@ Tlb::Tlb(sim::Engine &engine, std::string name, const TlbParams &params,
     NC_ASSERT(numSets_ > 0, "TLB must have at least one set");
     NC_ASSERT(missHandler_ != nullptr, "TLB needs a miss handler");
     ways_.resize(params_.entries);
+    traceLane_ = obs::internLane(engine, this->name());
 }
 
 std::uint32_t
@@ -52,6 +54,9 @@ void
 Tlb::access(Addr vpn, Callback done)
 {
     ++accesses_;
+    obs::tracepoint(engine(), obs::TraceLevel::Full,
+                    obs::TraceKind::PktStage, obs::TraceStage::TlbLookup,
+                    traceLane_, vpn);
     if (Way *way = findWay(vpn)) {
         ++hits_;
         way->lastUse = ++useClock_;
@@ -62,6 +67,9 @@ Tlb::access(Addr vpn, Callback done)
     }
 
     ++misses_;
+    obs::tracepoint(engine(), obs::TraceLevel::Full,
+                    obs::TraceKind::PktStage, obs::TraceStage::TlbMiss,
+                    traceLane_, vpn);
     auto [it, primary] = pendingByVpn_.try_emplace(vpn);
     it->second.push_back(std::move(done));
     if (!primary)

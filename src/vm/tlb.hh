@@ -102,6 +102,7 @@ class Tlb : public sim::SimObject
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t mshrQueued_ = 0;
+    std::uint16_t traceLane_ = 0;
 };
 
 } // namespace netcrafter::vm

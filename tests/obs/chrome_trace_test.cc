@@ -1,0 +1,130 @@
+/** @file Tests for the Chrome-trace writer, exporter, and validator. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/obs/chrome_trace.hh"
+#include "src/obs/json_validate.hh"
+
+namespace netcrafter::obs {
+namespace {
+
+TEST(ChromeTraceWriter, RoundTripsThroughValidator)
+{
+    ChromeTraceWriter writer;
+    writer.processName(kSimPid, "sim \"time\""); // escaping exercised
+    writer.threadName(kSimPid, 1, "wire0");
+    writer.slice(kSimPid, 1, "flit", 1.5, 0.25, "{\"bytes\":32}");
+    writer.instant(kSimPid, 1, "decision", 2.0);
+    writer.counter(kSimPid, "stalls", 0.0, "ticks", 12.0);
+    writer.asyncBegin(kSimPid, "ptw", "walk", 7, 1.0);
+    writer.asyncEnd(kSimPid, "ptw", "walk", 7, 3.0);
+    EXPECT_EQ(writer.events(), 7u);
+
+    std::ostringstream os;
+    writer.write(os);
+
+    std::string error;
+    JsonValue root;
+    ASSERT_TRUE(parseJson(os.str(), root, &error)) << error;
+    ChromeTraceSummary summary;
+    ASSERT_TRUE(validateChromeTrace(root, &error, &summary)) << error;
+    EXPECT_EQ(summary.events, 7u);
+    EXPECT_EQ(summary.metadata, 2u);
+    EXPECT_EQ(summary.slices, 1u);
+    EXPECT_EQ(summary.counters, 1u);
+    EXPECT_EQ(summary.instants, 1u);
+    EXPECT_EQ(summary.asyncs, 2u);
+}
+
+TEST(ChromeTraceWriter, StableSortPutsMetadataFirst)
+{
+    ChromeTraceWriter writer;
+    writer.slice(kSimPid, 2, "late", 5.0, 1.0);
+    writer.slice(kSimPid, 1, "early", 0.0, 1.0);
+    writer.processName(kSimPid, "sim");
+    std::ostringstream os;
+    writer.write(os);
+    const std::string out = os.str();
+    const auto meta = out.find("process_name");
+    const auto early = out.find("early");
+    const auto late = out.find("late");
+    ASSERT_NE(meta, std::string::npos);
+    ASSERT_NE(early, std::string::npos);
+    ASSERT_NE(late, std::string::npos);
+    EXPECT_LT(meta, early);
+    EXPECT_LT(early, late);
+}
+
+TEST(Validator, RejectsMalformedDocuments)
+{
+    std::string error;
+    JsonValue root;
+    EXPECT_FALSE(parseJson("{\"traceEvents\": [", root, &error));
+
+    ASSERT_TRUE(parseJson("{\"other\": []}", root, &error)) << error;
+    EXPECT_FALSE(validateChromeTrace(root, &error, nullptr));
+
+    // An event missing its "ph" is structurally invalid.
+    ASSERT_TRUE(parseJson(
+        "{\"traceEvents\": [{\"pid\": 1, \"tid\": 1, \"ts\": 0}]}", root,
+        &error))
+        << error;
+    EXPECT_FALSE(validateChromeTrace(root, &error, nullptr));
+}
+
+TEST(SimChromeTrace, ExportsLanesSlicesAndInstants)
+{
+    std::vector<TraceRecord> records;
+    auto push = [&](Tick tick, TraceKind kind, TraceStage stage,
+                    std::uint16_t lane, std::uint64_t id, std::uint32_t a,
+                    std::uint32_t b) {
+        TraceRecord r;
+        r.tick = tick;
+        r.id = id;
+        r.a = a;
+        r.b = b;
+        r.lane = lane;
+        r.kind = static_cast<std::uint8_t>(kind);
+        r.stage = static_cast<std::uint8_t>(stage);
+        records.push_back(r);
+    };
+    // Flit crossing wire0: depart at 1000, arrive at 3000.
+    push(1000, TraceKind::FlitXfer, TraceStage::WireDepart, 1, 42,
+         packFlitBytes(32, 24), packFlitSeq(0, 0));
+    push(3000, TraceKind::FlitXfer, TraceStage::WireArrive, 1, 42,
+         packFlitBytes(32, 24), packFlitSeq(0, 0));
+    // A PTW walk on gmmu0 overlapping the flit.
+    push(1500, TraceKind::PktStage, TraceStage::WalkStart, 2, 7, 0, 0);
+    push(2500, TraceKind::PktStage, TraceStage::WalkEnd, 2, 7, 0, 0);
+    // A controller decision instant.
+    push(2000, TraceKind::CtrlDecision, TraceStage::CtrlArm, 3, 42, 64, 1);
+
+    const std::vector<std::string> lanes = {"(unknown)", "wire0", "gmmu0",
+                                            "ctrl0"};
+    std::ostringstream os;
+    writeSimChromeTrace(records, lanes, os);
+
+    std::string error;
+    JsonValue root;
+    ASSERT_TRUE(parseJson(os.str(), root, &error)) << error;
+    ChromeTraceSummary summary;
+    ASSERT_TRUE(validateChromeTrace(root, &error, &summary)) << error;
+    EXPECT_GE(summary.slices, 1u);  // the wire-flight slice
+    EXPECT_GE(summary.asyncs, 2u);  // walk begin/end
+    EXPECT_GE(summary.instants, 1u);
+    // Lanes count distinct (pid, tid) pairs with timed slice/instant
+    // events: wire0 (the flit slice) and ctrl0 (the decision instant).
+    EXPECT_GE(summary.lanes, 2u);
+    EXPECT_NE(os.str().find("wire0"), std::string::npos);
+    EXPECT_NE(os.str().find("gmmu0"), std::string::npos);
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls)
+{
+    EXPECT_EQ(jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+} // namespace
+} // namespace netcrafter::obs

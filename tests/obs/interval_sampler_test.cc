@@ -1,0 +1,111 @@
+/** @file Tests for the interval time-series sampler. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/obs/interval_sampler.hh"
+
+namespace netcrafter::obs {
+namespace {
+
+TraceRecord
+stageRec(Tick tick, TraceStage stage, std::uint16_t lane,
+         std::uint64_t id = 0, std::uint32_t a = 0, std::uint32_t b = 0)
+{
+    TraceRecord r;
+    r.tick = tick;
+    r.id = id;
+    r.a = a;
+    r.b = b;
+    r.lane = lane;
+    r.kind = static_cast<std::uint8_t>(
+        stage == TraceStage::WireDepart ? TraceKind::FlitXfer
+                                        : TraceKind::PktStage);
+    r.stage = static_cast<std::uint8_t>(stage);
+    return r;
+}
+
+const std::vector<std::string> kLanes = {"(unknown)", "wire0", "gmmu0"};
+
+TEST(IntervalSampler, EmptyWhenDisabledOrNoRecords)
+{
+    EXPECT_TRUE(IntervalSampler(0).sample({stageRec(1, TraceStage::WireDepart,
+                                                    1)},
+                                          kLanes)
+                    .empty());
+    EXPECT_TRUE(IntervalSampler(100).sample({}, kLanes).empty());
+}
+
+TEST(IntervalSampler, DerivesWireColumnsAndPerIntervalDeltas)
+{
+    std::vector<TraceRecord> records = {
+        // interval [0,100): two flits, 32B capacity / 24B used each.
+        stageRec(10, TraceStage::WireDepart, 1, 1, packFlitBytes(32, 24),
+                 packFlitSeq(1, 0)),
+        stageRec(20, TraceStage::WireDepart, 1, 2, packFlitBytes(32, 24),
+                 packFlitSeq(0, 1)),
+        // interval [200,300): one flit.
+        stageRec(250, TraceStage::WireDepart, 1, 3, packFlitBytes(32, 8),
+                 packFlitSeq(0, 2)),
+    };
+    const TimeSeries series = IntervalSampler(100).sample(records, kLanes);
+    ASSERT_EQ(series.columns.size(), 4u);
+    EXPECT_EQ(series.columns[0], "wire0.flits");
+    EXPECT_EQ(series.columns[1], "wire0.wireBytes");
+    EXPECT_EQ(series.columns[2], "wire0.usedBytes");
+    EXPECT_EQ(series.columns[3], "wire0.stitchedPieces");
+    // Rows cover every interval up to the last record, including the
+    // empty middle one.
+    ASSERT_EQ(series.rows.size(), 3u);
+    EXPECT_EQ(series.rows[0].intervalStart, 0u);
+    EXPECT_EQ(series.rows[0].values,
+              (std::vector<std::uint64_t>{2, 64, 48, 1}));
+    EXPECT_EQ(series.rows[1].values,
+              (std::vector<std::uint64_t>{0, 0, 0, 0}));
+    EXPECT_EQ(series.rows[2].values,
+              (std::vector<std::uint64_t>{1, 32, 8, 0}));
+}
+
+TEST(IntervalSampler, WalkGaugeCarriesAcrossEmptyIntervals)
+{
+    std::vector<TraceRecord> records = {
+        stageRec(10, TraceStage::WalkStart, 2, 100),
+        stageRec(20, TraceStage::WalkStart, 2, 101),
+        // Both walks stay in flight across [100,200) and [200,300).
+        stageRec(310, TraceStage::WalkEnd, 2, 100),
+        stageRec(320, TraceStage::WalkEnd, 2, 101),
+    };
+    const TimeSeries series = IntervalSampler(100).sample(records, kLanes);
+    ASSERT_EQ(series.columns.size(), 3u);
+    EXPECT_EQ(series.columns[0], "gmmu0.walksStarted");
+    EXPECT_EQ(series.columns[1], "gmmu0.walksCompleted");
+    EXPECT_EQ(series.columns[2], "gmmu0.walksInFlight");
+    ASSERT_EQ(series.rows.size(), 4u);
+    EXPECT_EQ(series.rows[0].values,
+              (std::vector<std::uint64_t>{2, 0, 2}));
+    EXPECT_EQ(series.rows[1].values,
+              (std::vector<std::uint64_t>{0, 0, 2})); // gauge carried
+    EXPECT_EQ(series.rows[2].values,
+              (std::vector<std::uint64_t>{0, 0, 2}));
+    EXPECT_EQ(series.rows[3].values,
+              (std::vector<std::uint64_t>{0, 2, 0}));
+}
+
+TEST(IntervalSampler, CsvLayout)
+{
+    std::vector<TraceRecord> records = {
+        stageRec(5, TraceStage::WireDepart, 1, 1, packFlitBytes(32, 16),
+                 packFlitSeq(0, 0)),
+    };
+    const TimeSeries series = IntervalSampler(10).sample(records, kLanes);
+    std::ostringstream os;
+    writeTimeSeriesCsv(series, os);
+    EXPECT_EQ(os.str(),
+              "interval_start,wire0.flits,wire0.wireBytes,"
+              "wire0.usedBytes,wire0.stitchedPieces\n"
+              "0,1,32,16,0\n");
+}
+
+} // namespace
+} // namespace netcrafter::obs

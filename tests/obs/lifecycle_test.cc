@@ -1,0 +1,105 @@
+/** @file Tests for packet-lifecycle folding into the stats registry. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/obs/json_validate.hh"
+#include "src/obs/lifecycle.hh"
+
+namespace netcrafter::obs {
+namespace {
+
+TraceRecord
+stageRec(Tick tick, TraceStage stage, std::uint16_t lane,
+         std::uint64_t id, std::uint32_t a = 0, std::uint32_t b = 0)
+{
+    TraceRecord r;
+    r.tick = tick;
+    r.id = id;
+    r.a = a;
+    r.b = b;
+    r.lane = lane;
+    r.stage = static_cast<std::uint8_t>(stage);
+    return r;
+}
+
+TEST(Lifecycle, FoldsLatencyPairsAndStageCounters)
+{
+    std::vector<TraceRecord> records = {
+        stageRec(100, TraceStage::RdmaInject, 1, 7),
+        stageRec(110, TraceStage::WireDepart, 2, 7, packFlitBytes(32, 24),
+                 packFlitSeq(0, 0)),
+        stageRec(150, TraceStage::WireArrive, 2, 7, packFlitBytes(32, 24),
+                 packFlitSeq(0, 0)),
+        stageRec(200, TraceStage::WalkStart, 3, 0x40),
+        // Waiter-merged second walk on the same vpn: FIFO pairing.
+        stageRec(210, TraceStage::WalkStart, 3, 0x40),
+        stageRec(260, TraceStage::WalkEnd, 3, 0x40),
+        stageRec(300, TraceStage::WalkEnd, 3, 0x40),
+        stageRec(400, TraceStage::Complete, 1, 7, /*rsp flight=*/55),
+    };
+
+    stats::Registry reg;
+    foldLifecycle(records, reg);
+
+    EXPECT_EQ(reg.counters().at("obs.stage.rdmaInject").value(), 1u);
+    EXPECT_EQ(reg.counters().at("obs.stage.wireDepart").value(), 1u);
+    EXPECT_EQ(reg.counters().at("obs.stage.walkStart").value(), 2u);
+    EXPECT_EQ(reg.counters().at("obs.stage.complete").value(), 1u);
+
+    const auto &wire = reg.distributions().at("obs.wireFlightCycles");
+    EXPECT_EQ(wire.total(), 1u); // one 40-cycle flight
+    const auto &walks = reg.distributions().at("obs.walkCycles");
+    EXPECT_EQ(walks.total(), 2u); // 60 and 90 cycles, FIFO-matched
+    const auto &rtt = reg.distributions().at("obs.requestRoundTripCycles");
+    EXPECT_EQ(rtt.total(), 1u); // inject@100 -> complete@400
+    const auto &rsp = reg.distributions().at("obs.responseFlightCycles");
+    EXPECT_EQ(rsp.total(), 1u);
+}
+
+TEST(Lifecycle, UnmatchedRecordsAreIgnoredNotFatal)
+{
+    std::vector<TraceRecord> records = {
+        stageRec(10, TraceStage::WireArrive, 2, 1, 0, 0), // no depart
+        stageRec(20, TraceStage::WalkEnd, 3, 9),          // no start
+        stageRec(30, TraceStage::Complete, 1, 5, 12),     // no inject
+    };
+    stats::Registry reg;
+    foldLifecycle(records, reg);
+    EXPECT_EQ(reg.distributions().at("obs.wireFlightCycles").total(), 0u);
+    EXPECT_EQ(reg.distributions().at("obs.walkCycles").total(), 0u);
+    EXPECT_EQ(reg.distributions()
+                  .at("obs.requestRoundTripCycles")
+                  .total(),
+              0u);
+    // The orphan Complete still reports its response-flight latency.
+    EXPECT_EQ(reg.distributions().at("obs.responseFlightCycles").total(),
+              1u);
+}
+
+TEST(Lifecycle, RegistryJsonIsParseable)
+{
+    std::vector<TraceRecord> records = {
+        stageRec(100, TraceStage::RdmaInject, 1, 7),
+        stageRec(400, TraceStage::Complete, 1, 7, 55),
+    };
+    stats::Registry reg;
+    foldLifecycle(records, reg);
+    std::ostringstream os;
+    writeRegistryJson(reg, os);
+
+    std::string error;
+    JsonValue root;
+    ASSERT_TRUE(parseJson(os.str(), root, &error)) << error;
+    ASSERT_TRUE(root.isObject());
+    const JsonValue *counters = root.find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_NE(counters->find("obs.stage.complete"), nullptr);
+    const JsonValue *dists = root.find("distributions");
+    ASSERT_NE(dists, nullptr);
+    EXPECT_NE(dists->find("obs.requestRoundTripCycles"), nullptr);
+}
+
+} // namespace
+} // namespace netcrafter::obs

@@ -1,0 +1,33 @@
+/** @file Tests for the rate-limited NC_WARN_ONCE path. */
+
+#include <gtest/gtest.h>
+
+#include "src/sim/logging.hh"
+
+namespace netcrafter {
+namespace {
+
+TEST(WarnOnce, FirstHitWarnsLaterHitsAreCounted)
+{
+    const std::uint64_t before = suppressedWarnCount();
+    for (int i = 0; i < 5; ++i)
+        NC_WARN_ONCE("warn-once test message ", i);
+    // One printed, four suppressed. The counter is process-wide, so
+    // compare deltas rather than absolute values.
+    EXPECT_EQ(suppressedWarnCount() - before, 4u);
+}
+
+TEST(WarnOnce, EachCallSiteHasItsOwnCounter)
+{
+    const std::uint64_t before = suppressedWarnCount();
+    // A fresh call site: its first hit prints rather than counting,
+    // regardless of how often other sites have fired.
+    auto site = [] { NC_WARN_ONCE("warn-once second call site"); };
+    site();
+    EXPECT_EQ(suppressedWarnCount() - before, 0u);
+    site();
+    EXPECT_EQ(suppressedWarnCount() - before, 1u);
+}
+
+} // namespace
+} // namespace netcrafter

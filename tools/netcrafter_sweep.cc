@@ -8,7 +8,9 @@
  * binaries. Results can additionally be exported as JSON or CSV.
  */
 
+#include <algorithm>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -22,6 +24,7 @@
 #include "src/exp/scheduler.hh"
 #include "src/gpu/system.hh"
 #include "src/harness/table.hh"
+#include "src/obs/chrome_trace.hh"
 #include "src/workloads/workload.hh"
 
 namespace {
@@ -55,8 +58,59 @@ usage(int code)
           "  --registry-json FILE  with --workload: run one workload\n"
           "                    under the baseline config and dump its\n"
           "                    full stats registry as JSON\n"
-          "  --workload NAME   workload for --registry-json\n";
+          "  --workload NAME   workload for --registry-json\n"
+          "  --trace-out DIR   write per-run Chrome/Perfetto traces,\n"
+          "                    time-series CSVs and stats JSON into DIR,\n"
+          "                    plus DIR/scheduler.host.trace.json laying\n"
+          "                    every job on the host timeline. Cached\n"
+          "                    jobs simulate nothing and emit no files\n"
+          "  --trace-level L   off|links|packets|full (default: packets\n"
+          "                    once --trace-out or --sample-interval is\n"
+          "                    given)\n"
+          "  --sample-interval N  time-series row every N sim ticks\n";
     return code;
+}
+
+/**
+ * Lay every scheduled job on the host timeline as pid-3 slices: jobs
+ * are greedily packed onto the fewest lanes such that no lane overlaps
+ * (lane count ~= peak worker concurrency).
+ */
+void
+writeSchedulerHostTrace(const exp::Scheduler &scheduler,
+                        std::ostream &os)
+{
+    std::vector<exp::JobTiming> jobs = scheduler.timingHistory();
+    std::sort(jobs.begin(), jobs.end(),
+              [](const exp::JobTiming &a, const exp::JobTiming &b) {
+                  return a.startSeconds < b.startSeconds;
+              });
+
+    obs::ChromeTraceWriter writer;
+    writer.processName(obs::kSchedulerPid, "scheduler jobs");
+    std::vector<double> lane_free; // per-lane end of the last job, sec
+    for (const auto &job : jobs) {
+        std::size_t lane = lane_free.size();
+        for (std::size_t l = 0; l < lane_free.size(); ++l) {
+            if (lane_free[l] <= job.startSeconds) {
+                lane = l;
+                break;
+            }
+        }
+        if (lane == lane_free.size()) {
+            lane_free.push_back(0);
+            writer.threadName(obs::kSchedulerPid,
+                              static_cast<int>(lane),
+                              "lane " + std::to_string(lane));
+        }
+        lane_free[lane] = job.startSeconds + job.seconds;
+        writer.slice(obs::kSchedulerPid, static_cast<int>(lane),
+                     job.name, job.startSeconds * 1e6,
+                     job.seconds * 1e6,
+                     std::string("{\"cache_hit\":") +
+                         (job.cacheHit ? "true" : "false") + "}");
+    }
+    writer.write(os);
 }
 
 int
@@ -106,6 +160,9 @@ main(int argc, char **argv)
     exp::Scheduler::Options opts;
     opts.progress = true;
     bool timings = false;
+    // Flags below override the NETCRAFTER_TRACE_* environment.
+    opts.trace = obs::TraceOptions::fromEnv();
+    bool explicit_level = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -154,6 +211,25 @@ main(int argc, char **argv)
             registry_json = value("--registry-json");
         else if (arg == "--workload")
             registry_workload = value("--workload");
+        else if (arg == "--trace-out")
+            opts.trace.outDir = value("--trace-out");
+        else if (arg == "--trace-level") {
+            opts.trace.level =
+                obs::TraceOptions::parseLevel(value("--trace-level"));
+            explicit_level = true;
+        }
+        else if (arg == "--sample-interval") {
+            const std::string text = value("--sample-interval");
+            char *end = nullptr;
+            const long long n = std::strtoll(text.c_str(), &end, 10);
+            if (end == text.c_str() || *end != '\0' || n < 0) {
+                std::cerr << "--sample-interval must be a non-negative "
+                             "integer, got '"
+                          << text << "'\n";
+                return usage(1);
+            }
+            opts.trace.sampleInterval = static_cast<Tick>(n);
+        }
         else if (arg == "--timings")
             timings = true;
         else if (arg == "--quiet")
@@ -169,6 +245,12 @@ main(int argc, char **argv)
             want.push_back(arg);
         }
     }
+
+    // As with figureMain: output or sampling without an explicit tier
+    // implies the packet tier.
+    if (!explicit_level && !opts.trace.enabled() &&
+        (!opts.trace.outDir.empty() || opts.trace.sampleInterval > 0))
+        opts.trace.level = obs::TraceLevel::Packets;
 
     if (!registry_json.empty()) {
         if (registry_workload.empty()) {
@@ -224,6 +306,16 @@ main(int argc, char **argv)
               << scheduler.shards() << " shard(s), "
               << harness::Table::fmt(sim_seconds, 2)
               << "s total simulation time\n";
+
+    if (!opts.trace.outDir.empty()) {
+        std::filesystem::create_directories(opts.trace.outDir);
+        const std::string path =
+            opts.trace.outDir + "/scheduler.host.trace.json";
+        if (!writeFile(path, [&](std::ostream &os) {
+                writeSchedulerHostTrace(scheduler, os);
+            }))
+            return 1;
+    }
 
     // Exports carry one row per figure job (sweep-qualified names);
     // points shared between figures repeat under each name and can be

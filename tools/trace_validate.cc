@@ -1,0 +1,57 @@
+/**
+ * @file
+ * trace-validate: parse and structurally validate Chrome-trace JSON
+ * documents emitted by the observability layer (and, in CI, confirm
+ * they will load in chrome://tracing / Perfetto). Prints a one-line
+ * summary per file and exits non-zero on the first invalid document.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/obs/json_validate.hh"
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::cerr << "usage: trace-validate <trace.json>...\n";
+        return 2;
+    }
+    int failures = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string path = argv[i];
+        std::ifstream is(path);
+        if (!is) {
+            std::cerr << path << ": cannot open\n";
+            ++failures;
+            continue;
+        }
+        std::ostringstream text;
+        text << is.rdbuf();
+
+        std::string error;
+        netcrafter::obs::JsonValue root;
+        if (!netcrafter::obs::parseJson(text.str(), root, &error)) {
+            std::cerr << path << ": INVALID JSON: " << error << "\n";
+            ++failures;
+            continue;
+        }
+        netcrafter::obs::ChromeTraceSummary summary;
+        if (!netcrafter::obs::validateChromeTrace(root, &error,
+                                                  &summary)) {
+            std::cerr << path << ": INVALID: " << error << "\n";
+            ++failures;
+            continue;
+        }
+        std::cout << path << ": ok (" << summary.events << " events, "
+                  << summary.slices << " slices, " << summary.counters
+                  << " counter points, " << summary.instants
+                  << " instants, " << summary.asyncs << " asyncs, "
+                  << summary.lanes << " lanes, " << summary.pids
+                  << " pids)\n";
+    }
+    return failures == 0 ? 0 : 1;
+}
