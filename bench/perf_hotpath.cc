@@ -12,11 +12,12 @@
  * stay bit-identical while this number grows.
  *
  * Usage:
- *   perf_hotpath [--out FILE] [--quick] [--scale S] [--shards] [--obs]
+ *   perf_hotpath [--out FILE] [--quick] [--scale S]
+ *                [--shards [--adaptive]] [--obs]
  *
- *   --out FILE   write JSON to FILE (default BENCH_hotpath.json,
- *                BENCH_parallel.json with --shards, or BENCH_obs.json
- *                with --obs)
+ *   --out FILE   write JSON to FILE (default BENCH_hotpath.json;
+ *                BENCH_parallel.json with --shards, BENCH_adaptive.json
+ *                with --shards --adaptive, BENCH_obs.json with --obs)
  *   --quick      baseline + full NetCrafter configs only (CI smoke)
  *   --scale S    extra problem-size multiplier on top of
  *                NETCRAFTER_SCALE (default 1.0)
@@ -27,7 +28,12 @@
  *                JSON records host_cpus: speedup over serial requires
  *                at least as many host cores as shards, so on a
  *                single-core host the sharded points only measure
- *                barrier overhead.
+ *                barrier overhead. Runs the fixed conservative quantum
+ *                (the synchronization-tax baseline).
+ *   --adaptive   with --shards: use the adaptive per-quantum lookahead
+ *                instead. Diff barrier_stall_ticks / quanta_executed
+ *                against the fixed-quantum BENCH_parallel.json from
+ *                the same host to see the tax shrink.
  *   --obs        observability-overhead mode: run the grid once with
  *                tracing disabled and once with packet-level tracing +
  *                interval sampling held in memory, and fail unless
@@ -39,6 +45,7 @@
  *   --ref FILE   reference BENCH_hotpath.json for --obs
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
@@ -53,6 +60,7 @@
 #include "src/exp/export.hh"
 #include "src/obs/json_validate.hh"
 #include "src/obs/trace.hh"
+#include "src/sim/sharded_engine.hh"
 
 namespace {
 
@@ -75,13 +83,22 @@ eventsPerSecond(std::uint64_t events, double seconds)
 /**
  * Parallel-scaling bench: the fig14 grid on a 4-cluster topology
  * (one GPU per cluster, so 4 shards partition it fully), swept over
- * shard counts. Writes BENCH_parallel.json and fails if any sharded
- * census diverges from serial.
+ * shard counts. Fails if any sharded census diverges from serial.
+ * Runs with the fixed conservative quantum by default (the PR 3
+ * baseline, BENCH_parallel.json); with @p adaptive it uses the
+ * per-quantum adaptive lookahead (BENCH_adaptive.json) so the two
+ * files compare the synchronization tax on the same host — the
+ * adaptive rows must show fewer quanta and fewer barrier stall ticks.
  */
 int
-runShardBench(const std::string &out_path, bool quick, double scale)
+runShardBench(const std::string &out_path, bool quick, double scale,
+              bool adaptive)
 {
     using namespace netcrafter;
+
+    sim::setDefaultLookaheadMode(adaptive
+                                     ? sim::LookaheadMode::Adaptive
+                                     : sim::LookaheadMode::FixedQuantum);
 
     std::vector<std::pair<std::string, SystemConfig>> configs = {
         {"base", config::baselineConfig()},
@@ -110,6 +127,11 @@ runShardBench(const std::string &out_path, bool quick, double scale)
         std::uint64_t quanta = 0;
         std::uint64_t stallTicks = 0;
         std::uint64_t crossFlits = 0;
+        std::uint64_t roundsSkipped = 0;
+        std::uint64_t idleParks = 0;
+        std::uint64_t windowSamples = 0;
+        double windowTicksSum = 0;
+        double windowTicksMax = 0;
         double wall = 0;
     };
     std::vector<ShardRow> rows;
@@ -127,6 +149,13 @@ runShardBench(const std::string &out_path, bool quick, double scale)
                 row.quanta += r.quantaExecuted;
                 row.stallTicks += r.barrierStallTicks;
                 row.crossFlits += r.crossShardFlits;
+                row.roundsSkipped += r.barrierRoundsSkipped;
+                row.idleParks += r.idleParks;
+                row.windowSamples += r.adaptiveWindowSamples;
+                row.windowTicksSum += r.adaptiveWindowMean *
+                    static_cast<double>(r.adaptiveWindowSamples);
+                row.windowTicksMax =
+                    std::max(row.windowTicksMax, r.adaptiveWindowMax);
                 row.wall += r.wallSeconds;
             }
         }
@@ -160,6 +189,8 @@ runShardBench(const std::string &out_path, bool quick, double scale)
     os << "  \"bench\": \"perf_parallel\",\n";
     os << "  \"workload_set\": \"fig14\",\n";
     os << "  \"topology\": \"4 clusters x 1 gpu\",\n";
+    os << "  \"lookahead\": \"" << (adaptive ? "adaptive" : "fixed")
+       << "\",\n";
     os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
     os << "  \"scale\": " << scale << ",\n";
     os << "  \"env_scale\": " << netcrafter::harness::envScale()
@@ -177,6 +208,15 @@ runShardBench(const std::string &out_path, bool quick, double scale)
            << "\"quanta_executed\": " << r.quanta << ", "
            << "\"barrier_stall_ticks\": " << r.stallTicks << ", "
            << "\"cross_shard_flits\": " << r.crossFlits << ", "
+           << "\"barrier_rounds_skipped\": " << r.roundsSkipped << ", "
+           << "\"idle_parks\": " << r.idleParks << ", "
+           << "\"mean_window_ticks\": "
+           << (r.windowSamples > 0
+                   ? r.windowTicksSum /
+                         static_cast<double>(r.windowSamples)
+                   : 0.0)
+           << ", "
+           << "\"max_window_ticks\": " << r.windowTicksMax << ", "
            << "\"wall_seconds\": " << r.wall << ", "
            << "\"events_per_second\": "
            << eventsPerSecond(r.events, r.wall) << ", "
@@ -188,7 +228,8 @@ runShardBench(const std::string &out_path, bool quick, double scale)
     }
     os << "\n  ]\n}\n";
 
-    std::cout << "perf_hotpath --shards: "
+    std::cout << "perf_hotpath --shards"
+              << (adaptive ? " --adaptive: " : ": ")
               << (census_ok ? "census identical across "
                             : "CENSUS DIVERGED across ")
               << rows.size() << " shard counts, host_cpus="
@@ -362,6 +403,7 @@ main(int argc, char **argv)
     std::string ref_path;
     bool quick = false;
     bool shard_bench = false;
+    bool adaptive = false;
     bool obs_bench = false;
     double scale = 1.0;
     for (int i = 1; i < argc; ++i) {
@@ -374,6 +416,8 @@ main(int argc, char **argv)
             quick = true;
         } else if (arg == "--shards") {
             shard_bench = true;
+        } else if (arg == "--adaptive") {
+            adaptive = true;
         } else if (arg == "--obs") {
             obs_bench = true;
         } else if (arg == "--scale" && i + 1 < argc) {
@@ -388,17 +432,24 @@ main(int argc, char **argv)
             }
         } else {
             std::cerr << "usage: perf_hotpath [--out FILE] [--quick]"
-                         " [--scale S] [--shards] [--obs [--ref FILE]]\n";
+                         " [--scale S] [--shards [--adaptive]]"
+                         " [--obs [--ref FILE]]\n";
             return 2;
         }
     }
+    if (adaptive && !shard_bench) {
+        std::cerr << "perf_hotpath: --adaptive requires --shards\n";
+        return 2;
+    }
     if (out_path.empty()) {
-        out_path = shard_bench  ? "BENCH_parallel.json"
+        out_path = shard_bench
+                       ? (adaptive ? "BENCH_adaptive.json"
+                                   : "BENCH_parallel.json")
                    : obs_bench ? "BENCH_obs.json"
                                : "BENCH_hotpath.json";
     }
     if (shard_bench)
-        return runShardBench(out_path, quick, scale);
+        return runShardBench(out_path, quick, scale, adaptive);
     if (obs_bench)
         return runObsBench(out_path, quick, scale, ref_path);
 

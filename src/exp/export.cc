@@ -108,6 +108,13 @@ fields()
         NUM_FIELD("barrier_stall_ticks", r.result.barrierStallTicks),
         NUM_FIELD("cross_shard_flits", r.result.crossShardFlits),
         NUM_FIELD("max_ingress_depth", r.result.maxIngressDepth),
+        NUM_FIELD("barrier_rounds_skipped", r.result.barrierRoundsSkipped),
+        NUM_FIELD("idle_parks", r.result.idleParks),
+        NUM_FIELD("adaptive_window_samples",
+                  r.result.adaptiveWindowSamples),
+        NUM_FIELD("adaptive_window_ticks_mean",
+                  r.result.adaptiveWindowMean),
+        NUM_FIELD("adaptive_window_ticks_max", r.result.adaptiveWindowMax),
         // Observability diagnostics (all zero with tracing off).
         NUM_FIELD("trace_records", r.result.traceRecords),
         NUM_FIELD("trace_dropped", r.result.traceDropped),

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "src/harness/runner.hh"
 #include "src/harness/table.hh"
 #include "src/workloads/workload.hh"
 
@@ -313,7 +314,7 @@ figureMain(const std::string &name, int argc, char **argv)
     if (const char *env = std::getenv("NETCRAFTER_JOBS"))
         opts.workers = static_cast<unsigned>(std::atoi(env));
     if (const char *env = std::getenv("NETCRAFTER_SHARDS"))
-        opts.shards = static_cast<unsigned>(std::atoi(env));
+        opts.shards = harness::parseShardsEnv(env);
     // Flags below override the NETCRAFTER_TRACE_* environment.
     opts.trace = obs::TraceOptions::fromEnv();
     bool explicit_level = false;

@@ -551,6 +551,14 @@ MultiGpuSystem::collectStats() const
         .inc(network_->crossShardFlits());
     reg.counter("sharded.maxIngressDepth")
         .inc(network_->maxIngressDepth());
+    reg.counter("sharded.barrierRoundsSkipped")
+        .inc(engine_.barrierRoundsSkipped());
+    reg.counter("sharded.idleParks").inc(engine_.idleParks());
+    reg.distribution("sharded.adaptiveWindowTicks",
+                     engine_.windowTicksDist().bounds())
+        .merge(engine_.windowTicksDist());
+    reg.average("sharded.adaptiveWindowTicksAvg")
+        .merge(engine_.windowTicksAvg());
     for (unsigned s = 0; s < engine_.numShards(); ++s) {
         reg.counter("sharded.shard" + std::to_string(s) + ".stallTicks")
             .inc(engine_.barrierStallTicks(s));

@@ -115,6 +115,11 @@ runWorkload(const std::string &workload_name,
     r.barrierStallTicks = engines.totalBarrierStallTicks();
     r.crossShardFlits = system.network().crossShardFlits();
     r.maxIngressDepth = system.network().maxIngressDepth();
+    r.barrierRoundsSkipped = engines.barrierRoundsSkipped();
+    r.idleParks = engines.idleParks();
+    r.adaptiveWindowSamples = engines.windowTicksAvg().count();
+    r.adaptiveWindowMean = engines.windowTicksAvg().mean();
+    r.adaptiveWindowMax = engines.windowTicksAvg().max();
     for (unsigned s = 0; s < engines.numShards(); ++s) {
         const sim::Engine &engine = engines.shard(s);
         r.nearEvents += engine.queue().nearScheduled();
@@ -205,6 +210,20 @@ parseScaleEnv(const char *text)
                  "got '", text, "'");
     }
     return v;
+}
+
+unsigned
+parseShardsEnv(const char *text)
+{
+    char *end = nullptr;
+    const long v = std::strtol(text, &end, 10);
+    // strtol saturates overflow at LONG_MAX, so the upper check also
+    // rejects absurdly long digit strings.
+    if (end == text || *end != '\0' || v < 1 || v > (1L << 16)) {
+        NC_FATAL("NETCRAFTER_SHARDS must be a positive shard count, "
+                 "got '", text, "'");
+    }
+    return static_cast<unsigned>(v);
 }
 
 double

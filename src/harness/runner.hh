@@ -88,6 +88,21 @@ struct RunResult
     /** Peak per-channel ingress-queue depth at a quantum barrier. */
     std::uint64_t maxIngressDepth = 0;
 
+    /** Rounds that ran without a barrier rendezvous because only one
+     *  shard had runnable events. */
+    std::uint64_t barrierRoundsSkipped = 0;
+
+    /** Rounds a shard slept through entirely (summed over shards and
+     *  rounds) instead of spinning at the window tail. */
+    std::uint64_t idleParks = 0;
+
+    /** Bounded adaptive-window widths the coordinator picked, in
+     *  ticks: sample count, mean, and max (0/0/0 when serial or when
+     *  every window was an unbounded drain-ahead stride). */
+    std::uint64_t adaptiveWindowSamples = 0;
+    double adaptiveWindowMean = 0;
+    double adaptiveWindowMax = 0;
+
     // Simulator hot-path census ----------------------------------------
     /** Events executed per host wall-clock second (diagnostics only). */
     double eventsPerSecond = 0;
@@ -173,6 +188,14 @@ double envScale();
 
 /** Parse and validate one NETCRAFTER_SCALE value; NC_FATAL on bad input. */
 double parseScaleEnv(const char *text);
+
+/**
+ * Parse and validate one NETCRAFTER_SHARDS value: a positive integer
+ * shard count (sanely capped at 65536). Zero, negative numbers, and
+ * garbage are fatal — silently running serial on a typo would make
+ * every "parallel" benchmark lie.
+ */
+unsigned parseShardsEnv(const char *text);
 
 /**
  * True when @p a and @p b report identical measurements — every field

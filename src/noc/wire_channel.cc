@@ -1,5 +1,7 @@
 #include "src/noc/wire_channel.hh"
 
+#include <algorithm>
+#include <iterator>
 #include <utility>
 
 #include "src/obs/trace_buffer.hh"
@@ -139,11 +141,59 @@ WireChannel::onSinkPop()
 }
 
 void
+WireChannel::sealExports()
+{
+    // Coordinator-only: both endpoints are parked at the barrier, so
+    // moving outbox -> sealed needs no synchronization. Append rather
+    // than swap — a parked destination can accumulate several rounds
+    // of traffic, and import order must stay departure order.
+    if (!flitOutbox_.empty()) {
+        if (flitSealed_.empty()) {
+            flitSealed_.swap(flitOutbox_);
+        } else {
+            flitSealed_.insert(
+                flitSealed_.end(),
+                std::make_move_iterator(flitOutbox_.begin()),
+                std::make_move_iterator(flitOutbox_.end()));
+            flitOutbox_.clear();
+        }
+    }
+    if (!creditOutbox_.empty()) {
+        if (creditSealed_.empty()) {
+            creditSealed_.swap(creditOutbox_);
+        } else {
+            creditSealed_.insert(creditSealed_.end(),
+                                 creditOutbox_.begin(),
+                                 creditOutbox_.end());
+            creditOutbox_.clear();
+        }
+    }
+}
+
+Tick
+WireChannel::earliestSealedArrivalAtDst() const
+{
+    Tick earliest = kTickNever;
+    for (const WireFlit &wire : flitSealed_)
+        earliest = std::min(earliest, wire.arrival);
+    return earliest;
+}
+
+Tick
+WireChannel::earliestSealedArrivalAtSrc() const
+{
+    Tick earliest = kTickNever;
+    for (Tick when : creditSealed_)
+        earliest = std::min(earliest, when);
+    return earliest;
+}
+
+void
 WireChannel::importAtDst()
 {
-    if (flitOutbox_.size() > maxIngressDepth_)
-        maxIngressDepth_ = flitOutbox_.size();
-    for (WireFlit &wire : flitOutbox_) {
+    if (flitSealed_.size() > maxIngressDepth_)
+        maxIngressDepth_ = flitSealed_.size();
+    for (WireFlit &wire : flitSealed_) {
         // Re-materialize from this (the destination) thread's pools.
         FlitPtr flit = makeFlit();
         flit->pkt = clonePacket(wire.pkt);
@@ -168,15 +218,15 @@ WireChannel::importAtDst()
                 deliver(std::move(f));
             });
     }
-    flitOutbox_.clear();
+    flitSealed_.clear();
 }
 
 void
 WireChannel::importAtSrc()
 {
-    for (Tick when : creditOutbox_)
+    for (Tick when : creditSealed_)
         srcEngine_.scheduleWireAbs(when, [this] { creditArrive(); });
-    creditOutbox_.clear();
+    creditSealed_.clear();
 }
 
 double

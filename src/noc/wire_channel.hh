@@ -19,12 +19,18 @@
  * When the endpoints are on different shards, a departing flit is
  * snapshotted by value (packet payloads included) into the channel's
  * outbox and re-materialized from the destination shard's thread-local
- * pools at the next quantum barrier: pooled refcounts are non-atomic,
+ * pools after a quantum barrier: pooled refcounts are non-atomic,
  * so a pooled object is never shared across threads — ownership of the
  * bits transfers through the snapshot, and the source-side handles drop
  * on the source thread. Credits travel the opposite way through a tick
- * outbox. Both mailboxes are single-writer/single-reader with the
- * barrier providing the happens-before edge.
+ * outbox. At each barrier the round coordinator seals the outboxes
+ * (moving them to the sealed import side in order); an importing shard
+ * only ever touches the sealed side, so a writer appending to an
+ * outbox never races an importer even when the two shards run rounds
+ * back-to-back. Every buffer is single-writer/single-reader with the
+ * barrier providing the happens-before edge, and the sealed side also
+ * answers the coordinator's earliest-arrival queries that bound the
+ * adaptive lookahead window.
  */
 
 #ifndef NETCRAFTER_NOC_WIRE_CHANNEL_HH
@@ -108,12 +114,16 @@ class WireChannel : public sim::SimObject, public sim::CrossShardPort
         return flitsRematerialized_;
     }
 
-    /** Peak outbox depth observed at a quantum barrier. */
+    /** Peak sealed-flit backlog observed at an import. */
     std::size_t maxIngressDepth() const { return maxIngressDepth_; }
 
     // CrossShardPort interface (used only when crossShard()).
     unsigned srcShard() const override { return srcShard_; }
     unsigned dstShard() const override { return dstShard_; }
+    Tick minLatency() const override { return latency_; }
+    void sealExports() override;
+    Tick earliestSealedArrivalAtDst() const override;
+    Tick earliestSealedArrivalAtSrc() const override;
     void importAtDst() override;
     void importAtSrc() override;
 
@@ -121,7 +131,8 @@ class WireChannel : public sim::SimObject, public sim::CrossShardPort
     std::size_t
     pendingExports() const override
     {
-        return flitOutbox_.size() + creditOutbox_.size();
+        return flitOutbox_.size() + flitSealed_.size() +
+               creditOutbox_.size() + creditSealed_.size();
     }
 
   private:
@@ -166,13 +177,20 @@ class WireChannel : public sim::SimObject, public sim::CrossShardPort
     sim::SelfScheduling<WireChannel, &WireChannel::pump> wake_;
     std::function<void(const Flit &)> observer_;
 
-    /** Written by the source shard in a window, drained at the barrier
-     * by the destination shard (importAtDst). */
+    /** Written by the source shard in a window, moved to flitSealed_
+     * by the round coordinator (sealExports). */
     std::vector<WireFlit> flitOutbox_;
 
-    /** Written by the destination shard, drained by the source shard
-     * (importAtSrc). */
+    /** Written by the destination shard, moved to creditSealed_ by
+     * the coordinator. */
     std::vector<Tick> creditOutbox_;
+
+    /** Sealed flits awaiting import on the destination shard. Stays
+     * populated across rounds while the destination is parked. */
+    std::vector<WireFlit> flitSealed_;
+
+    /** Sealed credit returns awaiting import on the source shard. */
+    std::vector<Tick> creditSealed_;
 
     std::uint64_t flitsTransferred_ = 0;
     std::uint64_t bytesTransferred_ = 0;

@@ -282,9 +282,16 @@ writeHostChromeTrace(const sim::ShardedEngine &engine, std::ostream &os)
         writer.threadName(kHostPid, static_cast<int>(s),
                           "shard" + std::to_string(s));
         for (const sim::QuantumSpan &span : engine.hostSpans(s)) {
+            // Adaptive quanta vary per round; the width lands both in
+            // the slice args and on its own counter track so the
+            // window-size trajectory is graphable next to the stalls.
+            // (Unbounded drain-ahead windows were clamped to the
+            // shard's final tick when the span was recorded.)
+            const auto width = span.windowEnd - span.windowStart + 1;
             std::ostringstream args;
             args << "{\"window_start\": " << span.windowStart
                  << ", \"window_end\": " << span.windowEnd
+                 << ", \"window_ticks\": " << width
                  << ", \"stall_ticks\": " << span.stallTicks << "}";
             writer.slice(kHostPid, static_cast<int>(s), "quantum",
                          span.hostBegin * 1e6,
@@ -294,6 +301,10 @@ writeHostChromeTrace(const sim::ShardedEngine &engine, std::ostream &os)
                            span.hostEnd * 1e6,
                            "shard" + std::to_string(s),
                            static_cast<double>(span.stallTicks));
+            writer.counter(kHostPid, "adaptive_window_ticks",
+                           span.hostEnd * 1e6,
+                           "shard" + std::to_string(s),
+                           static_cast<double>(width));
         }
     }
     writer.write(os);

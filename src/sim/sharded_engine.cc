@@ -1,64 +1,108 @@
 #include "src/sim/sharded_engine.hh"
 
 #include <algorithm>
+#include <atomic>
 
 #include "src/sim/logging.hh"
 
 namespace netcrafter::sim {
 
+namespace {
+
+/** Bounded-window widths, bucketed relative to the default fixed
+ *  quantum of 16 ticks (cfg.interLinkLatency). */
+const std::vector<double> kWindowBuckets = {16, 64, 256, 4096};
+
+std::atomic<LookaheadMode> defaultMode{LookaheadMode::Adaptive};
+
+/** a + b saturating at kTickNever (either operand may be the sentinel). */
+Tick
+satAdd(Tick a, Tick b)
+{
+    return b >= kTickNever - a ? kTickNever : a + b;
+}
+
+} // namespace
+
+void
+setDefaultLookaheadMode(LookaheadMode mode)
+{
+    defaultMode.store(mode, std::memory_order_relaxed);
+}
+
+LookaheadMode
+defaultLookaheadMode()
+{
+    return defaultMode.load(std::memory_order_relaxed);
+}
+
 /**
- * Shared state of one parallel drain. Built once (shards > 1); the
- * worker threads park on `cv` between run() calls and re-enter the
- * barrier loop when `generation` advances.
+ * Shared state of one parallel drain. The quantum barrier is a single
+ * sense-reversing rendezvous: `pending` counts the active shards still
+ * inside the current round, and the last one to decrement becomes the
+ * round coordinator — it runs decide() with exclusive access (every
+ * other shard is blocked on its doorbell) and publishes the next
+ * window by ringing exactly the doorbells of the shards that have work
+ * in it. The doorbell word doubles as the sense: even values 2r mean
+ * "execute round r", odd values mean "the drain is over". Shards
+ * futex-wait (std::atomic::wait) on their own doorbell, so a shard
+ * with nothing to do sleeps through any number of rounds without
+ * touching the barrier.
+ *
+ * The worker threads park on `cv` between run() calls and re-enter the
+ * round loop when `generation` advances.
  */
 struct ShardedEngine::Coordination
 {
-    struct DecideFn
+    explicit Coordination(unsigned n)
+        : door(new std::atomic<std::uint64_t>[n]),
+          nextTick(n, kTickNever), lower(n, kTickNever), active(n, 0)
     {
-        ShardedEngine *owner;
-        void operator()() noexcept { owner->decide(); }
-    };
-
-    Coordination(unsigned n, ShardedEngine *owner)
-        : decide(n, DecideFn{owner}), quiesce(n)
-    {
+        for (unsigned s = 0; s < n; ++s)
+            door[s].store(0, std::memory_order_relaxed);
     }
 
-    /** End-of-import barrier; completion picks the next window. */
-    std::barrier<DecideFn> decide;
+    /** Active shards still inside the current round. */
+    std::atomic<std::uint32_t> pending{0};
 
-    /** End-of-window barrier; outboxes are final once it releases. */
-    std::barrier<> quiesce;
+    /** Per-shard doorbell/sense word (see above). */
+    std::unique_ptr<std::atomic<std::uint64_t>[]> door;
+
+    /** Rounds decided so far; only the coordinator writes it. */
+    std::uint64_t round = 0;
+
+    // Decision inputs/outputs. Written by the coordinator, published
+    // to the woken shards by the doorbell release/acquire pair.
+    Tick limit = kTickNever;
+    std::vector<Tick> nextTick;
+    std::vector<Tick> lower;
+    std::vector<char> active;
+    Tick windowStart = 0;
+    Tick windowEnd = kTickNever;
+    RunStatus status = RunStatus::Drained;
 
     std::mutex m;
     std::condition_variable cv;
     std::uint64_t generation = 0;
     bool shutdown = false;
 
-    /** Inputs/outputs of the window decision (completion function). */
-    Tick limit = kTickNever;
-    std::vector<Tick> nextTick;
-    Tick windowEnd = kTickNever;
-    Tick windowStart = 0;
-    bool stop = false;
-    RunStatus status = RunStatus::Drained;
-
     std::vector<std::thread> threads;
 };
 
 ShardedEngine::ShardedEngine(unsigned shards)
-    : epoch_(std::chrono::steady_clock::now())
+    : windowDist_(kWindowBuckets),
+      epoch_(std::chrono::steady_clock::now())
 {
     NC_ASSERT(shards >= 1, "a system needs at least one shard");
     engines_.reserve(shards);
     for (unsigned s = 0; s < shards; ++s)
         engines_.push_back(std::make_unique<Engine>());
     stallTicks_.assign(shards, 0);
+    minOutLatency_.assign(shards, kTickNever);
     hostSpans_.resize(shards);
 
     if (shards > 1) {
-        coord_ = std::make_unique<Coordination>(shards, this);
-        coord_->nextTick.assign(shards, kTickNever);
+        coord_ = std::make_unique<Coordination>(shards);
         for (unsigned s = 1; s < shards; ++s)
             coord_->threads.emplace_back(
                 [this, s] { workerMain(s); });
@@ -86,7 +130,15 @@ ShardedEngine::registerPort(CrossShardPort &port)
               "cross-shard port references an unknown shard");
     NC_ASSERT(port.srcShard() != port.dstShard(),
               "same-shard channels must not register for exchange");
+    NC_ASSERT(port.minLatency() >= 1,
+              "cross-shard port needs a positive wire latency");
     ports_.push_back(&port);
+    // Flits leave the source shard and credits leave the destination,
+    // so the channel bounds the earliest departure of both endpoints.
+    minOutLatency_[port.srcShard()] =
+        std::min(minOutLatency_[port.srcShard()], port.minLatency());
+    minOutLatency_[port.dstShard()] =
+        std::min(minOutLatency_[port.dstShard()], port.minLatency());
 }
 
 void
@@ -97,79 +149,184 @@ ShardedEngine::setLookahead(Tick ticks)
 }
 
 /**
- * Barrier completion: every shard has imported its mailboxes and
- * published its earliest pending tick. Pick the global window
- * [m, min(m + lookahead - 1, limit)], or stop when drained / past the
- * limit. Runs on exactly one (unspecified) thread while all others are
- * blocked in the barrier, so plain writes are safe.
+ * Round coordinator: every active shard of the previous round has
+ * published its earliest pending tick and arrived; every other shard
+ * is parked on its doorbell. Seal the channel outboxes, derive the
+ * per-shard earliest runnable ticks, pick the next window and its
+ * active set, and ring exactly those doorbells (all of them when the
+ * drain is over). Exclusive access throughout, so plain writes are
+ * safe; every input is pre-barrier state, so any coordinator thread
+ * computes the same decision — determinism does not depend on which
+ * shard arrives last.
  */
 void
 ShardedEngine::decide() noexcept
 {
-    Tick m = kTickNever;
-    for (Tick t : coord_->nextTick)
-        m = std::min(m, t);
+    Coordination &c = *coord_;
+    const unsigned n = numShards();
 
-    if (m == kTickNever) {
-        coord_->stop = true;
-        coord_->status = RunStatus::Drained;
+    // Seal: outboxes written during the window move to the import
+    // side; sealed entries whose destination stayed parked remain
+    // queued and keep contributing to the lower bounds below.
+    for (CrossShardPort *port : ports_)
+        port->sealExports();
+
+    // Earliest runnable tick per shard: its own event queue or a
+    // sealed cross-shard arrival addressed to it. Parked shards'
+    // published next-event ticks stay valid — only a shard's own
+    // thread ever runs its engine.
+    for (unsigned s = 0; s < n; ++s)
+        c.lower[s] = c.nextTick[s];
+    for (const CrossShardPort *port : ports_) {
+        c.lower[port->dstShard()] =
+            std::min(c.lower[port->dstShard()],
+                     port->earliestSealedArrivalAtDst());
+        c.lower[port->srcShard()] =
+            std::min(c.lower[port->srcShard()],
+                     port->earliestSealedArrivalAtSrc());
+    }
+
+    Tick m = kTickNever;
+    for (unsigned s = 0; s < n; ++s)
+        m = std::min(m, c.lower[s]);
+
+    if (m == kTickNever || m > c.limit) {
+        c.status =
+            m == kTickNever ? RunStatus::Drained : RunStatus::LimitHit;
+        ++c.round;
+        const std::uint64_t ring = 2 * c.round + 1;
+        for (unsigned s = 0; s < n; ++s) {
+            c.door[s].store(ring, std::memory_order_release);
+            c.door[s].notify_one();
+        }
         return;
     }
-    if (m > coord_->limit) {
-        coord_->stop = true;
-        coord_->status = RunStatus::LimitHit;
-        return;
+
+    Tick window_end;
+    if (mode_ == LookaheadMode::Adaptive) {
+        // Shard s cannot execute anything before lower[s], hence
+        // cannot put anything on a wire before lower[s] either; the
+        // earliest it can affect another shard is lower[s] + L_s with
+        // L_s the fastest channel leaving it. Shards that cannot emit
+        // impose no bound — when nobody can, everyone drains ahead in
+        // one unbounded stride.
+        window_end = kTickNever;
+        for (unsigned s = 0; s < n; ++s) {
+            if (minOutLatency_[s] == kTickNever)
+                continue;
+            const Tick horizon = satAdd(c.lower[s], minOutLatency_[s]);
+            if (horizon != kTickNever)
+                window_end = std::min(window_end, horizon - 1);
+        }
+    } else {
+        // The PR 3 bound: a static quantum of the global minimum
+        // cross-shard latency above the global minimum pending tick.
+        window_end = satAdd(m, lookahead_ - 1);
     }
-    coord_->stop = false;
-    coord_->windowStart = m;
-    const Tick cap = lookahead_ >= kTickNever - m
-                         ? kTickNever
-                         : m + lookahead_ - 1;
-    coord_->windowEnd = std::min(cap, coord_->limit);
+    window_end = std::min(window_end, c.limit);
+    NC_ASSERT(window_end >= m, "quantum window excludes its own start");
+
+    c.windowStart = m;
+    c.windowEnd = window_end;
     ++quantaExecuted_;
+    if (window_end != kTickNever) {
+        const double width = static_cast<double>(window_end - m + 1);
+        windowDist_.sample(width);
+        windowAvg_.sample(width);
+    }
+
+    // Active set: shards with anything runnable inside the window.
+    // Everyone else sleeps through the round on its doorbell — no
+    // spinning through empty quanta, no barrier slot. The fixed-Q
+    // baseline keeps the PR 3 cost model instead: every shard runs
+    // every round and pays the full window-tail stall, which is
+    // exactly the synchronization tax BENCH_parallel.json measures.
+    std::uint32_t actives = 0;
+    if (mode_ == LookaheadMode::Adaptive) {
+        for (unsigned s = 0; s < n; ++s) {
+            c.active[s] = c.lower[s] <= window_end ? 1 : 0;
+            actives += static_cast<std::uint32_t>(c.active[s]);
+        }
+        idleParks_ += n - actives;
+        if (actives == 1) {
+            // Solo round: the coordinator role lands on (or migrates
+            // to) the only runnable shard and no rendezvous happens
+            // at all.
+            ++barrierRoundsSkipped_;
+        }
+    } else {
+        for (unsigned s = 0; s < n; ++s)
+            c.active[s] = 1;
+        actives = n;
+    }
+
+    c.pending.store(actives, std::memory_order_release);
+    ++c.round;
+    const std::uint64_t ring = 2 * c.round;
+    for (unsigned s = 0; s < n; ++s) {
+        if (!c.active[s])
+            continue;
+        c.door[s].store(ring, std::memory_order_release);
+        c.door[s].notify_one();
+    }
 }
 
 void
 ShardedEngine::shardLoop(unsigned s)
 {
     Engine &engine = *engines_[s];
+    Coordination &c = *coord_;
+
+    // Join the drain: publish the earliest pending tick and arrive.
+    // The last shard in becomes the coordinator of the first round.
+    c.nextTick[s] = engine.nextEventTick();
+    std::uint64_t seen = c.door[s].load(std::memory_order_acquire);
+    if (c.pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        decide();
+
     for (;;) {
-        // Import phase: drain every mailbox addressed to this shard.
-        // Flits materialize on this (the destination) thread; credit
-        // returns come home to the source side. Outboxes were sealed by
-        // the previous quiesce barrier.
+        c.door[s].wait(seen, std::memory_order_acquire);
+        seen = c.door[s].load(std::memory_order_acquire);
+        if (seen & 1)
+            return; // drain over; c.status is already published
+
+        // Import phase: drain every sealed mailbox addressed to this
+        // shard. Flits materialize on this (the destination) thread;
+        // credit returns come home to the source side. The mailboxes
+        // were sealed by the coordinator that rang this doorbell.
         for (CrossShardPort *port : ports_) {
             if (port->dstShard() == s)
                 port->importAtDst();
             if (port->srcShard() == s)
                 port->importAtSrc();
         }
-        coord_->nextTick[s] = engine.nextEventTick();
 
-        coord_->decide.arrive_and_wait();
-        if (coord_->stop)
-            return;
-
-        const Tick window_end = coord_->windowEnd;
+        const Tick window_end = c.windowEnd;
         const double host_begin = hostTimeline_ ? hostSeconds() : 0;
         engine.runWindow(window_end);
 
-        // Idle ticks at the window tail: the barrier forced this shard
-        // to wait even though it had nothing left to simulate.
-        const Tick resume =
-            std::max(engine.now() + 1, coord_->windowStart);
-        const std::uint64_t stall =
-            (window_end + 1) - std::min(window_end + 1, resume);
-        stallTicks_[s] += stall;
+        // Idle ticks at the window tail: the window forced this shard
+        // to wait even though it had nothing left to simulate. An
+        // unbounded drain-ahead window has no tail by construction.
+        std::uint64_t stall = 0;
+        if (window_end != kTickNever) {
+            const Tick resume =
+                std::max(engine.now() + 1, c.windowStart);
+            stall = (window_end + 1) - std::min(window_end + 1, resume);
+            stallTicks_[s] += stall;
+        }
 
         if (hostTimeline_) {
             // hostSpans_[s] is only ever touched by shard s's thread.
-            hostSpans_[s].push_back(QuantumSpan{coord_->windowStart,
-                                                window_end, host_begin,
-                                                hostSeconds(), stall});
+            hostSpans_[s].push_back(QuantumSpan{
+                c.windowStart,
+                window_end == kTickNever ? engine.now() : window_end,
+                host_begin, hostSeconds(), stall});
         }
 
-        coord_->quiesce.arrive_and_wait();
+        c.nextTick[s] = engine.nextEventTick();
+        if (c.pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            decide();
     }
 }
 
@@ -210,6 +367,10 @@ ShardedEngine::run(Tick limit)
     {
         std::lock_guard<std::mutex> lk(coord_->m);
         coord_->limit = limit;
+        // Every shard joins the first round; a worker still unwinding
+        // from the previous drain re-arrives through workerMain, so
+        // the countdown never releases early.
+        coord_->pending.store(numShards(), std::memory_order_release);
         ++coord_->generation;
     }
     coord_->cv.notify_all();

@@ -1,28 +1,63 @@
 /**
  * @file
  * Conservative parallel discrete-event execution: one Engine per shard,
- * advancing in barrier-synchronized quanta bounded by the minimum
- * cross-shard wire latency (the classic conservative-PDES lookahead, as
- * in Graphite's barrier-synchronized cycle-level mode).
+ * advancing in barrier-synchronized quanta bounded by conservative
+ * lookahead (classic conservative PDES, as in Graphite's
+ * barrier-synchronized cycle-level mode).
  *
  * The system is partitioned so that every component belongs to exactly
  * one shard and all same-cycle interactions stay inside a shard; the
  * only cross-shard traffic flows through latency-L wire channels
- * (noc::WireChannel). A flit departing at tick T arrives at T+L, so as
- * long as every shard stops at the end of a window of Q = min(L) ticks,
- * no shard can receive a message for a tick it has already simulated:
+ * (noc::WireChannel). A flit departing at tick T arrives at T+L, so a
+ * window is safe as long as nothing sent inside it can arrive inside
+ * it. Two window policies exist (LookaheadMode):
  *
- *     window = [m, m+Q-1], departure T >= m  =>  arrival T+L >= m+Q.
+ *  - Fixed: the PR 3 bound. With Q = min(L) over every cross-shard
+ *    channel, the window [m, m+Q-1] (m = global minimum pending tick)
+ *    is safe: departure T >= m  =>  arrival T+L >= m+Q.
  *
- * Between windows all shards meet at a barrier where each channel's
- * outbox (written only by its source shard during the window) is
- * drained by the destination shard, which re-materializes the payload
- * into its own thread-local object pools (ownership transfer — pooled
+ *  - Adaptive (default): per-quantum, per-shard. Shard s cannot execute
+ *    anything before its earliest runnable tick N_s (its next pending
+ *    event, or the earliest sealed cross-shard arrival addressed to
+ *    it), so it cannot put anything on a wire before N_s either; the
+ *    earliest tick at which shard s can make another shard's state
+ *    change is N_s + L_s, where L_s is the minimum latency over the
+ *    channels leaving s (flits it sources, credits it returns). The
+ *    window [m, min_s(N_s + L_s) - 1] is therefore safe, and it is
+ *    never smaller than the fixed window because N_s >= m and
+ *    L_s >= Q. When no shard can emit at all (no registered channels
+ *    leave it), the bound is infinite and every shard drains in one
+ *    stride. Both inputs (N_s from the published next-event ticks and
+ *    sealed mailboxes, L_s from registration-time channel latencies)
+ *    are pre-barrier state computed once by the round coordinator, so
+ *    every shard observes the same window: determinism is preserved.
+ *
+ * Between windows the shards meet at a single sense-reversing barrier:
+ * a shared countdown of the round's active shards plus one doorbell
+ * word per shard. The last shard to arrive becomes the coordinator: it
+ * seals every channel's outbox (moving it to the import side), picks
+ * the next window, chooses the next active set, and rings the
+ * doorbells of exactly the shards that have work inside the window.
+ * Each rung shard first drains the sealed mailboxes addressed to it —
+ * re-materializing payloads into its own thread-local pools (pooled
  * objects have non-atomic refcounts and never cross threads) and
- * schedules the arrivals as wire-phase events in its own engine.
+ * scheduling the arrivals as wire-phase events — then runs the window.
  * Wire-phase events fire before a tick's default events and same-tick
- * wire events commute, so execution is bit-identical to the serial
+ * wire events commute, so execution stays bit-identical to the serial
  * engine, which runs the very same channels inline on one Engine.
+ *
+ * In Adaptive mode a shard with nothing runnable inside the window is
+ * not woken at all: it stays parked in a futex-style wait on its
+ * doorbell while the coordinator reuses its published next-event tick,
+ * and it only pays for the rounds in which it participates (counted by
+ * idleParks()). When a single shard has runnable events — the common
+ * tail of a run — the coordinator role collapses onto that shard and
+ * rounds proceed with no rendezvous at all (counted by
+ * barrierRoundsSkipped()). FixedQuantum mode deliberately keeps the
+ * PR 3 cost model — every shard executes every round and accrues the
+ * full window-tail stall — so benchmarks can quantify the
+ * synchronization tax the adaptive path removes against an unchanged
+ * baseline.
  *
  * Threading model: shard 0 runs on the caller's thread; shards 1..N-1
  * each own a persistent worker thread that parks between run() calls.
@@ -36,7 +71,6 @@
 #ifndef NETCRAFTER_SIM_SHARDED_ENGINE_HH
 #define NETCRAFTER_SIM_SHARDED_ENGINE_HH
 
-#include <barrier>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -47,14 +81,33 @@
 
 #include "src/sim/engine.hh"
 #include "src/sim/types.hh"
+#include "src/stats/stats.hh"
 
 namespace netcrafter::sim {
 
+/** How the sharded engine bounds each conservative window. */
+enum class LookaheadMode : std::uint8_t
+{
+    /** Static window of min-channel-latency ticks (the PR 3 bound). */
+    FixedQuantum,
+    /** Per-quantum window from each shard's earliest possible
+     *  cross-shard departure (next-event tick + min outgoing wire
+     *  latency). Never smaller than the fixed window; bit-identical
+     *  results. */
+    Adaptive,
+};
+
+/** Process-wide default mode newly built ShardedEngines start in. */
+void setDefaultLookaheadMode(LookaheadMode mode);
+LookaheadMode defaultLookaheadMode();
+
 /**
  * A directed cross-shard message queue, implemented by the wire
- * channels. During a window only the owning side writes; at the barrier
- * the opposite side drains. The barrier provides the happens-before
- * edge, so the queues themselves need no synchronization.
+ * channels. During a window only the owning side writes to the outbox;
+ * at the barrier the coordinator seals it (moves it to the import
+ * side) and the opposite side drains the sealed entries at the start
+ * of its next window. The barrier provides the happens-before edges,
+ * so the queues themselves need no synchronization.
  */
 class CrossShardPort
 {
@@ -67,17 +120,44 @@ class CrossShardPort
     /** Shard that consumes flits (and produces credit returns). */
     virtual unsigned dstShard() const = 0;
 
-    /** Drain queued flits into the destination shard (its thread). */
+    /**
+     * Minimum wire latency of any message this port can carry, in
+     * ticks. Both directions for a wire channel (flits towards the
+     * destination, credits back to the source) share the channel's
+     * flight latency. Feeds the per-shard earliest-departure bound of
+     * the adaptive lookahead; must be >= 1 and constant after
+     * registration.
+     */
+    virtual Tick minLatency() const = 0;
+
+    /**
+     * Move everything currently queued in the outboxes to the sealed
+     * import side, preserving order. Called only by the round
+     * coordinator while every other shard is blocked, so it may touch
+     * both sides without synchronization.
+     */
+    virtual void sealExports() = 0;
+
+    /** Earliest sealed arrival tick addressed to the destination
+     *  shard (flit deliveries), or kTickNever when none are queued. */
+    virtual Tick earliestSealedArrivalAtDst() const = 0;
+
+    /** Earliest sealed arrival tick addressed to the source shard
+     *  (credit returns), or kTickNever. */
+    virtual Tick earliestSealedArrivalAtSrc() const = 0;
+
+    /** Drain sealed flits into the destination shard (its thread). */
     virtual void importAtDst() = 0;
 
-    /** Drain queued credit returns into the source shard (its thread). */
+    /** Drain sealed credit returns into the source shard (its thread). */
     virtual void importAtSrc() = 0;
 
     /**
-     * Entries still queued in this port's outboxes (flits not yet
-     * imported at the destination plus credits not yet returned home).
-     * The teardown census walks this; anything non-zero at destruction
-     * means an aborted run left in-flight state behind.
+     * Entries still queued in this port's outboxes and sealed inboxes
+     * (flits not yet imported at the destination plus credits not yet
+     * returned home). The teardown census walks this; anything
+     * non-zero at destruction means an aborted run left in-flight
+     * state behind.
      */
     virtual std::size_t pendingExports() const { return 0; }
 };
@@ -87,6 +167,8 @@ class CrossShardPort
  * which window it covered, when the shard entered/left it (seconds
  * since the ShardedEngine's construction), and how many of its ticks
  * were barrier-imposed idle time. Feeds the host-time trace lanes.
+ * Parked rounds record no span — the gaps in the timeline are the
+ * rounds a shard slept through.
  */
 struct QuantumSpan
 {
@@ -121,19 +203,27 @@ class ShardedEngine
     /**
      * Register a cross-shard channel endpoint. Must happen before the
      * first run(); registration order fixes the (deterministic) order
-     * in which a shard drains its inboxes at each barrier.
+     * in which a shard drains its inboxes at each barrier. The port's
+     * minLatency() lowers the earliest-departure bound of both shards
+     * it touches.
      */
     void registerPort(CrossShardPort &port);
 
     /**
-     * Set the conservative lookahead: the minimum latency over all
-     * cross-shard channels, in ticks. Defaults to kTickNever (no
-     * cross-shard traffic possible, a drain runs as one window).
+     * Set the fixed conservative lookahead: the minimum latency over
+     * all cross-shard channels, in ticks. Defaults to kTickNever (no
+     * cross-shard traffic possible, a drain runs as one window). Used
+     * directly by LookaheadMode::FixedQuantum; Adaptive derives its
+     * (never smaller) bound from the registered ports instead.
      */
     void setLookahead(Tick ticks);
 
-    /** The current lookahead. */
+    /** The current fixed lookahead. */
     Tick lookahead() const { return lookahead_; }
+
+    /** Select the window policy (default: the process-wide default). */
+    void setLookaheadMode(LookaheadMode mode) { mode_ = mode; }
+    LookaheadMode lookaheadMode() const { return mode_; }
 
     /**
      * Drain every shard (or stop once the earliest pending event lies
@@ -160,8 +250,13 @@ class ShardedEngine
     std::uint64_t quantaExecuted() const { return quantaExecuted_; }
 
     /**
-     * Ticks at the tail of windows during which shard @p s had no
-     * events left — idle time imposed by the conservative barrier.
+     * Ticks at the tail of windows a shard participated in during
+     * which it had no events left — idle time imposed by the
+     * conservative window. In Adaptive mode, rounds a shard slept
+     * through entirely are counted by idleParks(), not here: a parked
+     * shard costs neither host cycles nor a barrier slot. In
+     * FixedQuantum mode every shard participates in every round, so
+     * this accrues the full PR 3 synchronization tax.
      */
     std::uint64_t
     barrierStallTicks(unsigned s) const
@@ -173,9 +268,40 @@ class ShardedEngine
     std::uint64_t totalBarrierStallTicks() const;
 
     /**
-     * Record a QuantumSpan per shard per window (and one span per
-     * serial run() call) for the host-time trace. Off by default: the
-     * spans cost a clock read per window.
+     * Rounds that ran without any barrier rendezvous because a single
+     * shard had runnable events (the common tail of a run): the
+     * coordinator role stays on that shard and no doorbell is rung.
+     * Always 0 in FixedQuantum mode.
+     */
+    std::uint64_t barrierRoundsSkipped() const
+    {
+        return barrierRoundsSkipped_;
+    }
+
+    /**
+     * Times a shard was left parked through a quantum round because
+     * nothing inside the window concerned it (summed over rounds and
+     * shards). Always 0 in FixedQuantum mode.
+     */
+    std::uint64_t idleParks() const { return idleParks_; }
+
+    /**
+     * Width in ticks of every bounded window executed, bucketed.
+     * Unbounded drain-ahead windows (no shard can emit) are excluded;
+     * compare total() against quantaExecuted() to count them.
+     */
+    const stats::Distribution &windowTicksDist() const
+    {
+        return windowDist_;
+    }
+
+    /** Mean/min/max over the same bounded window widths. */
+    const stats::Average &windowTicksAvg() const { return windowAvg_; }
+
+    /**
+     * Record a QuantumSpan per shard per participated window (and one
+     * span per serial run() call) for the host-time trace. Off by
+     * default: the spans cost a clock read per window.
      */
     void setHostTimelineEnabled(bool on) { hostTimeline_ = on; }
     bool hostTimelineEnabled() const { return hostTimeline_; }
@@ -211,10 +337,19 @@ class ShardedEngine
     std::vector<std::unique_ptr<Engine>> engines_;
     std::vector<CrossShardPort *> ports_;
     Tick lookahead_ = kTickNever;
+    LookaheadMode mode_ = defaultLookaheadMode();
+
+    /** Min latency over channels leaving each shard (flit or credit
+     *  direction), kTickNever when the shard cannot emit at all. */
+    std::vector<Tick> minOutLatency_;
 
     std::unique_ptr<Coordination> coord_;
     std::vector<std::uint64_t> stallTicks_;
     std::uint64_t quantaExecuted_ = 0;
+    std::uint64_t barrierRoundsSkipped_ = 0;
+    std::uint64_t idleParks_ = 0;
+    stats::Distribution windowDist_;
+    stats::Average windowAvg_;
 
     bool hostTimeline_ = false;
     std::chrono::steady_clock::time_point epoch_;

@@ -107,6 +107,32 @@ TEST(ParseScaleEnvDeathTest, RejectsBadValues)
                 "NETCRAFTER_SCALE");
 }
 
+TEST(ParseShardsEnv, AcceptsPositiveIntegers)
+{
+    EXPECT_EQ(parseShardsEnv("1"), 1u);
+    EXPECT_EQ(parseShardsEnv("4"), 4u);
+    EXPECT_EQ(parseShardsEnv("64"), 64u);
+}
+
+TEST(ParseShardsEnvDeathTest, RejectsBadValues)
+{
+    EXPECT_EXIT(parseShardsEnv("0"), testing::ExitedWithCode(1),
+                "NETCRAFTER_SHARDS");
+    EXPECT_EXIT(parseShardsEnv("-2"), testing::ExitedWithCode(1),
+                "NETCRAFTER_SHARDS");
+    EXPECT_EXIT(parseShardsEnv("abc"), testing::ExitedWithCode(1),
+                "NETCRAFTER_SHARDS");
+    EXPECT_EXIT(parseShardsEnv("4x"), testing::ExitedWithCode(1),
+                "NETCRAFTER_SHARDS");
+    EXPECT_EXIT(parseShardsEnv(""), testing::ExitedWithCode(1),
+                "NETCRAFTER_SHARDS");
+    EXPECT_EXIT(parseShardsEnv("2.5"), testing::ExitedWithCode(1),
+                "NETCRAFTER_SHARDS");
+    // strtol saturates, so absurd counts die instead of wrapping.
+    EXPECT_EXIT(parseShardsEnv("99999999999999999999"),
+                testing::ExitedWithCode(1), "NETCRAFTER_SHARDS");
+}
+
 TEST(SameMeasurement, DetectsAnyFieldDifference)
 {
     RunResult a;

@@ -10,9 +10,28 @@
 #include <gtest/gtest.h>
 
 #include "src/harness/runner.hh"
+#include "src/sim/sharded_engine.hh"
 
 namespace netcrafter {
 namespace {
+
+/** Scoped override of the process-wide lookahead-mode default. */
+class ScopedLookaheadMode
+{
+  public:
+    explicit ScopedLookaheadMode(sim::LookaheadMode mode)
+        : prev_(sim::defaultLookaheadMode())
+    {
+        sim::setDefaultLookaheadMode(mode);
+    }
+    ~ScopedLookaheadMode() { sim::setDefaultLookaheadMode(prev_); }
+
+    ScopedLookaheadMode(const ScopedLookaheadMode &) = delete;
+    ScopedLookaheadMode &operator=(const ScopedLookaheadMode &) = delete;
+
+  private:
+    sim::LookaheadMode prev_;
+};
 
 config::SystemConfig
 shrink(config::SystemConfig cfg)
@@ -86,6 +105,57 @@ TEST(ShardedDeterminismTest, FourClustersFourShards)
     nc.numClusters = 4;
     nc.gpusPerCluster = 1;
     expectShardInvariant("MT", nc, 4);
+}
+
+/**
+ * The fixed-Q path is kept behind LookaheadMode::FixedQuantum exactly
+ * so this regression can pin the two window policies against each
+ * other: same (workload, config, shards), bit-identical measurements,
+ * and the adaptive windows — never narrower than Q — need at most as
+ * many quanta.
+ */
+void
+expectAdaptiveMatchesFixed(const std::string &app,
+                           const config::SystemConfig &cfg)
+{
+    for (const unsigned shards : {1u, 2u, 4u}) {
+        harness::RunResult fixed_q, adaptive;
+        {
+            ScopedLookaheadMode mode(sim::LookaheadMode::FixedQuantum);
+            fixed_q = harness::runWorkload(app, cfg, kTinyScale, shards);
+        }
+        {
+            ScopedLookaheadMode mode(sim::LookaheadMode::Adaptive);
+            adaptive = harness::runWorkload(app, cfg, kTinyScale, shards);
+        }
+        EXPECT_TRUE(sameMeasurement(fixed_q, adaptive))
+            << app << " diverged between window policies at " << shards
+            << " shards: fixed " << fixed_q.cycles << " cycles / "
+            << fixed_q.events << " events, adaptive " << adaptive.cycles
+            << " cycles / " << adaptive.events << " events";
+        EXPECT_EQ(fixed_q.events, adaptive.events) << app;
+        EXPECT_EQ(fixed_q.interFlits, adaptive.interFlits) << app;
+        if (shards > 1) {
+            EXPECT_LE(adaptive.quantaExecuted, fixed_q.quantaExecuted)
+                << app << ": adaptive windows can only widen";
+        }
+    }
+}
+
+TEST(ShardedDeterminismTest, AdaptiveMatchesFixedOnFig03Point)
+{
+    config::SystemConfig cfg = shrink(config::baselineConfig());
+    cfg.numClusters = 4;
+    cfg.gpusPerCluster = 1;
+    expectAdaptiveMatchesFixed("GUPS", cfg);
+}
+
+TEST(ShardedDeterminismTest, AdaptiveMatchesFixedOnFig14Point)
+{
+    config::SystemConfig nc = shrink(config::netcrafterConfig());
+    nc.numClusters = 4;
+    nc.gpusPerCluster = 1;
+    expectAdaptiveMatchesFixed("MT", nc);
 }
 
 TEST(ShardedDeterminismTest, TwoShardsMatchFourShardsOnMesh)

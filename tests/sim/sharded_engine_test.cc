@@ -35,6 +35,7 @@ TEST(ShardedEngineTest, SingleShardRunsSerially)
 TEST(ShardedEngineTest, TwoShardsDrainIndependentWork)
 {
     ShardedEngine eng(2);
+    eng.setLookaheadMode(LookaheadMode::FixedQuantum);
     eng.setLookahead(10);
 
     std::vector<Tick> fired0, fired1;
@@ -51,9 +52,36 @@ TEST(ShardedEngineTest, TwoShardsDrainIndependentWork)
     EXPECT_EQ(fired0, (std::vector<Tick>{3, 17, 42}));
     EXPECT_EQ(fired1, (std::vector<Tick>{5, 25}));
     EXPECT_EQ(eng.eventsExecuted(), 5u);
-    // Windows of 10 ticks starting at the global minimum pending tick:
-    // [3,12] [17,26] [42,51] — barriers only where events remain.
+    // Fixed windows of 10 ticks starting at the global minimum pending
+    // tick: [3,12] [17,26] [42,51] — rounds only where events remain.
     EXPECT_GE(eng.quantaExecuted(), 3u);
+}
+
+TEST(ShardedEngineTest, AdaptiveDrainsUnconnectedShardsInOneStride)
+{
+    // With no registered cross-shard channel, no shard can ever affect
+    // another: the adaptive bound is infinite and the whole drain is
+    // one unbounded window with no stall on anyone.
+    ShardedEngine eng(2);
+    ASSERT_EQ(eng.lookaheadMode(), LookaheadMode::Adaptive);
+
+    std::vector<Tick> fired0, fired1;
+    for (Tick t : {3u, 17u, 42u})
+        eng.shard(0).schedule(t, [&fired0, &eng] {
+            fired0.push_back(eng.shard(0).now());
+        });
+    for (Tick t : {5u, 25u})
+        eng.shard(1).schedule(t, [&fired1, &eng] {
+            fired1.push_back(eng.shard(1).now());
+        });
+
+    EXPECT_EQ(eng.run(), RunStatus::Drained);
+    EXPECT_EQ(fired0, (std::vector<Tick>{3, 17, 42}));
+    EXPECT_EQ(fired1, (std::vector<Tick>{5, 25}));
+    EXPECT_EQ(eng.quantaExecuted(), 1u);
+    EXPECT_EQ(eng.totalBarrierStallTicks(), 0u);
+    // Unbounded windows are excluded from the width distribution.
+    EXPECT_EQ(eng.windowTicksDist().total(), 0u);
 }
 
 TEST(ShardedEngineTest, LimitHitStopsBeforeFutureEvents)
@@ -89,18 +117,164 @@ TEST(ShardedEngineTest, AlignClocksBringsAllShardsToGlobalMax)
 
 TEST(ShardedEngineTest, BarrierStallTicksAccrueOnIdleShard)
 {
+    // The fixed-Q baseline keeps the PR 3 cost model: shard 1 has no
+    // events but still executes (and stalls through) every window, and
+    // nothing is ever parked or skipped.
     ShardedEngine eng(2);
+    eng.setLookaheadMode(LookaheadMode::FixedQuantum);
     eng.setLookahead(4);
 
-    // Shard 0 has events across several windows; shard 1 has none, so
-    // it stalls for every tick of every window.
     for (Tick t : {1u, 6u, 11u})
         eng.shard(0).schedule(t, [] {});
 
     EXPECT_EQ(eng.run(), RunStatus::Drained);
     EXPECT_GT(eng.barrierStallTicks(1), 0u);
+    EXPECT_EQ(eng.idleParks(), 0u);
+    EXPECT_EQ(eng.barrierRoundsSkipped(), 0u);
     EXPECT_EQ(eng.totalBarrierStallTicks(),
               eng.barrierStallTicks(0) + eng.barrierStallTicks(1));
+}
+
+/**
+ * Minimal cross-shard port for protocol tests: carries bare arrival
+ * ticks from the source to the destination shard through the same
+ * outbox -> sealed -> import lifecycle the wire channels use, with a
+ * fixed latency contribution and no credit direction.
+ */
+class TickPort : public CrossShardPort
+{
+  public:
+    TickPort(Engine &dst_engine, unsigned src_shard, unsigned dst_shard,
+             Tick latency)
+        : dstEngine_(dst_engine), srcShard_(src_shard),
+          dstShard_(dst_shard), latency_(latency)
+    {
+    }
+
+    /** Called from a source-shard event; arrival must respect latency. */
+    void send(Tick arrival) { outbox_.push_back(arrival); }
+
+    const std::vector<Tick> &delivered() const { return delivered_; }
+
+    unsigned srcShard() const override { return srcShard_; }
+    unsigned dstShard() const override { return dstShard_; }
+    Tick minLatency() const override { return latency_; }
+
+    void
+    sealExports() override
+    {
+        sealed_.insert(sealed_.end(), outbox_.begin(), outbox_.end());
+        outbox_.clear();
+    }
+
+    Tick
+    earliestSealedArrivalAtDst() const override
+    {
+        Tick earliest = kTickNever;
+        for (Tick t : sealed_)
+            earliest = std::min(earliest, t);
+        return earliest;
+    }
+
+    Tick earliestSealedArrivalAtSrc() const override { return kTickNever; }
+
+    void
+    importAtDst() override
+    {
+        for (Tick t : sealed_)
+            dstEngine_.scheduleWireAbs(
+                t, [this] { delivered_.push_back(dstEngine_.now()); });
+        sealed_.clear();
+    }
+
+    void importAtSrc() override {}
+
+    std::size_t
+    pendingExports() const override
+    {
+        return outbox_.size() + sealed_.size();
+    }
+
+  private:
+    Engine &dstEngine_;
+    unsigned srcShard_;
+    unsigned dstShard_;
+    Tick latency_;
+    std::vector<Tick> outbox_;
+    std::vector<Tick> sealed_;
+    std::vector<Tick> delivered_;
+};
+
+TEST(ShardedEngineTest, AdaptiveParksIdleShardInsteadOfStalling)
+{
+    // Same schedule as BarrierStallTicksAccrueOnIdleShard, but under
+    // the adaptive protocol: a cross-shard channel bounds the windows,
+    // yet the workless shard sleeps through every round instead of
+    // spinning at each window tail.
+    ShardedEngine eng(2);
+    TickPort port(eng.shard(1), 0, 1, 4);
+    eng.registerPort(port);
+    eng.setLookahead(4);
+
+    for (Tick t : {1u, 6u, 11u})
+        eng.shard(0).schedule(t, [] {});
+
+    EXPECT_EQ(eng.run(), RunStatus::Drained);
+    EXPECT_EQ(eng.barrierStallTicks(1), 0u);
+    EXPECT_GT(eng.idleParks(), 0u);
+    EXPECT_EQ(eng.barrierRoundsSkipped(), eng.quantaExecuted());
+}
+
+TEST(ShardedEngineTest, AdaptiveWindowNeverNarrowerThanFixedQuantum)
+{
+    // The adaptive bound min_s(N_s + L_s) - 1 can only widen the fixed
+    // window [m, m + Q - 1]: N_s >= m for every shard and L_s >= Q by
+    // definition of Q = min channel latency. Every bounded window must
+    // therefore span at least Q ticks.
+    constexpr Tick kLatency = 10;
+    ShardedEngine eng(2);
+    ASSERT_EQ(eng.lookaheadMode(), LookaheadMode::Adaptive);
+    TickPort port(eng.shard(1), 0, 1, kLatency);
+    eng.registerPort(port);
+    eng.setLookahead(kLatency);
+
+    for (Tick t : {0u, 40u})
+        eng.shard(0).schedule(t, [] {});
+    eng.shard(1).schedule(5, [] {});
+
+    EXPECT_EQ(eng.run(), RunStatus::Drained);
+    // [0,9] with both shards runnable, then [40,49] with shard 1
+    // parked (its bound no longer constrains the window).
+    EXPECT_EQ(eng.quantaExecuted(), 2u);
+    EXPECT_EQ(eng.windowTicksDist().total(), 2u);
+    EXPECT_GE(eng.windowTicksAvg().min(), static_cast<double>(kLatency));
+    EXPECT_EQ(eng.barrierRoundsSkipped(), 1u);
+    EXPECT_EQ(eng.idleParks(), 1u);
+}
+
+TEST(ShardedEngineTest, ParkedShardWakesForSealedArrival)
+{
+    // Shard 1 has no events of its own, so it parks immediately; a
+    // cross-shard message addressed to it must bring it back into the
+    // active set of the window containing the arrival.
+    constexpr Tick kLatency = 7;
+    ShardedEngine eng(2);
+    TickPort port(eng.shard(1), 0, 1, kLatency);
+    eng.registerPort(port);
+    eng.setLookahead(kLatency);
+
+    eng.shard(0).schedule(3, [&] {
+        port.send(eng.shard(0).now() + kLatency);
+    });
+
+    EXPECT_EQ(eng.run(), RunStatus::Drained);
+    EXPECT_EQ(port.delivered(), (std::vector<Tick>{10}));
+    EXPECT_EQ(port.pendingExports(), 0u);
+    // Both rounds ran solo: first shard 0 sending, then shard 1
+    // receiving — no rendezvous was ever needed.
+    EXPECT_EQ(eng.quantaExecuted(), 2u);
+    EXPECT_EQ(eng.barrierRoundsSkipped(), 2u);
+    EXPECT_EQ(eng.idleParks(), 2u);
 }
 
 TEST(ShardedEngineTest, RepeatedRunsAcrossKernelBarriers)

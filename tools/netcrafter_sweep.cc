@@ -23,6 +23,7 @@
 #include "src/exp/result_cache.hh"
 #include "src/exp/scheduler.hh"
 #include "src/gpu/system.hh"
+#include "src/harness/runner.hh"
 #include "src/harness/table.hh"
 #include "src/obs/chrome_trace.hh"
 #include "src/workloads/workload.hh"
@@ -160,6 +161,9 @@ main(int argc, char **argv)
     exp::Scheduler::Options opts;
     opts.progress = true;
     bool timings = false;
+    // --shards overrides the NETCRAFTER_SHARDS environment.
+    if (const char *env = std::getenv("NETCRAFTER_SHARDS"))
+        opts.shards = harness::parseShardsEnv(env);
     // Flags below override the NETCRAFTER_TRACE_* environment.
     opts.trace = obs::TraceOptions::fromEnv();
     bool explicit_level = false;
