@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Serving-saturation performance harness: runs the open-loop serving
+ * scenario (Poisson arrivals, default class mix) at several offered
+ * loads under the baseline and full-NetCrafter configurations, checks
+ * the determinism contract (serial vs 2-shard bit-identity, ordered
+ * percentiles), and reports simulator throughput as machine-readable
+ * JSON.
+ *
+ * The JSON seeds the serving leg of the repo's perf trajectory: each
+ * BENCH_serve.json entry is one (config, load) point with its tail
+ * latencies and host-side cost. Compare "events_per_second" across
+ * commits to track serving-path regressions; the latency percentiles
+ * themselves must stay bit-identical.
+ *
+ * Usage:
+ *   serve_saturation [--out FILE] [--quick] [--scale S]
+ *
+ *   --out FILE   write JSON to FILE (default BENCH_serve.json)
+ *   --quick      two loads instead of four (CI smoke)
+ *   --scale S    extra footprint multiplier on top of NETCRAFTER_SCALE
+ *
+ * Exits non-zero when any point breaks bit-identity across shard
+ * counts or reports unordered percentiles.
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "src/exp/export.hh"
+#include "src/serve/serve_config.hh"
+
+namespace {
+
+using namespace netcrafter;
+
+struct Point
+{
+    std::string config;
+    double load = 0;
+    harness::RunResult serial;
+    double wallSerial = 0;
+    double wallSharded = 0;
+    bool identical = false;
+    bool ordered = false;
+};
+
+double
+seconds(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_serve.json";
+    bool quick = false;
+    double scale = 1.0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--scale" && i + 1 < argc) {
+            scale = std::atof(argv[++i]);
+        } else {
+            std::cerr << "usage: serve_saturation [--out FILE] "
+                         "[--quick] [--scale S]\n";
+            return 1;
+        }
+    }
+
+    serve::ServeConfig sc;
+    sc.enabled = true;
+    sc.arrival = serve::ArrivalKind::Poisson;
+    sc.seed = 1;
+    sc.warmupTicks = 2'000;
+    sc.measureTicks = 8'000;
+
+    const std::vector<double> loads =
+        quick ? std::vector<double>{2, 6}
+              : std::vector<double>{2, 4, 6, 8};
+    const std::vector<std::pair<std::string, config::SystemConfig>>
+        configs = {{"baseline", config::baselineConfig()},
+                   {"netcrafter", bench::fullNetcrafter()}};
+
+    bool all_ok = true;
+    std::vector<Point> points;
+    for (const auto &[label, cfg] : configs) {
+        for (double load : loads) {
+            serve::ServeConfig point_sc = sc;
+            point_sc.offeredLoad = load;
+
+            Point p;
+            p.config = label;
+            p.load = load;
+
+            auto t0 = std::chrono::steady_clock::now();
+            p.serial = harness::runServe(point_sc, cfg, scale, 1);
+            p.wallSerial = seconds(t0);
+
+            t0 = std::chrono::steady_clock::now();
+            const harness::RunResult sharded =
+                harness::runServe(point_sc, cfg, scale, 2);
+            p.wallSharded = seconds(t0);
+
+            p.identical = harness::sameMeasurement(p.serial, sharded);
+            const auto &all = p.serial.serveClasses[3];
+            p.ordered = all.p50 <= all.p99 && all.p99 <= all.p999;
+
+            if (!p.identical)
+                std::cerr << "serve_saturation: " << label << " load "
+                          << load
+                          << " diverged between 1 and 2 shards\n";
+            if (!p.ordered)
+                std::cerr << "serve_saturation: " << label << " load "
+                          << load << " percentiles unordered: p50="
+                          << all.p50 << " p99=" << all.p99 << " p999="
+                          << all.p999 << "\n";
+            all_ok = all_ok && p.identical && p.ordered;
+
+            std::cerr << label << " load " << load << ": p99="
+                      << all.p99 << " xput=" << p.serial.serveThroughput
+                      << " (" << p.wallSerial << "s serial, "
+                      << p.wallSharded << "s 2-shard)\n";
+            points.push_back(std::move(p));
+        }
+    }
+
+    std::ofstream os(out_path);
+    if (!os) {
+        std::cerr << "cannot open " << out_path << " for writing\n";
+        return 1;
+    }
+    unsigned host_cpus = std::thread::hardware_concurrency();
+    if (host_cpus == 0)
+        host_cpus = 1;
+    os.precision(17);
+    os << "{\n";
+    os << "  \"bench\": \"serve_saturation\",\n";
+    os << "  \"arrival\": \"poisson\",\n";
+    os << "  \"mix\": \"" << exp::jsonEscape(sc.mix.toString())
+       << "\",\n";
+    os << "  \"warmup_ticks\": " << sc.warmupTicks << ",\n";
+    os << "  \"measure_ticks\": " << sc.measureTicks << ",\n";
+    os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+    os << "  \"scale\": " << scale << ",\n";
+    os << "  \"env_scale\": " << harness::envScale() << ",\n";
+    os << "  \"host_cpus\": " << host_cpus << ",\n";
+    os << "  \"shard_identical\": " << (all_ok ? "true" : "false")
+       << ",\n";
+    os << "  \"points\": [";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Point &p = points[i];
+        const auto &all = p.serial.serveClasses[3];
+        os << (i ? ",\n    {" : "\n    {");
+        os << "\"config\": \"" << exp::jsonEscape(p.config) << "\", "
+           << "\"offered_load\": " << p.load << ", "
+           << "\"injected\": " << p.serial.serveInjected << ", "
+           << "\"measured\": " << p.serial.serveMeasured << ", "
+           << "\"throughput\": " << p.serial.serveThroughput << ", "
+           << "\"p50\": " << all.p50 << ", "
+           << "\"p99\": " << all.p99 << ", "
+           << "\"p999\": " << all.p999 << ", "
+           << "\"events\": " << p.serial.events << ", "
+           << "\"cycles\": " << p.serial.cycles << ", "
+           << "\"wall_seconds\": " << p.wallSerial << ", "
+           << "\"wall_seconds_2shard\": " << p.wallSharded << ", "
+           << "\"events_per_second\": "
+           << (p.wallSerial > 0
+                   ? static_cast<double>(p.serial.events) / p.wallSerial
+                   : 0.0)
+           << ", "
+           << "\"shard_identical\": "
+           << (p.identical ? "true" : "false") << "}";
+    }
+    os << "\n  ]\n}\n";
+
+    std::cout << "serve_saturation: " << points.size() << " points, "
+              << (all_ok ? "shard-identical and ordered"
+                         : "DETERMINISM VIOLATION")
+              << ", host_cpus=" << host_cpus << " (JSON: " << out_path
+              << ")\n";
+    return all_ok ? 0 : 1;
+}

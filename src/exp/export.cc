@@ -119,6 +119,40 @@ fields()
         NUM_FIELD("trace_records", r.result.traceRecords),
         NUM_FIELD("trace_dropped", r.result.traceDropped),
         NUM_FIELD("sample_rows", r.result.sampleRows),
+        // Open-loop serving measurements (all zero for closed-loop
+        // jobs); latencies in cycles, classes indexed read/write/ptw
+        // with "all" the merged aggregate.
+        NUM_FIELD("offered_load", r.result.offeredLoad),
+        NUM_FIELD("serve_injected", r.result.serveInjected),
+        NUM_FIELD("serve_measured", r.result.serveMeasured),
+        NUM_FIELD("serve_completed", r.result.serveCompleted),
+        NUM_FIELD("serve_peak_inflight", r.result.servePeakInflight),
+        NUM_FIELD("serve_throughput", r.result.serveThroughput),
+        NUM_FIELD("serve_read_measured", r.result.serveClasses[0].measured),
+        NUM_FIELD("serve_read_mean", r.result.serveClasses[0].meanLatency),
+        NUM_FIELD("serve_read_p50", r.result.serveClasses[0].p50),
+        NUM_FIELD("serve_read_p95", r.result.serveClasses[0].p95),
+        NUM_FIELD("serve_read_p99", r.result.serveClasses[0].p99),
+        NUM_FIELD("serve_read_p999", r.result.serveClasses[0].p999),
+        NUM_FIELD("serve_write_measured",
+                  r.result.serveClasses[1].measured),
+        NUM_FIELD("serve_write_mean", r.result.serveClasses[1].meanLatency),
+        NUM_FIELD("serve_write_p50", r.result.serveClasses[1].p50),
+        NUM_FIELD("serve_write_p95", r.result.serveClasses[1].p95),
+        NUM_FIELD("serve_write_p99", r.result.serveClasses[1].p99),
+        NUM_FIELD("serve_write_p999", r.result.serveClasses[1].p999),
+        NUM_FIELD("serve_ptw_measured", r.result.serveClasses[2].measured),
+        NUM_FIELD("serve_ptw_mean", r.result.serveClasses[2].meanLatency),
+        NUM_FIELD("serve_ptw_p50", r.result.serveClasses[2].p50),
+        NUM_FIELD("serve_ptw_p95", r.result.serveClasses[2].p95),
+        NUM_FIELD("serve_ptw_p99", r.result.serveClasses[2].p99),
+        NUM_FIELD("serve_ptw_p999", r.result.serveClasses[2].p999),
+        NUM_FIELD("serve_all_measured", r.result.serveClasses[3].measured),
+        NUM_FIELD("serve_all_mean", r.result.serveClasses[3].meanLatency),
+        NUM_FIELD("serve_all_p50", r.result.serveClasses[3].p50),
+        NUM_FIELD("serve_all_p95", r.result.serveClasses[3].p95),
+        NUM_FIELD("serve_all_p99", r.result.serveClasses[3].p99),
+        NUM_FIELD("serve_all_p999", r.result.serveClasses[3].p999),
     };
     return defs;
 }

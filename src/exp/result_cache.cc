@@ -5,7 +5,8 @@ namespace netcrafter::exp {
 CacheKey
 keyOf(const Job &job)
 {
-    return CacheKey{job.workload, job.config.digest(), job.scale};
+    return CacheKey{job.workload, job.config.digest(), job.scale,
+                    job.serve.digest()};
 }
 
 harness::RunResult

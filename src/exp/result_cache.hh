@@ -34,18 +34,27 @@ struct CacheKey
     std::uint64_t configDigest = 0;
     double scale = 1.0;
 
+    /**
+     * Digest of the serving scenario; 0 for closed-loop jobs, so
+     * pre-serving cache keys are unchanged. Like configDigest it
+     * captures what is simulated (arrival process, load, mix, phases,
+     * seed) and still excludes how (the shard count).
+     */
+    std::uint64_t serveDigest = 0;
+
     bool
     operator<(const CacheKey &o) const
     {
-        return std::tie(workload, configDigest, scale) <
-               std::tie(o.workload, o.configDigest, o.scale);
+        return std::tie(workload, configDigest, scale, serveDigest) <
+               std::tie(o.workload, o.configDigest, o.scale,
+                        o.serveDigest);
     }
 
     bool
     operator==(const CacheKey &o) const
     {
         return workload == o.workload && configDigest == o.configDigest &&
-               scale == o.scale;
+               scale == o.scale && serveDigest == o.serveDigest;
     }
 };
 

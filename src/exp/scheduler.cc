@@ -48,6 +48,14 @@ Scheduler::runJob(const Job &job, JobTiming &timing)
     // With tracing requested the explicit options override the
     // NETCRAFTER_TRACE_* environment the 4-argument overload consults.
     auto simulate = [&] {
+        if (job.serve.enabled) {
+            return opts_.trace.enabled()
+                       ? harness::runServe(job.serve, job.config,
+                                           job.scale, shards_,
+                                           opts_.trace)
+                       : harness::runServe(job.serve, job.config,
+                                           job.scale, shards_);
+        }
         return opts_.trace.enabled()
                    ? harness::runWorkload(job.workload, job.config,
                                           job.scale, shards_,

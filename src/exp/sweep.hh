@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/config/system_config.hh"
+#include "src/serve/serve_config.hh"
 
 namespace netcrafter::exp {
 
@@ -25,13 +26,23 @@ struct Job
     /** Unique name within the sweep, e.g. "ideal/GUPS". */
     std::string name;
 
-    /** Table 3 abbreviation or "GEMM". */
+    /**
+     * Table 3 abbreviation or "GEMM" for closed-loop jobs; ignored
+     * (and conventionally "serve-<arrival>") when serve.enabled.
+     */
     std::string workload;
 
     config::SystemConfig config;
 
     /** Extra problem-size multiplier on top of envScale(). */
     double scale = 1.0;
+
+    /**
+     * Open-loop serving scenario. When enabled the scheduler runs
+     * harness::runServe instead of runWorkload, and the serve digest
+     * becomes part of the job's cache identity.
+     */
+    serve::ServeConfig serve;
 };
 
 /** A named configuration used when building grids. */

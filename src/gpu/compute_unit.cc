@@ -10,7 +10,7 @@ ComputeUnit::ComputeUnit(sim::Engine &engine, std::string name,
                          const CuParams &params,
                          mem::L1Cache::FillFn fill,
                          vm::Tlb::MissHandler tlb_miss,
-                         std::function<void()> wave_done)
+                         std::function<void(const WaveDesc &)> wave_done)
     : SimObject(engine, std::move(name)), params_(params),
       waveDone_(std::move(wave_done))
 {
@@ -158,9 +158,12 @@ ComputeUnit::retireWave(WaveState *wave)
 {
     for (auto it = waves_.begin(); it != waves_.end(); ++it) {
         if (&*it == wave) {
+            // Copy out the descriptor before erasing: the callback
+            // needs it (serve retirement) and the state dies here.
+            const WaveDesc desc = it->desc;
             waves_.erase(it);
             if (waveDone_)
-                waveDone_();
+                waveDone_(desc);
             return;
         }
     }

@@ -34,6 +34,12 @@ struct WaveDesc
 
     /** Seed from which the wavefront's private rng stream derives. */
     std::uint64_t seed = 0;
+
+    /**
+     * Serving-request id + 1 when this wave is an open-loop request
+     * (see serve/session.hh); 0 for ordinary closed-loop kernel waves.
+     */
+    std::uint64_t serveTag = 0;
 };
 
 /** Static configuration of one CU. */
@@ -52,13 +58,14 @@ class ComputeUnit : public sim::SimObject
     /**
      * @param fill L1 miss path (to local L2 or remote GPU).
      * @param tlb_miss L1 TLB miss path (to the shared L2 TLB).
-     * @param wave_done called whenever a resident wavefront retires,
-     *        letting the dispatcher refill the slot.
+     * @param wave_done called whenever a resident wavefront retires
+     *        (with that wave's descriptor), letting the dispatcher
+     *        refill the slot and the serving layer close requests.
      */
     ComputeUnit(sim::Engine &engine, std::string name,
                 const CuParams &params, mem::L1Cache::FillFn fill,
                 vm::Tlb::MissHandler tlb_miss,
-                std::function<void()> wave_done);
+                std::function<void(const WaveDesc &)> wave_done);
 
     /** True when another wavefront can be made resident. */
     bool
@@ -118,7 +125,7 @@ class ComputeUnit : public sim::SimObject
     CuParams params_;
     std::unique_ptr<mem::L1Cache> l1_;
     std::unique_ptr<vm::Tlb> l1Tlb_;
-    std::function<void()> waveDone_;
+    std::function<void(const WaveDesc &)> waveDone_;
 
     std::list<WaveState> waves_;
     std::deque<PendingLine> dispatchQueue_;

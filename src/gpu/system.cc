@@ -135,7 +135,11 @@ MultiGpuSystem::buildChips()
                 [this, g](Addr vpn, vm::Tlb::Callback done) {
                     chips_[g].l2Tlb->access(vpn, std::move(done));
                 },
-                [this, g] { refillCus(g); }));
+                [this, g](const WaveDesc &desc) {
+                    if (waveRetireHook_)
+                        waveRetireHook_(g, desc);
+                    refillCus(g);
+                }));
         }
 
         network_->rdma(g).setRequestHandler(
@@ -395,6 +399,15 @@ MultiGpuSystem::dispatchKernel(const workloads::Kernel &kernel,
     }
     for (GpuId g = 0; g < cfg_.numGpus(); ++g)
         refillCus(g);
+}
+
+void
+MultiGpuSystem::dispatchServeWave(GpuId g, const WaveDesc &desc)
+{
+    NC_ASSERT(g < cfg_.numGpus(), "serve wave for bad GPU ", g);
+    NC_ASSERT(desc.serveTag != 0, "serve wave without a serve tag");
+    chips_[g].pendingWaves.push_back(desc);
+    refillCus(g);
 }
 
 void

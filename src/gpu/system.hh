@@ -140,6 +140,33 @@ class MultiGpuSystem : public workloads::PlacementDirectory
     /** Shard 0's engine (the only shard when running serially). */
     sim::Engine &engine() { return engine_.shard(0); }
 
+    /**
+     * The engine of @p g's cluster's shard. Events that touch GPU
+     * @p g's state (serve arrivals, for one) must be scheduled here so
+     * sharded execution stays race-free and bit-identical.
+     */
+    sim::Engine &engineFor(GpuId g) { return engineOf(g); }
+
+    // Serving -----------------------------------------------------------
+    /**
+     * Queue one serving-request wavefront on @p g. Must be called from
+     * @p g's shard (an event on engineFor(g)) or outside a run; the
+     * wave's serveTag must be non-zero so its retirement reaches the
+     * retire hook.
+     */
+    void dispatchServeWave(GpuId g, const WaveDesc &desc);
+
+    /**
+     * Install @p hook, called as hook(gpu, desc) on the GPU's shard
+     * whenever one of its wavefronts retires. The serving session uses
+     * this to close requests; pass nullptr to remove.
+     */
+    void
+    setWaveRetireHook(std::function<void(GpuId, const WaveDesc &)> hook)
+    {
+        waveRetireHook_ = std::move(hook);
+    }
+
     /** Shards executing this system (1 = classic serial simulation). */
     unsigned numShards() const { return engine_.numShards(); }
 
@@ -251,6 +278,13 @@ class MultiGpuSystem : public workloads::PlacementDirectory
     std::unique_ptr<noc::Network> network_;
     std::vector<GpuChip> chips_;
     std::vector<GpuLocal> gpuLocal_;
+
+    /**
+     * Invoked (from the retiring GPU's shard) on every wavefront
+     * retirement. Set once before a run and cleared after it, never
+     * mutated while shards execute.
+     */
+    std::function<void(GpuId, const WaveDesc &)> waveRetireHook_;
 };
 
 } // namespace netcrafter::gpu

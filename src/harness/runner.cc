@@ -10,6 +10,7 @@
 
 #include "src/gpu/system.hh"
 #include "src/obs/chrome_trace.hh"
+#include "src/serve/session.hh"
 #include "src/obs/interval_sampler.hh"
 #include "src/obs/lifecycle.hh"
 #include "src/obs/trace_buffer.hh"
@@ -35,30 +36,14 @@ traceFileBase(const obs::TraceOptions &trace,
     return base.str();
 }
 
-} // namespace
-
-RunResult
-runWorkload(const std::string &workload_name,
-            const config::SystemConfig &cfg, double scale,
-            unsigned shards)
+/**
+ * Fill every system-derived field of @p r — the measurement and
+ * diagnostic census shared by workload and serving runs.
+ */
+void
+collectSystemStats(RunResult &r, gpu::MultiGpuSystem &system,
+                   const config::SystemConfig &cfg)
 {
-    return runWorkload(workload_name, cfg, scale, shards,
-                       obs::TraceOptions::fromEnv());
-}
-
-RunResult
-runWorkload(const std::string &workload_name,
-            const config::SystemConfig &cfg, double scale,
-            unsigned shards, const obs::TraceOptions &trace)
-{
-    const auto t_start = std::chrono::steady_clock::now();
-
-    auto workload = workloads::makeWorkload(workload_name);
-    gpu::MultiGpuSystem system(cfg, shards, trace);
-    system.run(*workload, scale * envScale());
-
-    RunResult r;
-    r.workload = workload_name;
     r.cycles = system.cycles();
     r.events = system.engines().eventsExecuted();
     r.instructions = system.totalInstructions();
@@ -133,7 +118,15 @@ runWorkload(const std::string &workload_name,
     r.flitPoolHighWater = flit_pool.highWater();
     r.poolArenaBytes = packet_pool.arenaBytes() + flit_pool.arenaBytes();
     r.smallFnHeapAllocs = sim::SmallFn::heapAllocations();
+}
 
+/** Write the per-run trace artifacts and fill the trace census. */
+void
+exportTraceArtifacts(RunResult &r, gpu::MultiGpuSystem &system,
+                     const obs::TraceOptions &trace,
+                     const std::string &name,
+                     const config::SystemConfig &cfg, double scale)
+{
     if (system.traceSink() != nullptr) {
         const obs::TraceSink &sink = *system.traceSink();
         const std::vector<obs::TraceRecord> merged = sink.merged();
@@ -150,7 +143,7 @@ runWorkload(const std::string &workload_name,
         if (!trace.outDir.empty()) {
             std::filesystem::create_directories(trace.outDir);
             const std::string base = traceFileBase(
-                trace, workload_name, cfg, scale, system.numShards());
+                trace, name, cfg, scale, system.numShards());
             {
                 std::ofstream os(base + ".trace.json");
                 obs::writeSimChromeTrace(merged, sink.laneNames(), os);
@@ -176,7 +169,13 @@ runWorkload(const std::string &workload_name,
             }
         }
     }
+}
 
+/** Stamp the host wall-clock diagnostics. */
+void
+finishTiming(RunResult &r,
+             std::chrono::steady_clock::time_point t_start)
+{
     const auto t_end = std::chrono::steady_clock::now();
     r.wallSeconds =
         std::chrono::duration<double>(t_end - t_start).count();
@@ -184,6 +183,91 @@ runWorkload(const std::string &workload_name,
         r.eventsPerSecond =
             static_cast<double>(r.events) / r.wallSeconds;
     }
+}
+
+} // namespace
+
+RunResult
+runWorkload(const std::string &workload_name,
+            const config::SystemConfig &cfg, double scale,
+            unsigned shards)
+{
+    return runWorkload(workload_name, cfg, scale, shards,
+                       obs::TraceOptions::fromEnv());
+}
+
+RunResult
+runWorkload(const std::string &workload_name,
+            const config::SystemConfig &cfg, double scale,
+            unsigned shards, const obs::TraceOptions &trace)
+{
+    const auto t_start = std::chrono::steady_clock::now();
+
+    auto workload = workloads::makeWorkload(workload_name);
+    gpu::MultiGpuSystem system(cfg, shards, trace);
+    system.run(*workload, scale * envScale());
+
+    RunResult r;
+    r.workload = workload_name;
+    collectSystemStats(r, system, cfg);
+    exportTraceArtifacts(r, system, trace, workload_name, cfg, scale);
+    finishTiming(r, t_start);
+    return r;
+}
+
+RunResult
+runServe(const serve::ServeConfig &serve,
+         const config::SystemConfig &cfg, double scale,
+         unsigned shards)
+{
+    return runServe(serve, cfg, scale, shards,
+                    obs::TraceOptions::fromEnv());
+}
+
+RunResult
+runServe(const serve::ServeConfig &serve,
+         const config::SystemConfig &cfg, double scale,
+         unsigned shards, const obs::TraceOptions &trace)
+{
+    NC_ASSERT(serve.enabled, "runServe with serving disabled");
+    const auto t_start = std::chrono::steady_clock::now();
+
+    gpu::MultiGpuSystem system(cfg, shards, trace);
+    serve::ServeSession session(system, serve, scale * envScale());
+    const serve::ServeReport report = session.run();
+    if (report.status != sim::RunStatus::Drained) {
+        NC_FATAL("serving run (", serve.toString(),
+                 ") exceeded the cycle limit - the offered load is "
+                 "beyond saturation or the limit is undersized");
+    }
+
+    RunResult r;
+    r.workload =
+        std::string("serve-") + serve::arrivalKindName(serve.arrival);
+    collectSystemStats(r, system, cfg);
+
+    r.offeredLoad = serve.offeredLoad;
+    r.serveInjected = report.injected;
+    r.serveMeasured = report.measured;
+    r.serveCompleted = report.completed;
+    r.servePeakInflight = report.peakInflight;
+    r.serveThroughput = report.throughput;
+    auto toResult = [](const serve::ClassLatency &c) {
+        ServeClassResult out;
+        out.measured = c.measured;
+        out.meanLatency = c.meanLatency;
+        out.p50 = c.p50;
+        out.p95 = c.p95;
+        out.p99 = c.p99;
+        out.p999 = c.p999;
+        return out;
+    };
+    for (std::size_t c = 0; c < serve::kNumTrafficClasses; ++c)
+        r.serveClasses[c] = toResult(report.perClass[c]);
+    r.serveClasses[3] = toResult(report.aggregate);
+
+    exportTraceArtifacts(r, system, trace, r.workload, cfg, scale);
+    finishTiming(r, t_start);
     return r;
 }
 
@@ -227,6 +311,68 @@ parseShardsEnv(const char *text)
 }
 
 double
+parseServeLoadEnv(const char *text)
+{
+    char *end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (end == text || *end != '\0' || !std::isfinite(v) || v <= 0) {
+        NC_FATAL("NETCRAFTER_SERVE_LOAD must be a positive finite "
+                 "requests-per-kilocycle rate, got '", text, "'");
+    }
+    return v;
+}
+
+Tick
+parseServeTicksEnv(const char *text, const char *var)
+{
+    char *end = nullptr;
+    const long long v = std::strtoll(text, &end, 10);
+    if (end == text || *end != '\0' || v < 1) {
+        NC_FATAL(var, " must be a positive tick count, got '", text,
+                 "'");
+    }
+    return static_cast<Tick>(v);
+}
+
+std::uint64_t
+parseServeSeedEnv(const char *text)
+{
+    // strtoull silently wraps negatives, so reject a leading '-'
+    // explicitly.
+    if (text[0] == '-')
+        NC_FATAL("NETCRAFTER_SERVE_SEED must be a non-negative "
+                 "integer, got '", text, "'");
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0') {
+        NC_FATAL("NETCRAFTER_SERVE_SEED must be a non-negative "
+                 "integer, got '", text, "'");
+    }
+    return static_cast<std::uint64_t>(v);
+}
+
+void
+applyServeEnv(serve::ServeConfig &serve)
+{
+    if (const char *env = std::getenv("NETCRAFTER_SERVE_LOAD"))
+        serve.offeredLoad = parseServeLoadEnv(env);
+    if (const char *env = std::getenv("NETCRAFTER_SERVE_ARRIVAL"))
+        serve.arrival = serve::parseArrivalKind(env);
+    if (const char *env = std::getenv("NETCRAFTER_SERVE_MIX"))
+        serve.mix = serve::parseClassMix(env);
+    if (const char *env = std::getenv("NETCRAFTER_SERVE_WARMUP")) {
+        serve.warmupTicks =
+            parseServeTicksEnv(env, "NETCRAFTER_SERVE_WARMUP");
+    }
+    if (const char *env = std::getenv("NETCRAFTER_SERVE_MEASURE")) {
+        serve.measureTicks =
+            parseServeTicksEnv(env, "NETCRAFTER_SERVE_MEASURE");
+    }
+    if (const char *env = std::getenv("NETCRAFTER_SERVE_SEED"))
+        serve.seed = parseServeSeedEnv(env);
+}
+
+double
 envScale()
 {
     // The getenv lookup and validation run once; every runWorkload call
@@ -263,8 +409,15 @@ sameMeasurement(const RunResult &a, const RunResult &b)
            a.remoteReads == b.remoteReads &&
            a.localReads == b.localReads && a.pageWalks == b.pageWalks &&
            a.meanWalkLength == b.meanWalkLength &&
-           a.bytesNeededFrac == b.bytesNeededFrac;
-    // Everything below the bytesNeededFrac field in RunResult is a
+           a.bytesNeededFrac == b.bytesNeededFrac &&
+           a.offeredLoad == b.offeredLoad &&
+           a.serveInjected == b.serveInjected &&
+           a.serveMeasured == b.serveMeasured &&
+           a.serveCompleted == b.serveCompleted &&
+           a.servePeakInflight == b.servePeakInflight &&
+           a.serveThroughput == b.serveThroughput &&
+           a.serveClasses == b.serveClasses;
+    // Everything below the serveClasses field in RunResult is a
     // diagnostic of how the simulator executed, not what it simulated:
     // wall-clock rates, the sharded-execution census, and queue/pool
     // gauges whose per-shard splits depend on the shard count. A

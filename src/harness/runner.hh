@@ -15,9 +15,28 @@
 
 #include "src/config/system_config.hh"
 #include "src/obs/trace.hh"
+#include "src/serve/serve_config.hh"
 #include "src/sim/types.hh"
 
 namespace netcrafter::harness {
+
+/**
+ * Per-class latency summary of an open-loop serving run (all zero for
+ * closed-loop runs). Percentiles are in cycles, from the mergeable
+ * quantile sketch — identical for every shard count.
+ */
+struct ServeClassResult
+{
+    std::uint64_t measured = 0;
+    double meanLatency = 0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p95 = 0;
+    std::uint64_t p99 = 0;
+    std::uint64_t p999 = 0;
+
+    friend bool operator==(const ServeClassResult &,
+                           const ServeClassResult &) = default;
+};
 
 /** Everything measured in one simulation run. */
 struct RunResult
@@ -66,6 +85,24 @@ struct RunResult
     /** Bytes-needed census of inter-cluster reads:
      *  <=16 / <=32 / <=48 / <64 / 64 fractions (Figure 7). */
     std::array<double, 5> bytesNeededFrac{};
+
+    // Open-loop serving (all zero for closed-loop runs) -----------------
+    /** Offered load in requests per kilocycle (0 = closed-loop run). */
+    double offeredLoad = 0;
+
+    /** Requests injected / arrived-in-window / retired. */
+    std::uint64_t serveInjected = 0;
+    std::uint64_t serveMeasured = 0;
+    std::uint64_t serveCompleted = 0;
+
+    /** Peak simultaneously in-flight requests on any single GPU. */
+    std::uint64_t servePeakInflight = 0;
+
+    /** Measured completions per kilocycle (saturation-curve y-axis). */
+    double serveThroughput = 0;
+
+    /** Latency summaries: read, write, ptw, then the aggregate. */
+    std::array<ServeClassResult, 4> serveClasses{};
 
     /** Host seconds the simulation took (diagnostics only). */
     double wallSeconds = 0;
@@ -175,6 +212,22 @@ RunResult runWorkload(const std::string &workload_name,
                       const config::SystemConfig &cfg, double scale,
                       unsigned shards, const obs::TraceOptions &trace);
 
+/**
+ * Run one open-loop serving scenario (@p serve must be enabled) on a
+ * system built from @p cfg and fill the serve_* fields alongside every
+ * ordinary measurement. The result's workload name is
+ * "serve-<arrival>". Like runWorkload, all measured fields are
+ * identical for every shard count.
+ */
+RunResult runServe(const serve::ServeConfig &serve,
+                   const config::SystemConfig &cfg, double scale = 1.0,
+                   unsigned shards = 1);
+
+/** As above with explicit trace options (see the runWorkload overload). */
+RunResult runServe(const serve::ServeConfig &serve,
+                   const config::SystemConfig &cfg, double scale,
+                   unsigned shards, const obs::TraceOptions &trace);
+
 /** Geometric mean of a sequence of positive ratios. */
 double geomean(const std::vector<double> &xs);
 
@@ -196,6 +249,33 @@ double parseScaleEnv(const char *text);
  * every "parallel" benchmark lie.
  */
 unsigned parseShardsEnv(const char *text);
+
+/**
+ * Parse one NETCRAFTER_SERVE_LOAD value: offered load in requests per
+ * kilocycle, a positive finite number. Zero, negatives, and garbage
+ * are fatal.
+ */
+double parseServeLoadEnv(const char *text);
+
+/**
+ * Parse one NETCRAFTER_SERVE_WARMUP / NETCRAFTER_SERVE_MEASURE value
+ * (@p var names the variable for the error message): a positive tick
+ * count. Zero, negatives, and garbage are fatal.
+ */
+Tick parseServeTicksEnv(const char *text, const char *var);
+
+/** Parse one NETCRAFTER_SERVE_SEED value: a non-negative integer. */
+std::uint64_t parseServeSeedEnv(const char *text);
+
+/**
+ * Overlay the NETCRAFTER_SERVE_* environment onto @p serve:
+ * _LOAD (requests/kilocycle), _ARRIVAL (poisson|uniform|bursty),
+ * _MIX (read:write:ptw weights), _WARMUP / _MEASURE (ticks), and
+ * _SEED. Unset variables leave the corresponding field untouched;
+ * invalid values are fatal. Does not flip serve.enabled — the caller
+ * (a --serve flag, a bench) decides whether serving runs at all.
+ */
+void applyServeEnv(serve::ServeConfig &serve);
 
 /**
  * True when @p a and @p b report identical measurements — every field

@@ -44,6 +44,8 @@ foldLifecycle(const std::vector<TraceRecord> &records, stats::Registry &reg)
         "obs.requestRoundTripCycles", latencyBounds());
     stats::Distribution &rsp_flight = reg.distribution(
         "obs.responseFlightCycles", latencyBounds());
+    stats::Distribution &serve_latency = reg.distribution(
+        "obs.serveLatencyCycles", latencyBounds());
 
     // In-flight state keyed by shard-invariant fields only, so the fold
     // is identical whatever the shard count was.
@@ -98,6 +100,11 @@ foldLifecycle(const std::vector<TraceRecord> &records, stats::Registry &reg)
             rsp_flight.sample(static_cast<double>(rec.a));
             break;
           }
+          case TraceStage::ServeRetire:
+            // The serving session stashes the request's end-to-end
+            // latency (clamped to 32 bits) in `b`.
+            serve_latency.sample(static_cast<double>(rec.b));
+            break;
           default:
             break;
         }

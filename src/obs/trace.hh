@@ -69,10 +69,12 @@ enum class TraceStage : std::uint8_t {
     CtrlEject,
     CtrlStitch,
     CtrlTrim,
+    ServeArrive,
+    ServeRetire,
 };
 
 /** Number of TraceStage values (for tables indexed by stage). */
-inline constexpr std::size_t kNumTraceStages = 20;
+inline constexpr std::size_t kNumTraceStages = 22;
 
 /** Stable lower-case name for a stage ("wireDepart", "walkStart", ...). */
 const char *traceStageName(TraceStage stage);

@@ -31,6 +31,8 @@ traceStageName(TraceStage stage)
       case TraceStage::CtrlEject: return "ctrlEject";
       case TraceStage::CtrlStitch: return "ctrlStitch";
       case TraceStage::CtrlTrim: return "ctrlTrim";
+      case TraceStage::ServeArrive: return "serveArrive";
+      case TraceStage::ServeRetire: return "serveRetire";
     }
     return "(invalid)";
 }

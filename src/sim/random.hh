@@ -90,6 +90,50 @@ class Pcg32
     std::uint64_t inc_;
 };
 
+/**
+ * Counter-based random draws: every value is a pure function of
+ * (seed, stream, counter), with no generator state at all. Open-loop
+ * request streams use this so that draw n of stream s is the same
+ * number no matter which engine shard or sweep-scheduler thread
+ * evaluates it — the determinism argument reduces to "the inputs are
+ * the same", not "the hidden state happened to be the same".
+ *
+ * The mix is SplitMix64's finalizer over the three inputs combined
+ * with distinct odd constants; SplitMix64 passes BigCrush and the
+ * finalizer is a bijection, so distinct (seed, stream, counter)
+ * triples cannot collide more often than a random function would.
+ */
+struct CounterRng
+{
+    /** SplitMix64 finalizer: bijective 64-bit avalanche mix. */
+    static std::uint64_t
+    mix64(std::uint64_t x)
+    {
+        x += 0x9e3779b97f4a7c15ull;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return x ^ (x >> 31);
+    }
+
+    /** The raw 64-bit draw for (seed, stream, counter). */
+    static std::uint64_t
+    draw(std::uint64_t seed, std::uint64_t stream, std::uint64_t counter)
+    {
+        return mix64(mix64(seed ^ 0xd1b54a32d192ed03ull) +
+                     mix64(stream * 0x2545f4914f6cdd1dull) +
+                     counter * 0x9e3779b97f4a7c15ull);
+    }
+
+    /** Uniform double in [0, 1) from the top 53 bits of the draw. */
+    static double
+    uniform(std::uint64_t seed, std::uint64_t stream,
+            std::uint64_t counter)
+    {
+        return static_cast<double>(draw(seed, stream, counter) >> 11) *
+               (1.0 / 9007199254740992.0); // 2^-53
+    }
+};
+
 } // namespace netcrafter
 
 #endif // NETCRAFTER_SIM_RANDOM_HH

@@ -1,0 +1,121 @@
+#include "src/stats/quantile.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "src/sim/logging.hh"
+
+namespace netcrafter::stats {
+
+namespace {
+
+/** log2(kLinearMax): exponent of the first log-bucketed octave. */
+constexpr std::uint32_t kLinearBits = 7;
+
+/** log2(kSubBuckets). */
+constexpr std::uint32_t kSubBits = 6;
+
+} // namespace
+
+std::uint32_t
+QuantileSketch::numBuckets()
+{
+    // Linear region + kSubBuckets per octave for exponents
+    // [kLinearBits, kMaxExponent).
+    return kLinearMax + (kMaxExponent - kLinearBits) * kSubBuckets;
+}
+
+QuantileSketch::QuantileSketch() : counts_(numBuckets(), 0) {}
+
+std::uint32_t
+QuantileSketch::bucketIndex(std::uint64_t value)
+{
+    if (value < kLinearMax)
+        return static_cast<std::uint32_t>(value);
+    // value in [2^exp, 2^(exp+1)); the top kSubBits bits below the
+    // leading one select the sub-bucket.
+    std::uint32_t exp = 63 - static_cast<std::uint32_t>(
+                                 std::countl_zero(value));
+    if (exp >= kMaxExponent)
+        exp = kMaxExponent - 1; // clamp absurd samples to the top octave
+    const std::uint32_t sub = static_cast<std::uint32_t>(
+        (value >> (exp - kSubBits)) & (kSubBuckets - 1));
+    return kLinearMax + (exp - kLinearBits) * kSubBuckets + sub;
+}
+
+std::uint64_t
+QuantileSketch::bucketUpperBound(std::uint32_t index)
+{
+    if (index < kLinearMax)
+        return index;
+    const std::uint32_t rel = index - kLinearMax;
+    const std::uint32_t exp = kLinearBits + rel / kSubBuckets;
+    const std::uint32_t sub = rel % kSubBuckets;
+    const std::uint64_t base = 1ull << exp;
+    const std::uint64_t width = base >> kSubBits;
+    return base + (static_cast<std::uint64_t>(sub) + 1) * width - 1;
+}
+
+void
+QuantileSketch::record(std::uint64_t value)
+{
+    ++counts_[bucketIndex(value)];
+    sum_ += value;
+    min_ = count_ == 0 ? value : std::min(min_, value);
+    max_ = count_ == 0 ? value : std::max(max_, value);
+    ++count_;
+}
+
+double
+QuantileSketch::mean() const
+{
+    return count_ ? static_cast<double>(sum_) /
+                        static_cast<double>(count_)
+                  : 0.0;
+}
+
+std::uint64_t
+QuantileSketch::quantile(double q) const
+{
+    NC_ASSERT(q >= 0.0 && q <= 1.0, "quantile q out of [0,1]: ", q);
+    if (count_ == 0)
+        return 0;
+    // Rank of the requested quantile, 1-based: the smallest rank r
+    // such that at least a fraction q of the samples are <= sample r.
+    const auto rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(q * static_cast<double>(count_))));
+    std::uint64_t seen = 0;
+    for (std::uint32_t i = 0; i < counts_.size(); ++i) {
+        seen += counts_[i];
+        if (seen >= rank)
+            return bucketUpperBound(i);
+    }
+    return max_; // unreachable: seen == count_ >= rank at the end
+}
+
+void
+QuantileSketch::merge(const QuantileSketch &other)
+{
+    if (other.count_ == 0)
+        return;
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    sum_ += other.sum_;
+    min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+    max_ = count_ == 0 ? other.max_ : std::max(max_, other.max_);
+    count_ += other.count_;
+}
+
+void
+QuantileSketch::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    count_ = 0;
+    sum_ = 0;
+    min_ = 0;
+    max_ = 0;
+}
+
+} // namespace netcrafter::stats

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Streaming quantile estimation for SLO-grade latency percentiles
+ * (p50/p95/p99/p999). The sketch is an HdrHistogram-style log-bucketed
+ * histogram over non-negative values: exact for values below 128 and
+ * within one part in 64 (<1.6% relative error, always rounding *up*)
+ * above, with a fixed bucket layout so two sketches merge by
+ * element-wise count addition.
+ *
+ * Why this estimator and not P^2 / t-digest: merges must be exact and
+ * order-independent. The sharded engine partitions GPUs across threads
+ * and the serving subsystem records each request's latency on its home
+ * shard; percentiles reported after a run must be bit-identical for
+ * every shard count. Integer bucket counts merge associatively and
+ * commutatively, so a quantile computed from the merged counts cannot
+ * depend on which shard (or merge order) recorded what. Interpolating
+ * sketches cannot make that guarantee.
+ */
+
+#ifndef NETCRAFTER_STATS_QUANTILE_HH
+#define NETCRAFTER_STATS_QUANTILE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace netcrafter::stats {
+
+/**
+ * Fixed-layout log-bucketed quantile sketch for values in
+ * [0, 2^48). Values are recorded as unsigned integers (latencies in
+ * ticks); quantile() returns the inclusive upper bound of the bucket
+ * holding the requested rank, so estimates never understate a latency
+ * and are monotone in q by construction.
+ */
+class QuantileSketch
+{
+  public:
+    /** Values below this are their own bucket (exact). */
+    static constexpr std::uint64_t kLinearMax = 128;
+
+    /** Sub-buckets per power-of-two octave above kLinearMax. */
+    static constexpr std::uint32_t kSubBuckets = 64;
+
+    /** Highest representable exponent; larger samples clamp. */
+    static constexpr std::uint32_t kMaxExponent = 48;
+
+    QuantileSketch();
+
+    /** Record one sample (a latency in ticks). */
+    void record(std::uint64_t value);
+
+    /** Samples recorded. */
+    std::uint64_t count() const { return count_; }
+
+    /** Exact arithmetic mean of the recorded samples (0 when empty). */
+    double mean() const;
+
+    /** Smallest / largest recorded sample (0 when empty). */
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return count_ ? max_ : 0; }
+
+    /**
+     * The q-quantile (q in [0, 1]) as the upper bound of the bucket
+     * containing rank ceil(q * count): at least q of the samples are
+     * <= the returned value. 0 when empty.
+     */
+    std::uint64_t quantile(double q) const;
+
+    /**
+     * Fold @p other into this sketch. Exact: counts add bucket-wise,
+     * so merge order can never change a quantile. The running sum
+     * behind mean() is an integer too, so even the mean is
+     * merge-order-invariant.
+     */
+    void merge(const QuantileSketch &other);
+
+    void reset();
+
+    /** Index of the bucket @p value lands in (exposed for tests). */
+    static std::uint32_t bucketIndex(std::uint64_t value);
+
+    /** Inclusive upper bound of bucket @p index (exposed for tests). */
+    static std::uint64_t bucketUpperBound(std::uint32_t index);
+
+    /** Total buckets in the fixed layout. */
+    static std::uint32_t numBuckets();
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t count_ = 0;
+
+    /** Integer sum of samples; exact for > 2^16 samples of 2^48. */
+    unsigned __int128 sum_ = 0;
+
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+} // namespace netcrafter::stats
+
+#endif // NETCRAFTER_STATS_QUANTILE_HH

@@ -34,12 +34,61 @@ TEST(CacheKey, OrderingAndEquality)
 
 TEST(CacheKey, KeyOfUsesConfigDigest)
 {
-    Job a{"j1", "GUPS", config::baselineConfig(), 1.0};
-    Job b{"j2", "GUPS", config::baselineConfig(), 1.0};
+    Job a{"j1", "GUPS", config::baselineConfig(), 1.0, {}};
+    Job b{"j2", "GUPS", config::baselineConfig(), 1.0, {}};
     EXPECT_TRUE(keyOf(a) == keyOf(b));
 
     b.config.interClusterGBps = 32.0;
     EXPECT_FALSE(keyOf(a) == keyOf(b));
+}
+
+TEST(CacheKey, ServeScenarioIsPartOfTheKey)
+{
+    Job a{"j1", "serve-poisson", config::baselineConfig(), 1.0, {}};
+    a.serve.enabled = true;
+    Job b = a;
+    b.name = "j2";
+    EXPECT_TRUE(keyOf(a) == keyOf(b));
+    EXPECT_NE(keyOf(a).serveDigest, 0u);
+
+    // Every serving knob must feed the digest: two jobs differing in
+    // any of them are distinct simulation points.
+    b = a;
+    b.serve.offeredLoad = a.serve.offeredLoad * 2;
+    EXPECT_FALSE(keyOf(a) == keyOf(b));
+
+    b = a;
+    b.serve.arrival = serve::ArrivalKind::Bursty;
+    EXPECT_FALSE(keyOf(a) == keyOf(b));
+
+    b = a;
+    b.serve.mix.weight[0] += 0.1;
+    EXPECT_FALSE(keyOf(a) == keyOf(b));
+
+    b = a;
+    b.serve.seed += 1;
+    EXPECT_FALSE(keyOf(a) == keyOf(b));
+
+    b = a;
+    b.serve.warmupTicks += 1;
+    EXPECT_FALSE(keyOf(a) == keyOf(b));
+
+    b = a;
+    b.serve.measureTicks += 1;
+    EXPECT_FALSE(keyOf(a) == keyOf(b));
+}
+
+TEST(CacheKey, ClosedLoopKeysUnchangedByServeFields)
+{
+    // Mirror of the shards-excluded guarantee: a job that never enables
+    // serving keeps the pre-serving cache identity (serveDigest 0), no
+    // matter what the dormant serve fields hold.
+    Job a{"j1", "GUPS", config::baselineConfig(), 1.0, {}};
+    Job b = a;
+    b.serve.offeredLoad = 99.0;
+    b.serve.seed = 1234;
+    EXPECT_TRUE(keyOf(a) == keyOf(b));
+    EXPECT_EQ(keyOf(a).serveDigest, 0u);
 }
 
 TEST(ResultCache, MissThenHit)

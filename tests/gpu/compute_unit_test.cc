@@ -61,7 +61,7 @@ struct CuFixture : ::testing::Test
                 // Instant translation (the L1 TLB still adds latency).
                 done(vm::Translation{0});
             },
-            [this] { ++waveRetirements; });
+            [this](const WaveDesc &) { ++waveRetirements; });
     }
 
     void

@@ -133,6 +133,66 @@ TEST(ParseShardsEnvDeathTest, RejectsBadValues)
                 testing::ExitedWithCode(1), "NETCRAFTER_SHARDS");
 }
 
+TEST(ParseServeEnv, AcceptsValidValues)
+{
+    EXPECT_DOUBLE_EQ(parseServeLoadEnv("4"), 4.0);
+    EXPECT_DOUBLE_EQ(parseServeLoadEnv("0.5"), 0.5);
+    EXPECT_DOUBLE_EQ(parseServeLoadEnv("12.25"), 12.25);
+
+    EXPECT_EQ(parseServeTicksEnv("1", "NETCRAFTER_SERVE_WARMUP"), 1u);
+    EXPECT_EQ(parseServeTicksEnv("20000", "NETCRAFTER_SERVE_WARMUP"),
+              20'000u);
+
+    EXPECT_EQ(parseServeSeedEnv("0"), 0u);
+    EXPECT_EQ(parseServeSeedEnv("12345"), 12'345u);
+}
+
+TEST(ParseServeLoadEnvDeathTest, RejectsBadValues)
+{
+    EXPECT_EXIT(parseServeLoadEnv("0"), testing::ExitedWithCode(1),
+                "NETCRAFTER_SERVE_LOAD");
+    EXPECT_EXIT(parseServeLoadEnv("-4"), testing::ExitedWithCode(1),
+                "NETCRAFTER_SERVE_LOAD");
+    EXPECT_EXIT(parseServeLoadEnv("abc"), testing::ExitedWithCode(1),
+                "NETCRAFTER_SERVE_LOAD");
+    EXPECT_EXIT(parseServeLoadEnv("4x"), testing::ExitedWithCode(1),
+                "NETCRAFTER_SERVE_LOAD");
+    EXPECT_EXIT(parseServeLoadEnv(""), testing::ExitedWithCode(1),
+                "NETCRAFTER_SERVE_LOAD");
+    EXPECT_EXIT(parseServeLoadEnv("nan"), testing::ExitedWithCode(1),
+                "NETCRAFTER_SERVE_LOAD");
+    EXPECT_EXIT(parseServeLoadEnv("inf"), testing::ExitedWithCode(1),
+                "NETCRAFTER_SERVE_LOAD");
+}
+
+TEST(ParseServeTicksEnvDeathTest, RejectsBadValues)
+{
+    EXPECT_EXIT(parseServeTicksEnv("0", "NETCRAFTER_SERVE_MEASURE"),
+                testing::ExitedWithCode(1), "NETCRAFTER_SERVE_MEASURE");
+    EXPECT_EXIT(parseServeTicksEnv("-5", "NETCRAFTER_SERVE_MEASURE"),
+                testing::ExitedWithCode(1), "NETCRAFTER_SERVE_MEASURE");
+    EXPECT_EXIT(parseServeTicksEnv("abc", "NETCRAFTER_SERVE_WARMUP"),
+                testing::ExitedWithCode(1), "NETCRAFTER_SERVE_WARMUP");
+    EXPECT_EXIT(parseServeTicksEnv("5k", "NETCRAFTER_SERVE_WARMUP"),
+                testing::ExitedWithCode(1), "NETCRAFTER_SERVE_WARMUP");
+    EXPECT_EXIT(parseServeTicksEnv("", "NETCRAFTER_SERVE_WARMUP"),
+                testing::ExitedWithCode(1), "NETCRAFTER_SERVE_WARMUP");
+    EXPECT_EXIT(parseServeTicksEnv("2.5", "NETCRAFTER_SERVE_MEASURE"),
+                testing::ExitedWithCode(1), "NETCRAFTER_SERVE_MEASURE");
+}
+
+TEST(ParseServeSeedEnvDeathTest, RejectsBadValues)
+{
+    EXPECT_EXIT(parseServeSeedEnv("-1"), testing::ExitedWithCode(1),
+                "NETCRAFTER_SERVE_SEED");
+    EXPECT_EXIT(parseServeSeedEnv("abc"), testing::ExitedWithCode(1),
+                "NETCRAFTER_SERVE_SEED");
+    EXPECT_EXIT(parseServeSeedEnv("7x"), testing::ExitedWithCode(1),
+                "NETCRAFTER_SERVE_SEED");
+    EXPECT_EXIT(parseServeSeedEnv(""), testing::ExitedWithCode(1),
+                "NETCRAFTER_SERVE_SEED");
+}
+
 TEST(SameMeasurement, DetectsAnyFieldDifference)
 {
     RunResult a;
@@ -152,6 +212,15 @@ TEST(SameMeasurement, DetectsAnyFieldDifference)
 
     b = a;
     b.bytesNeededFrac[2] = 0.5;
+    EXPECT_FALSE(sameMeasurement(a, b));
+
+    // Serving measurements participate in equality too.
+    b = a;
+    b.serveMeasured = 7;
+    EXPECT_FALSE(sameMeasurement(a, b));
+
+    b = a;
+    b.serveClasses[3].p99 = 1'234;
     EXPECT_FALSE(sameMeasurement(a, b));
 }
 

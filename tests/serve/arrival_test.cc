@@ -1,0 +1,177 @@
+/** @file Tests for serving arrival processes and traffic classes. */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/serve/arrival.hh"
+#include "src/serve/serve_config.hh"
+#include "src/serve/traffic_class.hh"
+
+namespace netcrafter::serve {
+namespace {
+
+std::vector<Tick>
+gaps(ArrivalKind kind, std::uint64_t seed, std::uint64_t stream,
+     double meanGap, std::size_t n)
+{
+    ArrivalSequence seq(kind, seed, stream, meanGap, BurstParams{});
+    std::vector<Tick> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(seq.next());
+    return out;
+}
+
+TEST(ArrivalSequence, ReplayIsDeterministic)
+{
+    // A rebuilt sequence with the same (seed, stream) replays exactly:
+    // the counter-based generator has no hidden state.
+    for (ArrivalKind kind : {ArrivalKind::Poisson, ArrivalKind::Uniform,
+                             ArrivalKind::Bursty}) {
+        const auto a = gaps(kind, 7, 3, 25.0, 500);
+        const auto b = gaps(kind, 7, 3, 25.0, 500);
+        EXPECT_EQ(a, b) << arrivalKindName(kind);
+    }
+}
+
+TEST(ArrivalSequence, StreamsAreIndependent)
+{
+    const auto a = gaps(ArrivalKind::Poisson, 7, 0, 25.0, 200);
+    const auto b = gaps(ArrivalKind::Poisson, 7, 1, 25.0, 200);
+    const auto c = gaps(ArrivalKind::Poisson, 8, 0, 25.0, 200);
+    EXPECT_NE(a, b);
+    EXPECT_NE(a, c);
+}
+
+TEST(ArrivalSequence, GapsArePositive)
+{
+    for (ArrivalKind kind : {ArrivalKind::Poisson, ArrivalKind::Uniform,
+                             ArrivalKind::Bursty}) {
+        // Even at the tightest legal mean every gap is clamped to
+        // >= 1 so time always advances.
+        for (Tick g : gaps(kind, 1, 0, 1.0, 300))
+            ASSERT_GE(g, 1u) << arrivalKindName(kind);
+    }
+}
+
+TEST(ArrivalSequence, MeanRateMatchesRequest)
+{
+    // Over many draws the empirical mean gap should sit near the
+    // requested one for every arrival process (bursty redistributes
+    // gaps between bursts but preserves the long-run rate).
+    const double meanGap = 40.0;
+    for (ArrivalKind kind : {ArrivalKind::Poisson, ArrivalKind::Uniform,
+                             ArrivalKind::Bursty}) {
+        const auto g = gaps(kind, 13, 2, meanGap, 20'000);
+        double sum = 0;
+        for (Tick t : g)
+            sum += static_cast<double>(t);
+        const double empirical = sum / static_cast<double>(g.size());
+        EXPECT_NEAR(empirical, meanGap, meanGap * 0.1)
+            << arrivalKindName(kind);
+    }
+}
+
+TEST(ArrivalSequence, BurstyClustersArrivals)
+{
+    // Bursty traffic at the same mean rate should have far more
+    // minimum-gap (back-to-back) arrivals than Poisson.
+    const auto poisson = gaps(ArrivalKind::Poisson, 5, 0, 50.0, 10'000);
+    const auto bursty = gaps(ArrivalKind::Bursty, 5, 0, 50.0, 10'000);
+    auto shortGaps = [](const std::vector<Tick> &g) {
+        std::size_t n = 0;
+        for (Tick t : g)
+            n += t <= 5;
+        return n;
+    };
+    EXPECT_GT(shortGaps(bursty), 2 * shortGaps(poisson));
+}
+
+TEST(ArrivalKindParsing, RoundTrips)
+{
+    EXPECT_EQ(parseArrivalKind("poisson"), ArrivalKind::Poisson);
+    EXPECT_EQ(parseArrivalKind("uniform"), ArrivalKind::Uniform);
+    EXPECT_EQ(parseArrivalKind("bursty"), ArrivalKind::Bursty);
+    for (ArrivalKind kind : {ArrivalKind::Poisson, ArrivalKind::Uniform,
+                             ArrivalKind::Bursty})
+        EXPECT_EQ(parseArrivalKind(arrivalKindName(kind)), kind);
+}
+
+TEST(ArrivalKindParsingDeathTest, RejectsUnknownNames)
+{
+    EXPECT_EXIT(parseArrivalKind("gaussian"),
+                testing::ExitedWithCode(1), "unknown arrival process");
+    EXPECT_EXIT(parseArrivalKind(""), testing::ExitedWithCode(1),
+                "unknown arrival process");
+}
+
+TEST(ClassMix, SharesNormalise)
+{
+    ClassMix mix; // default 0.6 : 0.25 : 0.15
+    double total = 0;
+    for (std::size_t c = 0; c < kNumTrafficClasses; ++c)
+        total += mix.share(static_cast<TrafficClass>(c));
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    EXPECT_GT(mix.share(TrafficClass::ReadHeavy),
+              mix.share(TrafficClass::PtwHeavy));
+}
+
+TEST(ClassMix, ParseRoundTrips)
+{
+    const ClassMix mix = parseClassMix("0.5:0.3:0.2");
+    EXPECT_DOUBLE_EQ(mix.weight[0], 0.5);
+    EXPECT_DOUBLE_EQ(mix.weight[1], 0.3);
+    EXPECT_DOUBLE_EQ(mix.weight[2], 0.2);
+    const ClassMix again = parseClassMix(mix.toString());
+    for (std::size_t c = 0; c < kNumTrafficClasses; ++c)
+        EXPECT_DOUBLE_EQ(again.weight[c], mix.weight[c]);
+}
+
+TEST(ClassMixDeathTest, RejectsMalformedMixes)
+{
+    EXPECT_EXIT(parseClassMix("1:2"), testing::ExitedWithCode(1),
+                "class mix");
+    EXPECT_EXIT(parseClassMix("a:b:c"), testing::ExitedWithCode(1),
+                "class-mix weight");
+    EXPECT_EXIT(parseClassMix("0:0:0"), testing::ExitedWithCode(1),
+                "class");
+    EXPECT_EXIT(parseClassMix("-1:1:1"), testing::ExitedWithCode(1),
+                "class");
+}
+
+TEST(ServeConfig, MeanGapScalesWithLoadShareAndGpus)
+{
+    ServeConfig cfg;
+    cfg.offeredLoad = 4.0; // requests per kilocycle, system-wide
+
+    // Doubling the GPU count halves each GPU's share of the load, so
+    // the per-stream gap doubles.
+    const double g1 = cfg.meanGapTicks(TrafficClass::ReadHeavy, 1);
+    const double g2 = cfg.meanGapTicks(TrafficClass::ReadHeavy, 2);
+    EXPECT_NEAR(g2, 2.0 * g1, 1e-9);
+
+    // A rarer class gets a proportionally longer gap.
+    EXPECT_GT(cfg.meanGapTicks(TrafficClass::PtwHeavy, 1), g1);
+
+    // Gap never collapses below one tick.
+    cfg.offeredLoad = 1e9;
+    EXPECT_GE(cfg.meanGapTicks(TrafficClass::ReadHeavy, 1), 1.0);
+}
+
+TEST(ServeConfig, DigestSeparatesScenarios)
+{
+    ServeConfig a;
+    a.enabled = true;
+    ServeConfig b = a;
+    EXPECT_EQ(a.digest(), b.digest());
+    b.offeredLoad *= 2;
+    EXPECT_NE(a.digest(), b.digest());
+
+    ServeConfig off; // disabled scenarios share digest 0
+    EXPECT_EQ(off.digest(), 0u);
+}
+
+} // namespace
+} // namespace netcrafter::serve

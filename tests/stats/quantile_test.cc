@@ -1,0 +1,195 @@
+/** @file Tests for the mergeable streaming quantile sketch. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/random.hh"
+#include "src/stats/quantile.hh"
+
+namespace netcrafter::stats {
+namespace {
+
+/** Exact quantile of a sample set, with the same rank convention the
+ *  sketch uses: the value at rank max(1, ceil(q * n)). */
+std::uint64_t
+exactQuantile(std::vector<std::uint64_t> values, double q)
+{
+    if (values.empty())
+        return 0;
+    std::sort(values.begin(), values.end());
+    auto rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(values.size())));
+    rank = std::max<std::uint64_t>(rank, 1);
+    return values[rank - 1];
+}
+
+TEST(QuantileSketch, EmptySketchReportsZeroes)
+{
+    QuantileSketch s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.min(), 0u);
+    EXPECT_EQ(s.max(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.quantile(0.5), 0u);
+    EXPECT_EQ(s.quantile(0.999), 0u);
+}
+
+TEST(QuantileSketch, SmallValuesAreExact)
+{
+    // Values below kLinearMax each own a bucket, so quantiles on them
+    // equal the exact order statistics.
+    QuantileSketch s;
+    std::vector<std::uint64_t> values;
+    for (std::uint64_t v = 0; v < QuantileSketch::kLinearMax; ++v) {
+        s.record(v);
+        values.push_back(v);
+    }
+    for (double q : {0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0})
+        EXPECT_EQ(s.quantile(q), exactQuantile(values, q)) << "q=" << q;
+    EXPECT_EQ(s.min(), 0u);
+    EXPECT_EQ(s.max(), QuantileSketch::kLinearMax - 1);
+}
+
+TEST(QuantileSketch, EstimateNeverUnderstatesAndIsWithinOneBucket)
+{
+    // Pseudo-random samples spanning several octaves: the estimate
+    // must be >= the exact quantile (the sketch reports the bucket's
+    // upper bound) and within one sub-bucket of relative error.
+    QuantileSketch s;
+    std::vector<std::uint64_t> values;
+    for (std::uint64_t i = 0; i < 20'000; ++i) {
+        const double u = CounterRng::uniform(7, 0, i);
+        const auto v = static_cast<std::uint64_t>(
+            50.0 * std::exp(6.0 * u));
+        s.record(v);
+        values.push_back(v);
+    }
+    const double maxRel =
+        1.0 / static_cast<double>(QuantileSketch::kSubBuckets);
+    for (double q : {0.5, 0.9, 0.95, 0.99, 0.999}) {
+        const std::uint64_t exact = exactQuantile(values, q);
+        const std::uint64_t est = s.quantile(q);
+        EXPECT_GE(est, exact) << "q=" << q;
+        EXPECT_LE(static_cast<double>(est),
+                  static_cast<double>(exact) * (1.0 + maxRel) + 1.0)
+            << "q=" << q;
+    }
+
+    // Mean is tracked as an exact integer sum.
+    double sum = 0;
+    for (std::uint64_t v : values)
+        sum += static_cast<double>(v);
+    EXPECT_DOUBLE_EQ(s.mean(), sum / static_cast<double>(values.size()));
+}
+
+TEST(QuantileSketch, QuantilesAreMonotoneInQ)
+{
+    QuantileSketch s;
+    for (std::uint64_t i = 0; i < 5'000; ++i)
+        s.record(CounterRng::draw(3, 1, i) >> 40);
+    std::uint64_t prev = 0;
+    for (double q : {0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0}) {
+        const std::uint64_t cur = s.quantile(q);
+        EXPECT_GE(cur, prev) << "q=" << q;
+        prev = cur;
+    }
+    // q=1 reports the max's bucket upper bound: never below the max.
+    EXPECT_GE(s.quantile(1.0), s.max());
+}
+
+TEST(QuantileSketch, BucketLayoutInvariants)
+{
+    // Every value maps into a valid bucket whose upper bound is >= the
+    // value, and bucket indices are monotone in the value.
+    std::uint32_t prevIdx = 0;
+    for (std::uint64_t v : {0ull, 1ull, 127ull, 128ull, 129ull, 255ull,
+                            256ull, 1000ull, 65'535ull, 1'000'000ull,
+                            (1ull << 40), (1ull << 48) - 1}) {
+        const std::uint32_t idx = QuantileSketch::bucketIndex(v);
+        ASSERT_LT(idx, QuantileSketch::numBuckets()) << "v=" << v;
+        EXPECT_GE(QuantileSketch::bucketUpperBound(idx), v) << "v=" << v;
+        EXPECT_GE(idx, prevIdx) << "v=" << v;
+        prevIdx = idx;
+    }
+    // Values beyond the representable range clamp into the top bucket.
+    EXPECT_EQ(QuantileSketch::bucketIndex(~0ull),
+              QuantileSketch::numBuckets() - 1);
+    // Exact region: bucket upper bound is the value itself.
+    for (std::uint64_t v = 0; v < QuantileSketch::kLinearMax; ++v)
+        EXPECT_EQ(QuantileSketch::bucketUpperBound(
+                      QuantileSketch::bucketIndex(v)), v);
+}
+
+TEST(QuantileSketch, MergeIsExactAssociativeAndCommutative)
+{
+    // Three disjoint streams; any parenthesisation / order of merges
+    // must give bit-identical counts, mean, and quantiles.
+    QuantileSketch a, b, c;
+    for (std::uint64_t i = 0; i < 3'000; ++i) {
+        a.record(CounterRng::draw(11, 0, i) >> 44);
+        b.record(CounterRng::draw(11, 1, i) >> 40);
+        c.record(CounterRng::draw(11, 2, i) >> 36);
+    }
+
+    QuantileSketch ab_c = a;
+    ab_c.merge(b);
+    ab_c.merge(c);
+
+    QuantileSketch c_ba = c;
+    QuantileSketch ba = b;
+    ba.merge(a);
+    c_ba.merge(ba);
+
+    EXPECT_EQ(ab_c.count(), 9'000u);
+    EXPECT_EQ(ab_c.count(), c_ba.count());
+    EXPECT_EQ(ab_c.min(), c_ba.min());
+    EXPECT_EQ(ab_c.max(), c_ba.max());
+    EXPECT_DOUBLE_EQ(ab_c.mean(), c_ba.mean());
+    for (double q : {0.5, 0.95, 0.99, 0.999})
+        EXPECT_EQ(ab_c.quantile(q), c_ba.quantile(q)) << "q=" << q;
+
+    // Merging equals recording everything into one sketch.
+    QuantileSketch all;
+    for (std::uint64_t i = 0; i < 3'000; ++i) {
+        all.record(CounterRng::draw(11, 0, i) >> 44);
+        all.record(CounterRng::draw(11, 1, i) >> 40);
+        all.record(CounterRng::draw(11, 2, i) >> 36);
+    }
+    EXPECT_DOUBLE_EQ(all.mean(), ab_c.mean());
+    for (double q : {0.5, 0.95, 0.99, 0.999})
+        EXPECT_EQ(all.quantile(q), ab_c.quantile(q)) << "q=" << q;
+}
+
+TEST(QuantileSketch, MergeOfEmptyIsIdentity)
+{
+    QuantileSketch s, empty;
+    for (std::uint64_t i = 0; i < 100; ++i)
+        s.record(i * 37);
+    const std::uint64_t p99 = s.quantile(0.99);
+    s.merge(empty);
+    EXPECT_EQ(s.count(), 100u);
+    EXPECT_EQ(s.quantile(0.99), p99);
+
+    QuantileSketch other = empty;
+    other.merge(s);
+    EXPECT_EQ(other.count(), s.count());
+    EXPECT_EQ(other.quantile(0.99), p99);
+}
+
+TEST(QuantileSketch, ResetClears)
+{
+    QuantileSketch s;
+    s.record(42);
+    s.record(4'242);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.quantile(0.99), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+} // namespace
+} // namespace netcrafter::stats

@@ -22,6 +22,7 @@
 #include "src/exp/figures.hh"
 #include "src/exp/result_cache.hh"
 #include "src/exp/scheduler.hh"
+#include "src/exp/serve_curve.hh"
 #include "src/gpu/system.hh"
 #include "src/harness/runner.hh"
 #include "src/harness/table.hh"
@@ -37,12 +38,23 @@ usage(int code)
 {
     std::ostream &os = code == 0 ? std::cout : std::cerr;
     os << "usage: netcrafter-sweep [options] <figure>... | all\n"
+          "       netcrafter-sweep --serve [options]\n"
           "\n"
           "Regenerate paper figures through the parallel experiment\n"
           "orchestrator. Figures share one result cache: every unique\n"
           "(workload, config, scale) point is simulated once per run.\n"
+          "With --serve, run the open-loop serving saturation curve\n"
+          "(baseline vs full NetCrafter) instead of figures.\n"
           "\n"
           "options:\n"
+          "  --serve           sweep offered load over an open-loop\n"
+          "                    serving scenario and print per-class\n"
+          "                    p50/p95/p99/p999 latency plus the knee\n"
+          "  --offered-load A:B:STEP  offered-load range in requests\n"
+          "                    per kilocycle (default 2:10:2)\n"
+          "  --arrival KIND    poisson|uniform|bursty (default poisson;\n"
+          "                    NETCRAFTER_SERVE_* env vars set the\n"
+          "                    remaining serving knobs)\n"
           "  --list            list available figures and exit\n"
           "  --jobs N          worker threads (default: all cores;\n"
           "                    1 = serial)\n"
@@ -151,6 +163,41 @@ dumpRegistry(const std::string &workload, const std::string &path)
                : 1;
 }
 
+/** Parse an --offered-load "A:B:STEP" range; exits on junk. */
+void
+parseLoadRange(const std::string &text, exp::ServeCurveSpec &spec)
+{
+    double vals[3];
+    std::size_t pos = 0;
+    for (int i = 0; i < 3; ++i) {
+        const std::size_t sep = text.find(':', pos);
+        const bool last = i == 2;
+        if (last != (sep == std::string::npos)) {
+            std::cerr << "--offered-load wants A:B:STEP, got '" << text
+                      << "'\n";
+            std::exit(usage(1));
+        }
+        const std::string field =
+            text.substr(pos, last ? std::string::npos : sep - pos);
+        char *end = nullptr;
+        vals[i] = std::strtod(field.c_str(), &end);
+        if (field.empty() || end == nullptr || *end != '\0' ||
+            vals[i] <= 0) {
+            std::cerr << "--offered-load values must be positive, got '"
+                      << field << "' in '" << text << "'\n";
+            std::exit(usage(1));
+        }
+        pos = sep + 1;
+    }
+    if (vals[1] < vals[0]) {
+        std::cerr << "--offered-load range is empty: " << text << "\n";
+        std::exit(usage(1));
+    }
+    spec.loadStart = vals[0];
+    spec.loadStop = vals[1];
+    spec.loadStep = vals[2];
+}
+
 } // namespace
 
 int
@@ -161,6 +208,11 @@ main(int argc, char **argv)
     exp::Scheduler::Options opts;
     opts.progress = true;
     bool timings = false;
+    bool serve_mode = false;
+    exp::ServeCurveSpec serve_spec;
+    // NETCRAFTER_SERVE_* sets the scenario (arrival, mix, phases,
+    // seed); the --arrival and --offered-load flags override it.
+    harness::applyServeEnv(serve_spec.serve);
     // --shards overrides the NETCRAFTER_SHARDS environment.
     if (const char *env = std::getenv("NETCRAFTER_SHARDS"))
         opts.shards = harness::parseShardsEnv(env);
@@ -234,6 +286,14 @@ main(int argc, char **argv)
             }
             opts.trace.sampleInterval = static_cast<Tick>(n);
         }
+        else if (arg == "--serve")
+            serve_mode = true;
+        else if (arg == "--offered-load")
+            parseLoadRange(value("--offered-load"), serve_spec);
+        else if (arg == "--arrival") {
+            serve_spec.serve.arrival =
+                serve::parseArrivalKind(value("--arrival"));
+        }
         else if (arg == "--timings")
             timings = true;
         else if (arg == "--quiet")
@@ -263,8 +323,12 @@ main(int argc, char **argv)
         }
         return dumpRegistry(registry_workload, registry_json);
     }
-    if (want.empty())
+    if (want.empty() && !serve_mode)
         return usage(1);
+    if (serve_mode && !want.empty()) {
+        std::cerr << "--serve does not take figure names\n";
+        return usage(1);
+    }
 
     for (const auto &name : want) {
         if (exp::findFigure(name) == nullptr) {
@@ -276,6 +340,17 @@ main(int argc, char **argv)
 
     exp::ResultCache cache;
     exp::Scheduler scheduler(opts, &cache);
+
+    if (serve_mode) {
+        serve_spec.configs = {
+            {"baseline", config::baselineConfig()},
+            {"netcrafter", exp::fullNetcrafter()},
+        };
+        const exp::ServeCurveResult curve =
+            exp::runServeCurve(scheduler, serve_spec);
+        exp::printServeCurve(curve, std::cout);
+        std::cout << "\n";
+    }
 
     for (const auto &name : want) {
         const exp::Figure *fig = exp::findFigure(name);
