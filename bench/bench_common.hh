@@ -14,7 +14,12 @@
 
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
 
 #include "src/config/system_config.hh"
 #include "src/exp/figures.hh"
@@ -54,6 +59,29 @@ inline SystemConfig
 fullNetcrafter()
 {
     return exp::fullNetcrafter();
+}
+
+/**
+ * CPUs actually usable by this process. hardware_concurrency() reports
+ * the machine's core count even when the process is confined to fewer
+ * (cgroup cpusets, taskset, CI runners), which would let a bench JSON
+ * claim parallel headroom the run never had. Prefer the scheduling
+ * affinity mask; fall back to hardware_concurrency(), floor of 1.
+ */
+inline unsigned
+hostCpus()
+{
+#if defined(__linux__)
+    cpu_set_t mask;
+    CPU_ZERO(&mask);
+    if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+        const int count = CPU_COUNT(&mask);
+        if (count > 0)
+            return static_cast<unsigned>(count);
+    }
+#endif
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
 }
 
 /** Print the standard figure banner. */

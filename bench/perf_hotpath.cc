@@ -13,11 +13,12 @@
  *
  * Usage:
  *   perf_hotpath [--out FILE] [--quick] [--scale S]
- *                [--shards [--adaptive]] [--obs]
+ *                [--shards [--adaptive]] [--worksteal] [--obs]
  *
  *   --out FILE   write JSON to FILE (default BENCH_hotpath.json;
  *                BENCH_parallel.json with --shards, BENCH_adaptive.json
- *                with --shards --adaptive, BENCH_obs.json with --obs)
+ *                with --shards --adaptive, BENCH_worksteal.json with
+ *                --worksteal, BENCH_obs.json with --obs)
  *   --quick      baseline + full NetCrafter configs only (CI smoke)
  *   --scale S    extra problem-size multiplier on top of
  *                NETCRAFTER_SCALE (default 1.0)
@@ -34,6 +35,18 @@
  *                instead. Diff barrier_stall_ticks / quanta_executed
  *                against the fixed-quantum BENCH_parallel.json from
  *                the same host to see the tax shrink.
+ *   --worksteal  work-stealing mode: the figure 14 grid on the same
+ *                4-cluster topology, adaptive lookahead, serial plus a
+ *                4-shard executor-policy sweep — one thread per shard
+ *                with stealing off (the PR 5 adaptive baseline), then
+ *                multiplexed and stealing points (T=1, T=2 off, T=2 on,
+ *                T=4 on). Every point must reproduce the serial census.
+ *                The JSON records the steal counters, the covered /
+ *                residual barrier-stall split, and wall-clock speedup
+ *                vs serial; host_cpus comes from the scheduling
+ *                affinity mask, so a single-core reading tells you the
+ *                speedup column measures protocol overhead, not
+ *                parallelism.
  *   --obs        observability-overhead mode: run the grid once with
  *                tracing disabled and once with packet-level tracing +
  *                interval sampling held in memory, and fail unless
@@ -179,9 +192,7 @@ runShardBench(const std::string &out_path, bool quick, double scale,
         std::cerr << "cannot open " << out_path << " for writing\n";
         return 1;
     }
-    unsigned host_cpus = std::thread::hardware_concurrency();
-    if (host_cpus == 0)
-        host_cpus = 1;
+    const unsigned host_cpus = bench::hostCpus();
     const double serial_evps =
         eventsPerSecond(rows.front().events, rows.front().wall);
     os.precision(17);
@@ -233,6 +244,175 @@ runShardBench(const std::string &out_path, bool quick, double scale,
               << (census_ok ? "census identical across "
                             : "CENSUS DIVERGED across ")
               << rows.size() << " shard counts, host_cpus="
+              << host_cpus << " (JSON: " << out_path << ")\n";
+    return census_ok ? 0 : 1;
+}
+
+/**
+ * Work-stealing bench: the fig14 grid on the 4-cluster topology under
+ * the adaptive lookahead (the PR 5 mode, so the covered/residual stall
+ * split diffs directly against BENCH_adaptive.json), swept over
+ * executor policies at a fixed 4 shards. The first sharded point — one
+ * thread per shard, stealing off — IS the PR 5 configuration; the
+ * remaining points multiplex the four work units onto fewer threads
+ * and turn the claim ledger on, which is where steals actually fire.
+ * Fails if any point's census diverges from serial.
+ */
+int
+runWorkstealBench(const std::string &out_path, bool quick, double scale)
+{
+    using namespace netcrafter;
+
+    sim::setDefaultLookaheadMode(sim::LookaheadMode::Adaptive);
+
+    std::vector<std::pair<std::string, SystemConfig>> configs = {
+        {"base", config::baselineConfig()},
+        {"full", bench::fullNetcrafter()},
+    };
+    if (!quick) {
+        configs.insert(configs.begin() + 1,
+                       {"stitch", bench::stitchSelective32()});
+        configs.insert(configs.begin() + 2,
+                       {"trim", bench::stitchTrim()});
+        configs.push_back({"sector", config::sectorCacheConfig(16)});
+    }
+    for (auto &[name, cfg] : configs) {
+        cfg.numClusters = 4;
+        cfg.gpusPerCluster = 1;
+    }
+
+    struct ExecRow
+    {
+        std::string label;
+        unsigned shards;
+        sim::ExecPolicy exec;
+        std::uint64_t events = 0;
+        std::uint64_t cycles = 0;
+        std::uint64_t quanta = 0;
+        std::uint64_t stallTicks = 0;
+        std::uint64_t coveredStall = 0;
+        std::uint64_t residualStall = 0;
+        std::uint64_t stealAttempts = 0;
+        std::uint64_t stealsWon = 0;
+        std::uint64_t stealsAborted = 0;
+        std::uint64_t crossFlits = 0;
+        std::uint64_t roundsSkipped = 0;
+        double spreadSum = 0;
+        std::uint64_t spreadPoints = 0;
+        unsigned workThreads = 1;
+        double wall = 0;
+    };
+    std::vector<ExecRow> rows = {
+        {"serial", 1, sim::ExecPolicy{0, false, 1}},
+        {"s4-t4", 4, sim::ExecPolicy{0, false, 1}},
+        {"s4-t1", 4, sim::ExecPolicy{1, false, 1}},
+        {"s4-t2", 4, sim::ExecPolicy{2, false, 1}},
+        {"s4-t2-steal", 4, sim::ExecPolicy{2, true, 1}},
+        {"s4-t4-steal", 4, sim::ExecPolicy{4, true, 1}},
+    };
+    const obs::TraceOptions no_trace;
+    bool census_ok = true;
+
+    for (ExecRow &row : rows) {
+        for (const auto &[cfg_name, cfg] : configs) {
+            for (const auto &app : bench::apps()) {
+                const RunResult r = harness::runWorkload(
+                    app, cfg, scale, row.shards, no_trace, row.exec);
+                row.events += r.events;
+                row.cycles += r.cycles;
+                row.quanta += r.quantaExecuted;
+                row.stallTicks += r.barrierStallTicks;
+                row.coveredStall += r.coveredStallTicks;
+                row.residualStall += r.residualStallTicks;
+                row.stealAttempts += r.stealAttempts;
+                row.stealsWon += r.stealsWon;
+                row.stealsAborted += r.stealsAborted;
+                row.crossFlits += r.crossShardFlits;
+                row.roundsSkipped += r.barrierRoundsSkipped;
+                row.spreadSum += r.loadSpreadMean;
+                row.spreadPoints += r.loadSpreadMean > 0 ? 1 : 0;
+                row.workThreads = r.workThreads;
+                row.wall += r.wallSeconds;
+            }
+        }
+        if (&row != &rows.front() &&
+            (row.events != rows.front().events ||
+             row.cycles != rows.front().cycles)) {
+            std::cerr << "perf_hotpath: census diverged at "
+                      << row.label << ": " << row.events << " events / "
+                      << row.cycles << " cycles vs serial "
+                      << rows.front().events << " / "
+                      << rows.front().cycles << "\n";
+            census_ok = false;
+        }
+        std::cerr << row.label << ": " << row.events << " events in "
+                  << row.wall << "s ("
+                  << eventsPerSecond(row.events, row.wall)
+                  << " ev/s), steals " << row.stealsWon << "/"
+                  << row.stealAttempts << ", residual stall "
+                  << row.residualStall << "/" << row.stallTicks << "\n";
+    }
+
+    std::ofstream os(out_path);
+    if (!os) {
+        std::cerr << "cannot open " << out_path << " for writing\n";
+        return 1;
+    }
+    const unsigned host_cpus = bench::hostCpus();
+    const double serial_evps =
+        eventsPerSecond(rows.front().events, rows.front().wall);
+    os.precision(17);
+    os << "{\n";
+    os << "  \"bench\": \"perf_worksteal\",\n";
+    os << "  \"workload_set\": \"fig14\",\n";
+    os << "  \"topology\": \"4 clusters x 1 gpu\",\n";
+    os << "  \"lookahead\": \"adaptive\",\n";
+    os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+    os << "  \"scale\": " << scale << ",\n";
+    os << "  \"env_scale\": " << netcrafter::harness::envScale()
+       << ",\n";
+    os << "  \"host_cpus\": " << host_cpus << ",\n";
+    os << "  \"census_identical\": " << (census_ok ? "true" : "false")
+       << ",\n";
+    os << "  \"points\": [";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const ExecRow &r = rows[i];
+        os << (i ? ",\n    {" : "\n    {");
+        os << "\"label\": \"" << exp::jsonEscape(r.label) << "\", "
+           << "\"shards\": " << r.shards << ", "
+           << "\"work_threads\": " << r.workThreads << ", "
+           << "\"steal\": " << (r.exec.steal ? "true" : "false") << ", "
+           << "\"events\": " << r.events << ", "
+           << "\"cycles\": " << r.cycles << ", "
+           << "\"quanta_executed\": " << r.quanta << ", "
+           << "\"barrier_stall_ticks\": " << r.stallTicks << ", "
+           << "\"covered_stall_ticks\": " << r.coveredStall << ", "
+           << "\"residual_stall_ticks\": " << r.residualStall << ", "
+           << "\"steal_attempts\": " << r.stealAttempts << ", "
+           << "\"steals_won\": " << r.stealsWon << ", "
+           << "\"steals_aborted\": " << r.stealsAborted << ", "
+           << "\"cross_shard_flits\": " << r.crossFlits << ", "
+           << "\"barrier_rounds_skipped\": " << r.roundsSkipped << ", "
+           << "\"load_spread_mean\": "
+           << (r.spreadPoints > 0
+                   ? r.spreadSum / static_cast<double>(r.spreadPoints)
+                   : 0.0)
+           << ", "
+           << "\"wall_seconds\": " << r.wall << ", "
+           << "\"events_per_second\": "
+           << eventsPerSecond(r.events, r.wall) << ", "
+           << "\"speedup_vs_serial\": "
+           << (serial_evps > 0
+                   ? eventsPerSecond(r.events, r.wall) / serial_evps
+                   : 0.0)
+           << "}";
+    }
+    os << "\n  ]\n}\n";
+
+    std::cout << "perf_hotpath --worksteal: "
+              << (census_ok ? "census identical across "
+                            : "CENSUS DIVERGED across ")
+              << rows.size() << " executor policies, host_cpus="
               << host_cpus << " (JSON: " << out_path << ")\n";
     return census_ok ? 0 : 1;
 }
@@ -404,6 +584,7 @@ main(int argc, char **argv)
     bool quick = false;
     bool shard_bench = false;
     bool adaptive = false;
+    bool worksteal_bench = false;
     bool obs_bench = false;
     double scale = 1.0;
     for (int i = 1; i < argc; ++i) {
@@ -418,6 +599,8 @@ main(int argc, char **argv)
             shard_bench = true;
         } else if (arg == "--adaptive") {
             adaptive = true;
+        } else if (arg == "--worksteal") {
+            worksteal_bench = true;
         } else if (arg == "--obs") {
             obs_bench = true;
         } else if (arg == "--scale" && i + 1 < argc) {
@@ -433,7 +616,7 @@ main(int argc, char **argv)
         } else {
             std::cerr << "usage: perf_hotpath [--out FILE] [--quick]"
                          " [--scale S] [--shards [--adaptive]]"
-                         " [--obs [--ref FILE]]\n";
+                         " [--worksteal] [--obs [--ref FILE]]\n";
             return 2;
         }
     }
@@ -441,15 +624,22 @@ main(int argc, char **argv)
         std::cerr << "perf_hotpath: --adaptive requires --shards\n";
         return 2;
     }
+    if (worksteal_bench && (shard_bench || obs_bench)) {
+        std::cerr << "perf_hotpath: --worksteal excludes --shards and "
+                     "--obs\n";
+        return 2;
+    }
     if (out_path.empty()) {
-        out_path = shard_bench
-                       ? (adaptive ? "BENCH_adaptive.json"
-                                   : "BENCH_parallel.json")
-                   : obs_bench ? "BENCH_obs.json"
-                               : "BENCH_hotpath.json";
+        out_path = shard_bench ? (adaptive ? "BENCH_adaptive.json"
+                                           : "BENCH_parallel.json")
+                   : worksteal_bench ? "BENCH_worksteal.json"
+                   : obs_bench       ? "BENCH_obs.json"
+                                     : "BENCH_hotpath.json";
     }
     if (shard_bench)
         return runShardBench(out_path, quick, scale, adaptive);
+    if (worksteal_bench)
+        return runWorkstealBench(out_path, quick, scale);
     if (obs_bench)
         return runObsBench(out_path, quick, scale, ref_path);
 

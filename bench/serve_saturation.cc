@@ -144,9 +144,7 @@ main(int argc, char **argv)
         std::cerr << "cannot open " << out_path << " for writing\n";
         return 1;
     }
-    unsigned host_cpus = std::thread::hardware_concurrency();
-    if (host_cpus == 0)
-        host_cpus = 1;
+    const unsigned host_cpus = netcrafter::bench::hostCpus();
     os.precision(17);
     os << "{\n";
     os << "  \"bench\": \"serve_saturation\",\n";

@@ -110,6 +110,13 @@ fields()
         NUM_FIELD("max_ingress_depth", r.result.maxIngressDepth),
         NUM_FIELD("barrier_rounds_skipped", r.result.barrierRoundsSkipped),
         NUM_FIELD("idle_parks", r.result.idleParks),
+        NUM_FIELD("work_threads", std::uint64_t{r.result.workThreads}),
+        NUM_FIELD("steal_attempts", r.result.stealAttempts),
+        NUM_FIELD("steals_won", r.result.stealsWon),
+        NUM_FIELD("steals_aborted", r.result.stealsAborted),
+        NUM_FIELD("covered_stall_ticks", r.result.coveredStallTicks),
+        NUM_FIELD("residual_stall_ticks", r.result.residualStallTicks),
+        NUM_FIELD("load_spread_mean", r.result.loadSpreadMean),
         NUM_FIELD("adaptive_window_samples",
                   r.result.adaptiveWindowSamples),
         NUM_FIELD("adaptive_window_ticks_mean",

@@ -12,18 +12,28 @@
 namespace netcrafter::gpu {
 
 unsigned
-MultiGpuSystem::clampShards(const config::SystemConfig &cfg,
-                            unsigned shards)
+MultiGpuSystem::validateShards(const config::SystemConfig &cfg,
+                               unsigned shards)
 {
-    // More shards than clusters would leave engines with no components;
-    // zero means "caller did not think about it" and runs serially.
-    return std::clamp(shards, 1u, cfg.numClusters);
+    // Zero means "caller did not think about it" and runs serially.
+    // More shards than clusters would leave engines with no components
+    // and silently clamping used to hide topology/shard mismatches in
+    // sweep scripts — reject loudly instead.
+    if (shards > cfg.numClusters) {
+        NC_FATAL("shards=", shards, " exceeds the topology's ",
+                 cfg.numClusters, " clusters; shards partition whole "
+                 "clusters, so at most numClusters shards are "
+                 "meaningful — lower the shard count or grow the "
+                 "topology");
+    }
+    return std::max(shards, 1u);
 }
 
 MultiGpuSystem::MultiGpuSystem(const config::SystemConfig &cfg,
                                unsigned shards,
-                               const obs::TraceOptions &trace)
-    : cfg_(cfg), engine_(clampShards(cfg, shards)),
+                               const obs::TraceOptions &trace,
+                               const sim::ExecPolicy &exec)
+    : cfg_(cfg), engine_(validateShards(cfg, shards), exec),
       pageTable_(cfg.numGpus())
 {
     cfg_.validate();
@@ -567,6 +577,15 @@ MultiGpuSystem::collectStats() const
     reg.counter("sharded.barrierRoundsSkipped")
         .inc(engine_.barrierRoundsSkipped());
     reg.counter("sharded.idleParks").inc(engine_.idleParks());
+    reg.counter("sharded.workThreads").inc(engine_.workThreads());
+    reg.counter("sharded.stealAttempts").inc(engine_.stealAttempts());
+    reg.counter("sharded.stealsWon").inc(engine_.stealsWon());
+    reg.counter("sharded.stealsAborted").inc(engine_.stealsAborted());
+    reg.counter("sharded.coveredStallTicks")
+        .inc(engine_.coveredStallTicks());
+    reg.counter("sharded.residualStallTicks")
+        .inc(engine_.residualStallTicks());
+    reg.average("sharded.loadSpreadAvg").merge(engine_.loadSpreadAvg());
     reg.distribution("sharded.adaptiveWindowTicks",
                      engine_.windowTicksDist().bounds())
         .merge(engine_.windowTicksDist());

@@ -55,13 +55,18 @@ class MultiGpuSystem : public workloads::PlacementDirectory
   public:
     /**
      * Build the system. @p shards > 1 partitions the clusters onto that
-     * many engine shards, each running on its own thread; the value is
-     * clamped to [1, numClusters]. Simulation results are identical for
-     * every shard count.
+     * many engine shards; 0 means "caller did not think about it" and
+     * runs serially, while a count exceeding numClusters is a
+     * configuration error (it would leave shards with no components)
+     * and aborts with a clear message. @p exec controls how host
+     * threads drive the shards (thread count, work stealing) — an
+     * execution detail. Simulation results are identical for every
+     * shard count and every execution policy.
      */
     explicit MultiGpuSystem(const config::SystemConfig &cfg,
                             unsigned shards = 1,
-                            const obs::TraceOptions &trace = {});
+                            const obs::TraceOptions &trace = {},
+                            const sim::ExecPolicy &exec = {});
     ~MultiGpuSystem() override;
 
     /**
@@ -255,8 +260,8 @@ class MultiGpuSystem : public workloads::PlacementDirectory
                         std::uint64_t kernel_seed);
     void refillCus(GpuId g);
 
-    static unsigned clampShards(const config::SystemConfig &cfg,
-                                unsigned shards);
+    static unsigned validateShards(const config::SystemConfig &cfg,
+                                   unsigned shards);
 
     config::SystemConfig cfg_;
 

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <vector>
 
+#include "src/config/exec_config.hh"
 #include "src/gpu/system.hh"
 #include "src/obs/chrome_trace.hh"
 #include "src/serve/session.hh"
@@ -102,6 +103,13 @@ collectSystemStats(RunResult &r, gpu::MultiGpuSystem &system,
     r.maxIngressDepth = system.network().maxIngressDepth();
     r.barrierRoundsSkipped = engines.barrierRoundsSkipped();
     r.idleParks = engines.idleParks();
+    r.workThreads = engines.workThreads();
+    r.stealAttempts = engines.stealAttempts();
+    r.stealsWon = engines.stealsWon();
+    r.stealsAborted = engines.stealsAborted();
+    r.coveredStallTicks = engines.coveredStallTicks();
+    r.residualStallTicks = engines.residualStallTicks();
+    r.loadSpreadMean = engines.loadSpreadAvg().mean();
     r.adaptiveWindowSamples = engines.windowTicksAvg().count();
     r.adaptiveWindowMean = engines.windowTicksAvg().mean();
     r.adaptiveWindowMax = engines.windowTicksAvg().max();
@@ -193,7 +201,8 @@ runWorkload(const std::string &workload_name,
             unsigned shards)
 {
     return runWorkload(workload_name, cfg, scale, shards,
-                       obs::TraceOptions::fromEnv());
+                       obs::TraceOptions::fromEnv(),
+                       config::execPolicyFromEnv());
 }
 
 RunResult
@@ -201,10 +210,20 @@ runWorkload(const std::string &workload_name,
             const config::SystemConfig &cfg, double scale,
             unsigned shards, const obs::TraceOptions &trace)
 {
+    return runWorkload(workload_name, cfg, scale, shards, trace,
+                       config::execPolicyFromEnv());
+}
+
+RunResult
+runWorkload(const std::string &workload_name,
+            const config::SystemConfig &cfg, double scale,
+            unsigned shards, const obs::TraceOptions &trace,
+            const sim::ExecPolicy &exec)
+{
     const auto t_start = std::chrono::steady_clock::now();
 
     auto workload = workloads::makeWorkload(workload_name);
-    gpu::MultiGpuSystem system(cfg, shards, trace);
+    gpu::MultiGpuSystem system(cfg, shards, trace, exec);
     system.run(*workload, scale * envScale());
 
     RunResult r;
@@ -221,7 +240,8 @@ runServe(const serve::ServeConfig &serve,
          unsigned shards)
 {
     return runServe(serve, cfg, scale, shards,
-                    obs::TraceOptions::fromEnv());
+                    obs::TraceOptions::fromEnv(),
+                    config::execPolicyFromEnv());
 }
 
 RunResult
@@ -229,10 +249,20 @@ runServe(const serve::ServeConfig &serve,
          const config::SystemConfig &cfg, double scale,
          unsigned shards, const obs::TraceOptions &trace)
 {
+    return runServe(serve, cfg, scale, shards, trace,
+                    config::execPolicyFromEnv());
+}
+
+RunResult
+runServe(const serve::ServeConfig &serve,
+         const config::SystemConfig &cfg, double scale,
+         unsigned shards, const obs::TraceOptions &trace,
+         const sim::ExecPolicy &exec)
+{
     NC_ASSERT(serve.enabled, "runServe with serving disabled");
     const auto t_start = std::chrono::steady_clock::now();
 
-    gpu::MultiGpuSystem system(cfg, shards, trace);
+    gpu::MultiGpuSystem system(cfg, shards, trace, exec);
     serve::ServeSession session(system, serve, scale * envScale());
     const serve::ServeReport report = session.run();
     if (report.status != sim::RunStatus::Drained) {

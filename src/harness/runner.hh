@@ -16,6 +16,7 @@
 #include "src/config/system_config.hh"
 #include "src/obs/trace.hh"
 #include "src/serve/serve_config.hh"
+#include "src/sim/sharded_engine.hh"
 #include "src/sim/types.hh"
 
 namespace netcrafter::harness {
@@ -133,6 +134,32 @@ struct RunResult
      *  rounds) instead of spinning at the window tail. */
     std::uint64_t idleParks = 0;
 
+    /** Executor threads that drove the shards (1 = serial). */
+    unsigned workThreads = 1;
+
+    /** Whole-window steal claims attempted by non-home threads. */
+    std::uint64_t stealAttempts = 0;
+
+    /** Steal claims won: units executed away from their home thread. */
+    std::uint64_t stealsWon = 0;
+
+    /** Steal claims lost to a concurrent claimant. */
+    std::uint64_t stealsAborted = 0;
+
+    /** Window-tail stall ticks whose executor immediately ran another
+     *  unit in the same round — stall converted into useful host time
+     *  by multiplexing or stealing. */
+    std::uint64_t coveredStallTicks = 0;
+
+    /** barrierStallTicks minus coveredStallTicks: stall that still
+     *  cost idle host time at the barrier. */
+    std::uint64_t residualStallTicks = 0;
+
+    /** Mean published-backlog spread (max - min pending events) over
+     *  each round's active shards — the donor/thief imbalance work
+     *  stealing exploits. Deterministic for a given shard count. */
+    double loadSpreadMean = 0;
+
     /** Bounded adaptive-window widths the coordinator picked, in
      *  ticks: sample count, mean, and max (0/0/0 when serial or when
      *  every window was an unbounded drain-ahead stride). */
@@ -213,6 +240,18 @@ RunResult runWorkload(const std::string &workload_name,
                       unsigned shards, const obs::TraceOptions &trace);
 
 /**
+ * As above, additionally pinning the execution policy (executor thread
+ * count, work stealing) instead of the NETCRAFTER_THREADS /
+ * NETCRAFTER_STEAL / NETCRAFTER_STEAL_MIN_BACKLOG environment the
+ * 4-argument overload consults. The policy is an execution detail:
+ * every measured field is identical for every policy.
+ */
+RunResult runWorkload(const std::string &workload_name,
+                      const config::SystemConfig &cfg, double scale,
+                      unsigned shards, const obs::TraceOptions &trace,
+                      const sim::ExecPolicy &exec);
+
+/**
  * Run one open-loop serving scenario (@p serve must be enabled) on a
  * system built from @p cfg and fill the serve_* fields alongside every
  * ordinary measurement. The result's workload name is
@@ -227,6 +266,12 @@ RunResult runServe(const serve::ServeConfig &serve,
 RunResult runServe(const serve::ServeConfig &serve,
                    const config::SystemConfig &cfg, double scale,
                    unsigned shards, const obs::TraceOptions &trace);
+
+/** As above with an explicit execution policy (see runWorkload). */
+RunResult runServe(const serve::ServeConfig &serve,
+                   const config::SystemConfig &cfg, double scale,
+                   unsigned shards, const obs::TraceOptions &trace,
+                   const sim::ExecPolicy &exec);
 
 /** Geometric mean of a sequence of positive ratios. */
 double geomean(const std::vector<double> &xs);

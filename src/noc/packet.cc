@@ -3,23 +3,28 @@
 #include <sstream>
 #include <vector>
 
+#include "src/sim/engine.hh"
+
 namespace netcrafter::noc {
 
 namespace {
 
 // Ids are namespaced by source GPU: the high bits carry the source and
 // the low bits a per-source sequence number. Every packet with source g
-// is created on the shard thread that owns GPU g (requests by the
+// is created while GPU g's shard engine dispatches (requests by the
 // requesting chip, responses by the owning chip's L2 callback), so
 // per-source counters make the id sequence identical whether a system
-// runs on one engine or on several shard threads — which matters
-// because RDMA reassembly and the outstanding-request tables key on it.
+// runs on one engine or on several shards — which matters because RDMA
+// reassembly and the outstanding-request tables key on it.
 //
-// The counters are thread_local rather than global: the experiment
-// scheduler runs independent MultiGpuSystem instances on concurrent
-// threads, and each system resets this allocator at construction.
-// Sharded systems never reset — their worker threads are born fresh per
-// system and persist across kernels.
+// The counters live in the dispatching Engine (one slot per source),
+// not in thread-local storage: under whole-window work stealing the
+// same shard executes on different host threads across rounds, and an
+// id sequence keyed by thread identity would fork. Engine ownership
+// also makes per-system reset automatic — every MultiGpuSystem builds
+// fresh engines. The thread_local vector remains only as a fallback for
+// packets created outside any engine dispatch (tests, setup code); it
+// is what resetPacketIds() clears.
 inline constexpr std::uint64_t kIdStride = std::uint64_t{1} << 44;
 
 thread_local std::vector<std::uint64_t> nextIdBySrc;
@@ -29,6 +34,8 @@ nextPacketId(GpuId src)
 {
     const std::size_t slot =
         src == kGpuInvalid ? 0 : static_cast<std::size_t>(src) + 1;
+    if (sim::Engine *engine = sim::Engine::current())
+        return slot * kIdStride + engine->bumpScopedId(slot);
     if (slot >= nextIdBySrc.size())
         nextIdBySrc.resize(slot + 1, 0);
     return slot * kIdStride + ++nextIdBySrc[slot];

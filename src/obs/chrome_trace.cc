@@ -292,8 +292,13 @@ writeHostChromeTrace(const sim::ShardedEngine &engine, std::ostream &os)
             args << "{\"window_start\": " << span.windowStart
                  << ", \"window_end\": " << span.windowEnd
                  << ", \"window_ticks\": " << width
-                 << ", \"stall_ticks\": " << span.stallTicks << "}";
-            writer.slice(kHostPid, static_cast<int>(s), "quantum",
+                 << ", \"stall_ticks\": " << span.stallTicks
+                 << ", \"executor\": " << span.executor
+                 << ", \"stolen\": " << (span.stolen ? "true" : "false")
+                 << ", \"covered\": " << (span.covered ? "true" : "false")
+                 << "}";
+            writer.slice(kHostPid, static_cast<int>(s),
+                         span.stolen ? "quantum (stolen)" : "quantum",
                          span.hostBegin * 1e6,
                          (span.hostEnd - span.hostBegin) * 1e6,
                          args.str());
@@ -301,11 +306,33 @@ writeHostChromeTrace(const sim::ShardedEngine &engine, std::ostream &os)
                            span.hostEnd * 1e6,
                            "shard" + std::to_string(s),
                            static_cast<double>(span.stallTicks));
+            // A covered tail stall cost no idle host time — its
+            // executor moved straight on to another unit — so only
+            // uncovered stalls land on the residual track.
+            writer.counter(kHostPid, "residual_stall_ticks",
+                           span.hostEnd * 1e6,
+                           "shard" + std::to_string(s),
+                           span.covered
+                               ? 0.0
+                               : static_cast<double>(span.stallTicks));
             writer.counter(kHostPid, "adaptive_window_ticks",
                            span.hostEnd * 1e6,
                            "shard" + std::to_string(s),
                            static_cast<double>(width));
         }
+    }
+    // The coordinator's per-round log: unit count, threads woken, and
+    // the published-backlog spread (donor/thief imbalance) on counter
+    // tracks of their own.
+    for (const sim::RoundRecord &round : engine.roundLog()) {
+        writer.counter(kHostPid, "round_units", round.hostTime * 1e6,
+                       "units", static_cast<double>(round.units));
+        writer.counter(kHostPid, "round_threads_woken",
+                       round.hostTime * 1e6, "threads",
+                       static_cast<double>(round.threadsWoken));
+        writer.counter(kHostPid, "round_load_spread",
+                       round.hostTime * 1e6, "events",
+                       static_cast<double>(round.loadSpread));
     }
     writer.write(os);
 }

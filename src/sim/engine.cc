@@ -68,9 +68,35 @@ Engine::run(Tick limit)
     return status;
 }
 
+thread_local Engine *Engine::current_ = nullptr;
+
+namespace {
+
+/** Scoped install of Engine::current_ around a dispatch loop. */
+class CurrentEngineScope
+{
+  public:
+    explicit CurrentEngineScope(Engine *engine, Engine *&slot)
+        : slot_(slot), saved_(slot)
+    {
+        slot_ = engine;
+    }
+    ~CurrentEngineScope() { slot_ = saved_; }
+
+    CurrentEngineScope(const CurrentEngineScope &) = delete;
+    CurrentEngineScope &operator=(const CurrentEngineScope &) = delete;
+
+  private:
+    Engine *&slot_;
+    Engine *saved_;
+};
+
+} // namespace
+
 RunStatus
 Engine::runWindow(Tick limit)
 {
+    const CurrentEngineScope scope(this, current_);
     stopRequested_ = false;
     while (!queue_.empty()) {
         if (queue_.nextTick() > limit)

@@ -60,6 +60,31 @@ class Engine
     /** Current simulated time in cycles. */
     Tick now() const { return now_; }
 
+    /**
+     * The engine currently dispatching events on the calling thread, or
+     * nullptr outside run()/runWindow(). Shard-owned state that used to
+     * be keyed by thread identity (the per-source packet-id counters)
+     * keys off this instead: under whole-window work stealing the same
+     * shard's windows execute on different host threads across rounds,
+     * but always under exactly one engine.
+     */
+    static Engine *current() { return current_; }
+
+    /**
+     * Bump-and-return the engine-owned sequence counter for @p slot
+     * (grown on demand). The noc packet-id allocator uses one slot per
+     * source GPU, making id sequences a function of the engine's event
+     * order alone — identical for every shard count, thread count, and
+     * steal schedule.
+     */
+    std::uint64_t
+    bumpScopedId(std::size_t slot)
+    {
+        if (slot >= scopedIds_.size())
+            scopedIds_.resize(slot + 1, 0);
+        return ++scopedIds_[slot];
+    }
+
     /** Schedule @p fn to fire @p delay cycles from now. */
     void
     schedule(Tick delay, EventFn fn)
@@ -223,8 +248,12 @@ class Engine
         freeList_.push_back(ev);
     }
 
+    /** The engine dispatching on this thread (see current()). */
+    static thread_local Engine *current_;
+
     EventQueue queue_;
     Tick now_ = 0;
+    std::vector<std::uint64_t> scopedIds_;
     bool stopRequested_ = false;
     RunStatus lastRunStatus_ = RunStatus::Drained;
     std::uint64_t eventsExecuted_ = 0;

@@ -6,11 +6,15 @@
  * memory access materialises a packet plus a handful of flits that die
  * within a few thousand cycles. PooledPtr<T> replaces shared_ptr for
  * these objects: the reference count lives inside the object (no control
- * block), counting is plain integer arithmetic (no atomics — a system
- * never leaves its thread, see packet.cc's id allocator for the same
- * argument), and a dead object returns to a thread-local free list
- * instead of the heap. Steady state performs zero allocations: the pool
- * grows to its high-water mark and recycles from there.
+ * block), counting is plain integer arithmetic (no atomics — at most
+ * one thread touches a pooled object at a time: a shard's window runs
+ * on exactly one executor thread per round and the quantum barrier
+ * orders rounds, see sharded_engine.hh), and a dead object returns to
+ * the releasing thread's free list instead of the heap. Steady state
+ * performs zero allocations: the pool grows to its high-water mark and
+ * recycles from there. Slabs whose allocating thread exits retire into
+ * a process-lifetime vault (see ~ObjectPool) so migrated nodes stay
+ * valid.
  *
  * A pooled type T must
  *  - derive publicly from PoolRefCount,
@@ -25,6 +29,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 namespace netcrafter::sim {
@@ -59,7 +64,7 @@ template <typename T>
 class ObjectPool
 {
   public:
-    /** Nodes allocated per slab; slabs live until thread exit. */
+    /** Nodes allocated per slab; slabs live for the whole process. */
     static constexpr std::size_t kSlabSize = 256;
 
     /** The calling thread's pool for T. */
@@ -74,6 +79,36 @@ class ObjectPool
     ObjectPool(const ObjectPool &) = delete;
     ObjectPool &operator=(const ObjectPool &) = delete;
 
+    /**
+     * Retire this pool's slabs into a process-lifetime vault instead of
+     * freeing them. A node is released to the *releasing* thread's free
+     * list, so once the work-stealing executor runs a shard's window on
+     * different host threads across rounds, nodes routinely migrate
+     * between per-thread free lists — and a node parked on thread A's
+     * free list (or still live inside a long-lived packet) must stay
+     * valid after thread B, whose pool carved the slab, exits. The
+     * vault is intentionally immortal: slabs retire at worker-thread
+     * exit and stay resident until process teardown, which bounds the
+     * cost at the high-water footprint of every exited thread.
+     */
+    ~ObjectPool()
+    {
+        if (slabs_.empty())
+            return;
+        std::lock_guard<std::mutex> lock(vaultMutex());
+        auto &retired = *vaultSlabs();
+        for (auto &slab : slabs_)
+            retired.push_back(std::move(slab));
+    }
+
+    /** Slabs retired process-wide by exited threads (diagnostics). */
+    static std::size_t
+    retiredSlabs()
+    {
+        std::lock_guard<std::mutex> lock(vaultMutex());
+        return vaultSlabs()->size();
+    }
+
     /** Acquire a node in its default-constructed state, refcount 1. */
     PooledPtr<T>
     allocate()
@@ -82,7 +117,14 @@ class ObjectPool
             grow();
         T *obj = free_.back();
         free_.pop_back();
-        const std::size_t live = allocated_ - free_.size();
+        // Nodes released on this thread but carved by another thread's
+        // pool land on this free list too (work stealing migrates
+        // units between executors), so the free list can exceed this
+        // pool's own arena — clamp instead of underflowing. The
+        // high-water mark tracks net local liveness: a diagnostic of
+        // this pool's footprint, not a global census.
+        const std::size_t live =
+            allocated_ > free_.size() ? allocated_ - free_.size() : 0;
         if (live > highWater_)
             highWater_ = live;
         return PooledPtr<T>(obj);
@@ -122,6 +164,26 @@ class ObjectPool
         // free-list push happens after the reset completes.
         obj->resetForReuse();
         free_.push_back(obj);
+    }
+
+    static std::mutex &
+    vaultMutex()
+    {
+        static std::mutex m;
+        return m;
+    }
+
+    /**
+     * Leaked singleton: the vault must outlive every thread_local pool,
+     * including the main thread's (whose destructor runs during static
+     * teardown), so it is never destroyed. Still reachable through this
+     * pointer, so leak checkers stay quiet.
+     */
+    static std::vector<std::unique_ptr<T[]>> *
+    vaultSlabs()
+    {
+        static auto *retired = new std::vector<std::unique_ptr<T[]>>();
+        return retired;
     }
 
     std::vector<std::unique_ptr<T[]>> slabs_;

@@ -38,45 +38,79 @@ defaultLookaheadMode()
 
 /**
  * Shared state of one parallel drain. The quantum barrier is a single
- * sense-reversing rendezvous: `pending` counts the active shards still
+ * sense-reversing rendezvous: `pending` counts the woken threads still
  * inside the current round, and the last one to decrement becomes the
  * round coordinator — it runs decide() with exclusive access (every
- * other shard is blocked on its doorbell) and publishes the next
- * window by ringing exactly the doorbells of the shards that have work
- * in it. The doorbell word doubles as the sense: even values 2r mean
- * "execute round r", odd values mean "the drain is over". Shards
- * futex-wait (std::atomic::wait) on their own doorbell, so a shard
- * with nothing to do sleeps through any number of rounds without
- * touching the barrier.
+ * other thread is parked on its doorbell) and publishes the next
+ * window by ringing exactly the doorbells of the threads that have (or
+ * may steal) work in it. The doorbell word doubles as the sense: even
+ * values 2r mean "execute round r", odd values mean "the drain is
+ * over". Threads futex-wait (std::atomic::wait) on their own doorbell,
+ * so a thread with nothing to do sleeps through any number of rounds
+ * without touching the barrier.
+ *
+ * Work units are claimed, not assigned: `claim[s]` holds the round
+ * number in which shard s's unit was last claimed, and claiming unit s
+ * for round r is a single CAS from the observed stale value (< r) to
+ * r. Round numbers only ever grow, so the word never needs resetting
+ * and a stale competitor simply loses the CAS. Counting *threads*
+ * rather than units in `pending` is what makes the protocol safe: a
+ * thread decrements only after its ledger scan is finished, so the
+ * coordinator never rebuilds the ledger or the claim inputs while any
+ * thread might still be reading them.
  *
  * The worker threads park on `cv` between run() calls and re-enter the
  * round loop when `generation` advances.
  */
 struct ShardedEngine::Coordination
 {
-    explicit Coordination(unsigned n)
-        : door(new std::atomic<std::uint64_t>[n]),
-          nextTick(n, kTickNever), lower(n, kTickNever), active(n, 0)
+    Coordination(unsigned shards, unsigned threads)
+        : door(new std::atomic<std::uint64_t>[threads]),
+          claim(new std::atomic<std::uint64_t>[shards]),
+          nextTick(shards, kTickNever), lower(shards, kTickNever),
+          load(shards, 0), active(shards, 0), ledger(shards, 0),
+          woken(threads, 0)
     {
-        for (unsigned s = 0; s < n; ++s)
-            door[s].store(0, std::memory_order_relaxed);
+        for (unsigned t = 0; t < threads; ++t)
+            door[t].store(0, std::memory_order_relaxed);
+        for (unsigned s = 0; s < shards; ++s)
+            claim[s].store(0, std::memory_order_relaxed);
     }
 
-    /** Active shards still inside the current round. */
+    /** Woken threads still inside the current round. */
     std::atomic<std::uint32_t> pending{0};
 
-    /** Per-shard doorbell/sense word (see above). */
+    /** Per-thread doorbell/sense word (see above). */
     std::unique_ptr<std::atomic<std::uint64_t>[]> door;
+
+    /** Per-shard claim word: the round that last claimed the unit. */
+    std::unique_ptr<std::atomic<std::uint64_t>[]> claim;
 
     /** Rounds decided so far; only the coordinator writes it. */
     std::uint64_t round = 0;
 
     // Decision inputs/outputs. Written by the coordinator, published
-    // to the woken shards by the doorbell release/acquire pair.
+    // to the woken threads by the doorbell release/acquire pair.
+    // nextTick and load are re-published by each unit's executor after
+    // its window runs; nothing reads them again until the next
+    // decide(), which the thread-counted barrier orders after every
+    // executor's writes.
     Tick limit = kTickNever;
     std::vector<Tick> nextTick;
     std::vector<Tick> lower;
+    std::vector<std::uint64_t> load;
     std::vector<char> active;
+
+    /** Steal-eligible active shards, most-loaded first (shard id as
+     *  the tie-break); only the first ledgerSize entries are valid.
+     *  Read-only during a round — eligibility is frozen at decide()
+     *  time so thieves never race the executors' load updates. */
+    std::vector<unsigned> ledger;
+    std::uint32_t ledgerSize = 0;
+
+    /** Threads participating in the current round. */
+    std::vector<char> woken;
+
     Tick windowStart = 0;
     Tick windowEnd = kTickNever;
     RunStatus status = RunStatus::Drained;
@@ -89,8 +123,8 @@ struct ShardedEngine::Coordination
     std::vector<std::thread> threads;
 };
 
-ShardedEngine::ShardedEngine(unsigned shards)
-    : windowDist_(kWindowBuckets),
+ShardedEngine::ShardedEngine(unsigned shards, ExecPolicy exec)
+    : exec_(exec), windowDist_(kWindowBuckets),
       epoch_(std::chrono::steady_clock::now())
 {
     NC_ASSERT(shards >= 1, "a system needs at least one shard");
@@ -101,11 +135,22 @@ ShardedEngine::ShardedEngine(unsigned shards)
     minOutLatency_.assign(shards, kTickNever);
     hostSpans_.resize(shards);
 
+    threads_ = exec.threads == 0 ? shards : exec.threads;
+    threads_ = std::clamp(threads_, 1u, shards);
+    exec_.threads = threads_;
+    if (exec_.stealMinBacklog == 0)
+        exec_.stealMinBacklog = 1;
+
+    stealAttempts_.assign(threads_, 0);
+    stealsWon_.assign(threads_, 0);
+    stealsAborted_.assign(threads_, 0);
+    coveredStall_.assign(threads_, 0);
+
     if (shards > 1) {
-        coord_ = std::make_unique<Coordination>(shards);
-        for (unsigned s = 1; s < shards; ++s)
+        coord_ = std::make_unique<Coordination>(shards, threads_);
+        for (unsigned t = 1; t < threads_; ++t)
             coord_->threads.emplace_back(
-                [this, s] { workerMain(s); });
+                [this, t] { workerMain(t); });
     }
 }
 
@@ -149,15 +194,15 @@ ShardedEngine::setLookahead(Tick ticks)
 }
 
 /**
- * Round coordinator: every active shard of the previous round has
- * published its earliest pending tick and arrived; every other shard
- * is parked on its doorbell. Seal the channel outboxes, derive the
- * per-shard earliest runnable ticks, pick the next window and its
- * active set, and ring exactly those doorbells (all of them when the
- * drain is over). Exclusive access throughout, so plain writes are
- * safe; every input is pre-barrier state, so any coordinator thread
- * computes the same decision — determinism does not depend on which
- * shard arrives last.
+ * Round coordinator: every woken thread of the previous round has
+ * finished its claims and arrived; every other thread is parked on its
+ * doorbell. Seal the channel outboxes, derive the per-shard earliest
+ * runnable ticks, pick the next window, its active set and its steal
+ * ledger, choose which threads to wake, and ring exactly those
+ * doorbells (all of them when the drain is over). Exclusive access
+ * throughout, so plain writes are safe; every input is pre-barrier
+ * state, so any coordinator thread computes the same decision —
+ * determinism does not depend on which thread arrives last.
  */
 void
 ShardedEngine::decide() noexcept
@@ -173,8 +218,8 @@ ShardedEngine::decide() noexcept
 
     // Earliest runnable tick per shard: its own event queue or a
     // sealed cross-shard arrival addressed to it. Parked shards'
-    // published next-event ticks stay valid — only a shard's own
-    // thread ever runs its engine.
+    // published next-event ticks stay valid — a shard's engine only
+    // runs under a claimed unit, and claims are per-round exclusive.
     for (unsigned s = 0; s < n; ++s)
         c.lower[s] = c.nextTick[s];
     for (const CrossShardPort *port : ports_) {
@@ -195,9 +240,9 @@ ShardedEngine::decide() noexcept
             m == kTickNever ? RunStatus::Drained : RunStatus::LimitHit;
         ++c.round;
         const std::uint64_t ring = 2 * c.round + 1;
-        for (unsigned s = 0; s < n; ++s) {
-            c.door[s].store(ring, std::memory_order_release);
-            c.door[s].notify_one();
+        for (unsigned t = 0; t < threads_; ++t) {
+            c.door[t].store(ring, std::memory_order_release);
+            c.door[t].notify_one();
         }
         return;
     }
@@ -236,11 +281,11 @@ ShardedEngine::decide() noexcept
     }
 
     // Active set: shards with anything runnable inside the window.
-    // Everyone else sleeps through the round on its doorbell — no
-    // spinning through empty quanta, no barrier slot. The fixed-Q
-    // baseline keeps the PR 3 cost model instead: every shard runs
-    // every round and pays the full window-tail stall, which is
-    // exactly the synchronization tax BENCH_parallel.json measures.
+    // Everyone else sleeps through the round — no spinning through
+    // empty quanta, no barrier slot. The fixed-Q baseline keeps the
+    // PR 3 cost model instead: every shard runs every round and pays
+    // the full window-tail stall, which is exactly the
+    // synchronization tax BENCH_parallel.json measures.
     std::uint32_t actives = 0;
     if (mode_ == LookaheadMode::Adaptive) {
         for (unsigned s = 0; s < n; ++s) {
@@ -248,90 +293,247 @@ ShardedEngine::decide() noexcept
             actives += static_cast<std::uint32_t>(c.active[s]);
         }
         idleParks_ += n - actives;
-        if (actives == 1) {
-            // Solo round: the coordinator role lands on (or migrates
-            // to) the only runnable shard and no rendezvous happens
-            // at all.
-            ++barrierRoundsSkipped_;
-        }
     } else {
         for (unsigned s = 0; s < n; ++s)
             c.active[s] = 1;
         actives = n;
     }
 
-    c.pending.store(actives, std::memory_order_release);
-    ++c.round;
-    const std::uint64_t ring = 2 * c.round;
+    // Donor/thief imbalance: the published-backlog spread over the
+    // round's units is the headroom stealing can exploit. Published
+    // loads are simulation state, so the sample stream is
+    // deterministic even though the steals themselves are not.
+    std::uint64_t spread = 0;
+    if (actives >= 2) {
+        std::uint64_t lo = ~std::uint64_t{0}, hi = 0;
+        for (unsigned s = 0; s < n; ++s) {
+            if (!c.active[s])
+                continue;
+            lo = std::min(lo, c.load[s]);
+            hi = std::max(hi, c.load[s]);
+        }
+        spread = hi - lo;
+        loadSpread_.sample(static_cast<double>(spread));
+    }
+
+    // Steal ledger: active units whose published backlog clears the
+    // granularity floor, most-loaded first. Frozen here so the round's
+    // thieves never read load[] while executors rewrite it.
+    c.ledgerSize = 0;
+    if (exec_.steal) {
+        for (unsigned s = 0; s < n; ++s)
+            if (c.active[s] && c.load[s] >= exec_.stealMinBacklog)
+                c.ledger[c.ledgerSize++] = s;
+        std::sort(c.ledger.begin(), c.ledger.begin() + c.ledgerSize,
+                  [&c](unsigned a, unsigned b) {
+                      if (c.load[a] != c.load[b])
+                          return c.load[a] > c.load[b];
+                      return a < b;
+                  });
+    }
+
+    // Wake the home threads of every active unit — home coverage is
+    // what guarantees each unit gets claimed even if no one steals —
+    // plus, when stealing, spare threads (lowest index first) up to
+    // one thread per unit. A spare can only claim off the ledger, so
+    // it may occasionally wake to find everything already taken;
+    // that costs one futile scan, never correctness.
+    std::fill(c.woken.begin(), c.woken.end(), 0);
+    std::uint32_t woken = 0;
     for (unsigned s = 0; s < n; ++s) {
-        if (!c.active[s])
+        if (c.active[s] && !c.woken[homeThread(s)]) {
+            c.woken[homeThread(s)] = 1;
+            ++woken;
+        }
+    }
+    if (exec_.steal) {
+        const std::uint32_t target =
+            std::min<std::uint32_t>(threads_, actives);
+        for (unsigned t = 0; t < threads_ && woken < target; ++t) {
+            if (!c.woken[t]) {
+                c.woken[t] = 1;
+                ++woken;
+            }
+        }
+    }
+    if (woken == 1) {
+        // Solo round: the coordinator role lands on (or migrates to)
+        // the only participating thread and no rendezvous happens.
+        ++barrierRoundsSkipped_;
+    }
+
+    c.pending.store(woken, std::memory_order_release);
+    ++c.round;
+
+    if (hostTimeline_)
+        roundLog_.push_back(
+            RoundRecord{c.round, hostSeconds(), actives, woken, spread});
+
+    // Ring exactly `woken` doorbells and stop: the loop must not touch
+    // c.woken after the final ring. Once the last woken thread's door
+    // is released, that thread can execute, arrive last, and start the
+    // NEXT round's decide() — which rebuilds c.woken. Every read here
+    // is sequenced before some later release store on a door whose
+    // thread the next round waits on, so stopping at the final ring is
+    // what keeps this coordinator ordered before its successor.
+    const std::uint64_t ring = 2 * c.round;
+    for (unsigned t = 0, rung = 0; rung < woken; ++t) {
+        if (!c.woken[t])
             continue;
-        c.door[s].store(ring, std::memory_order_release);
-        c.door[s].notify_one();
+        c.door[t].store(ring, std::memory_order_release);
+        c.door[t].notify_one();
+        ++rung;
     }
 }
 
-void
-ShardedEngine::shardLoop(unsigned s)
+/**
+ * Execute shard @p s's whole-window unit on thread @p t: drain the
+ * sealed mailboxes addressed to the shard (registration order — the
+ * serial order), run the window, account the window-tail stall, and
+ * re-publish the shard's next-event tick and backlog for the next
+ * decide(). Returns the unit's tail stall so the caller can mark it
+ * covered if this thread goes on to run another unit this round.
+ */
+std::uint64_t
+ShardedEngine::execUnit(unsigned s, unsigned t)
 {
-    Engine &engine = *engines_[s];
     Coordination &c = *coord_;
+    Engine &engine = *engines_[s];
 
-    // Join the drain: publish the earliest pending tick and arrive.
-    // The last shard in becomes the coordinator of the first round.
+    // Import phase: flits materialize on the destination shard, credit
+    // returns come home to the source side — pinned to the owning
+    // shard's unit (not the executing thread), so arrival order is a
+    // function of the partition alone.
+    for (CrossShardPort *port : ports_) {
+        if (port->dstShard() == s)
+            port->importAtDst();
+        if (port->srcShard() == s)
+            port->importAtSrc();
+    }
+
+    const Tick window_end = c.windowEnd;
+    const double host_begin = hostTimeline_ ? hostSeconds() : 0;
+    engine.runWindow(window_end);
+
+    // Idle ticks at the window tail: the window forced this shard to
+    // wait even though it had nothing left to simulate. An unbounded
+    // drain-ahead window has no tail by construction.
+    std::uint64_t stall = 0;
+    if (window_end != kTickNever) {
+        const Tick resume = std::max(engine.now() + 1, c.windowStart);
+        stall = (window_end + 1) - std::min(window_end + 1, resume);
+        stallTicks_[s] += stall;
+    }
+
+    if (hostTimeline_) {
+        // hostSpans_[s] is only ever touched by the unit's executor,
+        // and claims make that exclusive per round.
+        QuantumSpan span;
+        span.windowStart = c.windowStart;
+        span.windowEnd = window_end == kTickNever ? engine.now()
+                                                  : window_end;
+        span.hostBegin = host_begin;
+        span.hostEnd = hostSeconds();
+        span.stallTicks = stall;
+        span.executor = t;
+        span.stolen = homeThread(s) != t;
+        hostSpans_[s].push_back(span);
+    }
+
     c.nextTick[s] = engine.nextEventTick();
-    std::uint64_t seen = c.door[s].load(std::memory_order_acquire);
+    c.load[s] = engine.pendingEvents();
+    return stall;
+}
+
+void
+ShardedEngine::threadLoop(unsigned t)
+{
+    Coordination &c = *coord_;
+    const unsigned n = numShards();
+
+    // Join the drain: publish the home shards' earliest pending ticks
+    // and backlogs, then arrive. The last thread in becomes the
+    // coordinator of the first round.
+    for (unsigned s = t; s < n; s += threads_) {
+        c.nextTick[s] = engines_[s]->nextEventTick();
+        c.load[s] = engines_[s]->pendingEvents();
+    }
+    std::uint64_t seen = c.door[t].load(std::memory_order_acquire);
     if (c.pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
         decide();
 
     for (;;) {
-        c.door[s].wait(seen, std::memory_order_acquire);
-        seen = c.door[s].load(std::memory_order_acquire);
+        c.door[t].wait(seen, std::memory_order_acquire);
+        seen = c.door[t].load(std::memory_order_acquire);
         if (seen & 1)
             return; // drain over; c.status is already published
+        const std::uint64_t r = seen / 2;
 
-        // Import phase: drain every sealed mailbox addressed to this
-        // shard. Flits materialize on this (the destination) thread;
-        // credit returns come home to the source side. The mailboxes
-        // were sealed by the coordinator that rang this doorbell.
-        for (CrossShardPort *port : ports_) {
-            if (port->dstShard() == s)
-                port->importAtDst();
-            if (port->srcShard() == s)
-                port->importAtSrc();
+        // Tail-stall coverage: when this thread begins another unit in
+        // the same round, the previous unit's window-tail stall cost
+        // no idle host time — the thread was busy, not barrier-bound.
+        std::uint64_t prev_stall = 0;
+        unsigned prev_shard = 0;
+        bool have_prev = false;
+        const auto runUnit = [&](unsigned s) {
+            if (have_prev) {
+                coveredStall_[t] += prev_stall;
+                if (hostTimeline_)
+                    hostSpans_[prev_shard].back().covered = true;
+            }
+            prev_stall = execUnit(s, t);
+            prev_shard = s;
+            have_prev = true;
+        };
+
+        // Home pass: claim own units first, ascending shard order.
+        // Every active unit's home thread is woken, so this pass alone
+        // covers the round even with stealing disabled.
+        for (unsigned s = t; s < n; s += threads_) {
+            if (!c.active[s])
+                continue;
+            std::uint64_t stale =
+                c.claim[s].load(std::memory_order_acquire);
+            if (stale >= r)
+                continue; // already stolen this round
+            if (c.claim[s].compare_exchange_strong(
+                    stale, r, std::memory_order_acq_rel))
+                runUnit(s);
         }
 
-        const Tick window_end = c.windowEnd;
-        const double host_begin = hostTimeline_ ? hostSeconds() : 0;
-        engine.runWindow(window_end);
-
-        // Idle ticks at the window tail: the window forced this shard
-        // to wait even though it had nothing left to simulate. An
-        // unbounded drain-ahead window has no tail by construction.
-        std::uint64_t stall = 0;
-        if (window_end != kTickNever) {
-            const Tick resume =
-                std::max(engine.now() + 1, c.windowStart);
-            stall = (window_end + 1) - std::min(window_end + 1, resume);
-            stallTicks_[s] += stall;
+        // Steal pass: walk the ledger (most-loaded donors first) and
+        // CAS-claim leftover units. The claim decides only WHO runs
+        // the unit; its window, mailboxes, and engine state were all
+        // frozen at the barrier, so results are executor-invariant.
+        if (exec_.steal) {
+            for (std::uint32_t i = 0; i < c.ledgerSize; ++i) {
+                const unsigned s = c.ledger[i];
+                if (homeThread(s) == t)
+                    continue;
+                std::uint64_t stale =
+                    c.claim[s].load(std::memory_order_acquire);
+                if (stale >= r)
+                    continue; // somebody already has it
+                ++stealAttempts_[t];
+                if (c.claim[s].compare_exchange_strong(
+                        stale, r, std::memory_order_acq_rel)) {
+                    ++stealsWon_[t];
+                    runUnit(s);
+                } else {
+                    ++stealsAborted_[t];
+                }
+            }
         }
 
-        if (hostTimeline_) {
-            // hostSpans_[s] is only ever touched by shard s's thread.
-            hostSpans_[s].push_back(QuantumSpan{
-                c.windowStart,
-                window_end == kTickNever ? engine.now() : window_end,
-                host_begin, hostSeconds(), stall});
-        }
-
-        c.nextTick[s] = engine.nextEventTick();
+        // Arrive only after the scan is complete: the coordinator must
+        // not rebuild the ledger while any thread could still read it.
         if (c.pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
             decide();
     }
 }
 
 void
-ShardedEngine::workerMain(unsigned s)
+ShardedEngine::workerMain(unsigned t)
 {
     std::uint64_t seen = 0;
     for (;;) {
@@ -344,7 +546,7 @@ ShardedEngine::workerMain(unsigned s)
                 return;
             seen = coord_->generation;
         }
-        shardLoop(s);
+        threadLoop(t);
     }
 }
 
@@ -359,22 +561,26 @@ ShardedEngine::run(Tick limit)
         const Tick start_tick = engines_[0]->now();
         const double host_begin = hostSeconds();
         const RunStatus status = engines_[0]->run(limit);
-        hostSpans_[0].push_back(QuantumSpan{
-            start_tick, engines_[0]->now(), host_begin, hostSeconds(), 0});
+        QuantumSpan span;
+        span.windowStart = start_tick;
+        span.windowEnd = engines_[0]->now();
+        span.hostBegin = host_begin;
+        span.hostEnd = hostSeconds();
+        hostSpans_[0].push_back(span);
         return status;
     }
 
     {
         std::lock_guard<std::mutex> lk(coord_->m);
         coord_->limit = limit;
-        // Every shard joins the first round; a worker still unwinding
+        // Every thread joins the first round; a worker still unwinding
         // from the previous drain re-arrives through workerMain, so
         // the countdown never releases early.
-        coord_->pending.store(numShards(), std::memory_order_release);
+        coord_->pending.store(threads_, std::memory_order_release);
         ++coord_->generation;
     }
     coord_->cv.notify_all();
-    shardLoop(0); // the caller drives shard 0
+    threadLoop(0); // the caller drives thread 0
     return coord_->status;
 }
 
@@ -410,6 +616,48 @@ ShardedEngine::totalBarrierStallTicks() const
     std::uint64_t sum = 0;
     for (std::uint64_t ticks : stallTicks_)
         sum += ticks;
+    return sum;
+}
+
+std::uint64_t
+ShardedEngine::coveredStallTicks() const
+{
+    std::uint64_t sum = 0;
+    for (std::uint64_t ticks : coveredStall_)
+        sum += ticks;
+    return sum;
+}
+
+std::uint64_t
+ShardedEngine::residualStallTicks() const
+{
+    return totalBarrierStallTicks() - coveredStallTicks();
+}
+
+std::uint64_t
+ShardedEngine::stealAttempts() const
+{
+    std::uint64_t sum = 0;
+    for (std::uint64_t v : stealAttempts_)
+        sum += v;
+    return sum;
+}
+
+std::uint64_t
+ShardedEngine::stealsWon() const
+{
+    std::uint64_t sum = 0;
+    for (std::uint64_t v : stealsWon_)
+        sum += v;
+    return sum;
+}
+
+std::uint64_t
+ShardedEngine::stealsAborted() const
+{
+    std::uint64_t sum = 0;
+    for (std::uint64_t v : stealsAborted_)
+        sum += v;
     return sum;
 }
 

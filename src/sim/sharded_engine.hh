@@ -32,40 +32,50 @@
  *    are pre-barrier state computed once by the round coordinator, so
  *    every shard observes the same window: determinism is preserved.
  *
- * Between windows the shards meet at a single sense-reversing barrier:
- * a shared countdown of the round's active shards plus one doorbell
- * word per shard. The last shard to arrive becomes the coordinator: it
- * seals every channel's outbox (moving it to the import side), picks
- * the next window, chooses the next active set, and rings the
- * doorbells of exactly the shards that have work inside the window.
- * Each rung shard first drains the sealed mailboxes addressed to it —
- * re-materializing payloads into its own thread-local pools (pooled
- * objects have non-atomic refcounts and never cross threads) and
- * scheduling the arrivals as wire-phase events — then runs the window.
- * Wire-phase events fire before a tick's default events and same-tick
- * wire events commute, so execution stays bit-identical to the serial
- * engine, which runs the very same channels inline on one Engine.
+ * Execution model (PR 7): shards are deterministic work *partitions*,
+ * host threads are *executors*, and the two are decoupled by
+ * ExecPolicy. Each round, every active shard's whole window — import
+ * its sealed cross-shard mailboxes, then Engine::runWindow to the
+ * round's window end — is one indivisible work unit. The coordinator
+ * publishes the round's units in a steal ledger ordered by published
+ * backlog (most-loaded first, shard id as the tie-break); each woken
+ * thread claims its *home* units first (shard s is homed on thread
+ * s % T — affinity that keeps caches warm, not a correctness
+ * requirement), then, when stealing is enabled, CAS-claims leftover
+ * units off the top of the ledger. A claim word decides only WHICH
+ * thread executes a unit, never WHAT the unit does: the unit's inputs
+ * (window, sealed mailboxes, shard engine state) are all pre-barrier
+ * state, packet-id counters live in the shard's Engine rather than in
+ * thread-local storage, and pooled-object slabs outlive their
+ * allocating thread (sim/pool.hh), so replaying the ledger on any
+ * executor produces bit-identical results. Ingress stays pinned to the
+ * owning shard: sealed mailboxes are drained into the destination
+ * shard's engine by whichever thread executes that shard's unit,
+ * before the unit's window runs, in port-registration order — exactly
+ * the serial order.
  *
- * In Adaptive mode a shard with nothing runnable inside the window is
- * not woken at all: it stays parked in a futex-style wait on its
- * doorbell while the coordinator reuses its published next-event tick,
- * and it only pays for the rounds in which it participates (counted by
- * idleParks()). When a single shard has runnable events — the common
- * tail of a run — the coordinator role collapses onto that shard and
- * rounds proceed with no rendezvous at all (counted by
- * barrierRoundsSkipped()). FixedQuantum mode deliberately keeps the
- * PR 3 cost model — every shard executes every round and accrues the
- * full window-tail stall — so benchmarks can quantify the
- * synchronization tax the adaptive path removes against an unchanged
- * baseline.
+ * Between rounds the participating threads meet at a single
+ * sense-reversing barrier: a shared countdown plus one doorbell word
+ * per thread. The last thread to finish becomes the coordinator: it
+ * seals every channel's outbox, picks the next window, chooses the
+ * active shard set, builds the steal ledger, and rings the doorbells of
+ * exactly the threads that have (or may steal) work. Parked shards cost
+ * nothing (idleParks()); rounds with a single participating thread skip
+ * the rendezvous entirely (barrierRoundsSkipped()). FixedQuantum mode
+ * deliberately keeps the PR 3 cost model — every shard executes every
+ * round and accrues the full window-tail stall — so benchmarks can
+ * quantify the synchronization tax against an unchanged baseline.
  *
- * Threading model: shard 0 runs on the caller's thread; shards 1..N-1
- * each own a persistent worker thread that parks between run() calls.
- * The same OS thread always drives the same shard for the lifetime of
- * the ShardedEngine, keeping thread-local pools and per-GPU packet-id
- * counters stable across kernels. A ShardedEngine must only be
- * destroyed after its runs drained completely (no pooled objects may
- * outlive the worker threads that own their arenas).
+ * Stall accounting: barrierStallTicks keeps its PR 3/5 meaning — idle
+ * sim-ticks at the tails of windows a shard participated in. Stealing
+ * cannot change that number (the windows are fixed by the protocol);
+ * what it changes is whether those ticks cost idle *host* time. A
+ * unit's tail stall is "covered" when its executor went on to run
+ * another unit in the same round (stolen or home-multiplexed) instead
+ * of idling at the barrier; residualStallTicks() = total - covered is
+ * the stall that still manifests as host idle time. Steal counters and
+ * coverage depend on host scheduling and are diagnostics, never
+ * measurements.
  */
 
 #ifndef NETCRAFTER_SIM_SHARDED_ENGINE_HH
@@ -102,6 +112,38 @@ void setDefaultLookaheadMode(LookaheadMode mode);
 LookaheadMode defaultLookaheadMode();
 
 /**
+ * How a ShardedEngine maps shards (deterministic work partitions) onto
+ * host threads (executors). Execution details only: every combination
+ * produces bit-identical simulation results.
+ */
+struct ExecPolicy
+{
+    /**
+     * Executor threads driving the shards; 0 means one per shard (the
+     * classic PR 3 mapping). Clamped to [1, shards]. With fewer threads
+     * than shards, thread t is home to shards {s : s % threads == t}
+     * and multiplexes them within each round.
+     */
+    unsigned threads = 0;
+
+    /**
+     * Let a thread that drained its home units claim whole-window units
+     * of other shards off the per-round steal ledger (most-loaded
+     * first). Off by default; results are identical either way.
+     */
+    bool steal = false;
+
+    /**
+     * Steal granularity floor: a unit is only *steal*-eligible when its
+     * shard's published backlog (pending events) is at least this many
+     * events — home execution always covers every unit regardless.
+     * Filters out steals whose migration cost (cold caches, pool-node
+     * churn) exceeds the work moved.
+     */
+    std::uint32_t stealMinBacklog = 1;
+};
+
+/**
  * A directed cross-shard message queue, implemented by the wire
  * channels. During a window only the owning side writes to the outbox;
  * at the barrier the coordinator seals it (moves it to the import
@@ -133,7 +175,7 @@ class CrossShardPort
     /**
      * Move everything currently queued in the outboxes to the sealed
      * import side, preserving order. Called only by the round
-     * coordinator while every other shard is blocked, so it may touch
+     * coordinator while every other thread is blocked, so it may touch
      * both sides without synchronization.
      */
     virtual void sealExports() = 0;
@@ -146,10 +188,12 @@ class CrossShardPort
      *  (credit returns), or kTickNever. */
     virtual Tick earliestSealedArrivalAtSrc() const = 0;
 
-    /** Drain sealed flits into the destination shard (its thread). */
+    /** Drain sealed flits into the destination shard (on whichever
+     *  thread executes the destination shard's unit this round). */
     virtual void importAtDst() = 0;
 
-    /** Drain sealed credit returns into the source shard (its thread). */
+    /** Drain sealed credit returns into the source shard (on its
+     *  unit's executor thread). */
     virtual void importAtSrc() = 0;
 
     /**
@@ -164,11 +208,11 @@ class CrossShardPort
 
 /**
  * One conservative quantum as seen from a shard, on the host clock:
- * which window it covered, when the shard entered/left it (seconds
- * since the ShardedEngine's construction), and how many of its ticks
- * were barrier-imposed idle time. Feeds the host-time trace lanes.
- * Parked rounds record no span — the gaps in the timeline are the
- * rounds a shard slept through.
+ * which window it covered, when its unit entered/left it (seconds
+ * since the ShardedEngine's construction), how many of its ticks were
+ * barrier-imposed idle time, and which executor ran it. Feeds the
+ * host-time trace lanes. Parked rounds record no span — the gaps in
+ * the timeline are the rounds a shard slept through.
  */
 struct QuantumSpan
 {
@@ -177,13 +221,40 @@ struct QuantumSpan
     double hostBegin = 0;
     double hostEnd = 0;
     std::uint64_t stallTicks = 0;
+
+    /** Executor thread that ran this unit. */
+    unsigned executor = 0;
+
+    /** True when the executor was not the shard's home thread. */
+    bool stolen = false;
+
+    /** True when the executor ran another unit in the same round after
+     *  this one, so stallTicks cost no idle host time. */
+    bool covered = false;
+};
+
+/** One row of the per-round coordinator log (host-timeline only). */
+struct RoundRecord
+{
+    std::uint64_t round = 0;
+    double hostTime = 0;
+
+    /** Active shards (= work units) in the round. */
+    std::uint32_t units = 0;
+
+    /** Threads woken for the round. */
+    std::uint32_t threadsWoken = 0;
+
+    /** Published-backlog spread max-min over the active shards (the
+     *  donor/thief imbalance stealing exists to exploit). */
+    std::uint64_t loadSpread = 0;
 };
 
 /** Drives N shard Engines through conservative barrier-synced quanta. */
 class ShardedEngine
 {
   public:
-    explicit ShardedEngine(unsigned shards);
+    explicit ShardedEngine(unsigned shards, ExecPolicy exec = {});
     ~ShardedEngine();
 
     ShardedEngine(const ShardedEngine &) = delete;
@@ -196,6 +267,12 @@ class ShardedEngine
         return static_cast<unsigned>(engines_.size());
     }
 
+    /** Executor threads (1 when serial; <= numShards() otherwise). */
+    unsigned workThreads() const { return threads_; }
+
+    /** The execution policy after clamping. */
+    const ExecPolicy &execPolicy() const { return exec_; }
+
     /** The engine of shard @p s; components bind to it at build time. */
     Engine &shard(unsigned s) { return *engines_[s]; }
     const Engine &shard(unsigned s) const { return *engines_[s]; }
@@ -203,9 +280,9 @@ class ShardedEngine
     /**
      * Register a cross-shard channel endpoint. Must happen before the
      * first run(); registration order fixes the (deterministic) order
-     * in which a shard drains its inboxes at each barrier. The port's
-     * minLatency() lowers the earliest-departure bound of both shards
-     * it touches.
+     * in which a shard's unit drains its inboxes at each barrier. The
+     * port's minLatency() lowers the earliest-departure bound of both
+     * shards it touches.
      */
     void registerPort(CrossShardPort &port);
 
@@ -252,11 +329,12 @@ class ShardedEngine
     /**
      * Ticks at the tail of windows a shard participated in during
      * which it had no events left — idle time imposed by the
-     * conservative window. In Adaptive mode, rounds a shard slept
-     * through entirely are counted by idleParks(), not here: a parked
-     * shard costs neither host cycles nor a barrier slot. In
-     * FixedQuantum mode every shard participates in every round, so
-     * this accrues the full PR 3 synchronization tax.
+     * conservative window. Deterministic: a pure function of the round
+     * protocol, identical for every thread count and steal schedule.
+     * In Adaptive mode, rounds a shard slept through entirely are
+     * counted by idleParks(), not here. In FixedQuantum mode every
+     * shard participates in every round, so this accrues the full PR 3
+     * synchronization tax.
      */
     std::uint64_t
     barrierStallTicks(unsigned s) const
@@ -268,10 +346,39 @@ class ShardedEngine
     std::uint64_t totalBarrierStallTicks() const;
 
     /**
+     * Window-tail stall ticks whose executor thread ran another unit
+     * in the same round right after — exposure the steal/multiplex
+     * schedule converted into useful host time. Host-schedule
+     * dependent: a diagnostic, not a measurement.
+     */
+    std::uint64_t coveredStallTicks() const;
+
+    /** totalBarrierStallTicks() minus coveredStallTicks(): the stall
+     *  that still cost idle host time at the barrier. */
+    std::uint64_t residualStallTicks() const;
+
+    /** Ledger claims attempted by non-home threads (diagnostic). */
+    std::uint64_t stealAttempts() const;
+
+    /** Ledger claims won by non-home threads: units that actually
+     *  executed away from their home thread (diagnostic). */
+    std::uint64_t stealsWon() const;
+
+    /** Ledger claims lost to a concurrent claimant (diagnostic). */
+    std::uint64_t stealsAborted() const;
+
+    /**
+     * Mean/max published-backlog spread (max - min pending events over
+     * the round's active shards), sampled once per round with >= 2
+     * active shards. Deterministic: published loads are sim state.
+     */
+    const stats::Average &loadSpreadAvg() const { return loadSpread_; }
+
+    /**
      * Rounds that ran without any barrier rendezvous because a single
-     * shard had runnable events (the common tail of a run): the
-     * coordinator role stays on that shard and no doorbell is rung.
-     * Always 0 in FixedQuantum mode.
+     * thread participated (the common tail of a run): the coordinator
+     * role stays on that thread and no doorbell rendezvous happens.
+     * Always 0 in FixedQuantum mode with more than one thread.
      */
     std::uint64_t barrierRoundsSkipped() const
     {
@@ -300,8 +407,9 @@ class ShardedEngine
 
     /**
      * Record a QuantumSpan per shard per participated window (and one
-     * span per serial run() call) for the host-time trace. Off by
-     * default: the spans cost a clock read per window.
+     * span per serial run() call) plus a RoundRecord per round for the
+     * host-time trace. Off by default: the spans cost a clock read per
+     * window.
      */
     void setHostTimelineEnabled(bool on) { hostTimeline_ = on; }
     bool hostTimelineEnabled() const { return hostTimeline_; }
@@ -313,14 +421,18 @@ class ShardedEngine
         return hostSpans_[s];
     }
 
+    /** Per-round coordinator log (empty unless the host timeline is
+     *  enabled). */
+    const std::vector<RoundRecord> &roundLog() const { return roundLog_; }
+
     /**
      * Teardown census: panics if any cross-shard outbox still holds
      * exports or any shard still has pending events. Call before
      * destroying a sharded system whose last run may have aborted
      * (Engine::run hit its limit): pending events can hold pooled
-     * handles whose thread-local arenas die with the worker threads,
-     * making later destruction undefined. No-op with one shard, where
-     * every arena lives on the caller's thread.
+     * handles, and while retired slabs keep the memory valid, leaked
+     * in-flight state would silently skew any later run. No-op with
+     * one shard.
      */
     void auditTeardown() const;
 
@@ -330,14 +442,20 @@ class ShardedEngine
   private:
     struct Coordination;
 
+    /** Home executor of shard @p s under the round-robin map. */
+    unsigned homeThread(unsigned s) const { return s % threads_; }
+
     void decide() noexcept;
-    void shardLoop(unsigned s);
-    void workerMain(unsigned s);
+    std::uint64_t execUnit(unsigned s, unsigned t);
+    void threadLoop(unsigned t);
+    void workerMain(unsigned t);
 
     std::vector<std::unique_ptr<Engine>> engines_;
     std::vector<CrossShardPort *> ports_;
     Tick lookahead_ = kTickNever;
     LookaheadMode mode_ = defaultLookaheadMode();
+    ExecPolicy exec_;
+    unsigned threads_ = 1;
 
     /** Min latency over channels leaving each shard (flit or credit
      *  direction), kTickNever when the shard cannot emit at all. */
@@ -350,10 +468,19 @@ class ShardedEngine
     std::uint64_t idleParks_ = 0;
     stats::Distribution windowDist_;
     stats::Average windowAvg_;
+    stats::Average loadSpread_;
+
+    // Per-thread executor tallies, written only by the owning thread
+    // during rounds and read after runs complete.
+    std::vector<std::uint64_t> stealAttempts_;
+    std::vector<std::uint64_t> stealsWon_;
+    std::vector<std::uint64_t> stealsAborted_;
+    std::vector<std::uint64_t> coveredStall_;
 
     bool hostTimeline_ = false;
     std::chrono::steady_clock::time_point epoch_;
     std::vector<std::vector<QuantumSpan>> hostSpans_;
+    std::vector<RoundRecord> roundLog_;
 };
 
 } // namespace netcrafter::sim

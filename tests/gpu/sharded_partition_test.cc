@@ -35,13 +35,19 @@ TEST(ShardedPartitionTest, ShardOfClusterRoundRobins)
     EXPECT_EQ(sim::shardOfCluster(3, 1), 0u);
 }
 
-TEST(ShardedPartitionTest, ShardCountClampsToClusterCount)
+TEST(ShardedPartitionTest, ShardCountZeroMeansSerial)
 {
     MultiGpuSystem serial(tinyConfig(2), 0);
     EXPECT_EQ(serial.numShards(), 1u);
+}
 
-    MultiGpuSystem oversub(tinyConfig(2), 16);
-    EXPECT_EQ(oversub.numShards(), 2u);
+TEST(ShardedPartitionDeathTest, RejectsMoreShardsThanClusters)
+{
+    // Silent clamping used to hide topology/shard mismatches in sweep
+    // scripts: asking for 16 shards on a 2-cluster system quietly ran
+    // on 2. A mismatch is now a loud configuration error.
+    EXPECT_DEATH({ MultiGpuSystem oversub(tinyConfig(2), 16); },
+                 "exceeds the topology's 2 clusters");
 }
 
 TEST(ShardedPartitionTest, ComponentsBindToTheirClustersShard)

@@ -98,9 +98,12 @@ TEST(ServeSession, BitIdenticalAcrossShardCounts)
 {
     // The headline determinism guarantee: every measured field —
     // injected/measured counts, throughput, and all per-class
-    // percentiles — is bit-identical for 1, 2, and 4 shards.
+    // percentiles — is bit-identical for 1, 2, and 4 shards. A shard
+    // partitions whole clusters, so the 4-shard point needs a
+    // 4-cluster topology (shards > clusters is a loud error now).
     const ServeConfig sc = tinyScenario();
-    const config::SystemConfig cfg = config::baselineConfig();
+    config::SystemConfig cfg = config::baselineConfig();
+    cfg.numClusters = 4;
     const harness::RunResult serial =
         harness::runServe(sc, cfg, kTinyScale, 1);
     const harness::RunResult two =

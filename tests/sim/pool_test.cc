@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -136,18 +137,57 @@ TEST(Pool, SteadyStateDoesNotGrowTheArena)
               packet_pool.allocated() * sizeof(Packet));
 }
 
+TEST(Pool, SlabsRetireToTheVaultWhenTheirThreadExits)
+{
+    // Under whole-window work stealing a shard's packets can outlive
+    // the host thread whose pool carved their slab: a node released on
+    // thread A joins A's free list even though thread B allocated it,
+    // and a still-referenced node must stay valid after B exits. The
+    // exiting thread's pool retires its slabs into the process-wide
+    // vault instead of freeing them.
+    const std::size_t retired_before = ObjectPool<Packet>::retiredSlabs();
+
+    PacketPtr survivor;
+    std::thread worker([&survivor] {
+        // Allocate from the worker's thread-local pool (forcing at
+        // least one slab) and hand a live reference back out.
+        survivor = makePacket(PacketType::ReadReq, 2, 3, 0x2000);
+        survivor->payloadBytes = 96;
+    });
+    worker.join();
+
+    // The worker's pool is gone; its slab is vaulted, not freed.
+    EXPECT_GT(ObjectPool<Packet>::retiredSlabs(), retired_before);
+
+    // The node is still fully usable from this thread — and releasing
+    // it here parks it on *this* thread's free list, which is exactly
+    // the cross-thread migration the vault exists to keep safe.
+    ASSERT_TRUE(survivor);
+    EXPECT_EQ(survivor->src, 2u);
+    EXPECT_EQ(survivor->payloadBytes, 96u);
+    survivor.reset();
+}
+
 TEST(Pool, CountersTrackLiveNodes)
 {
     auto &pool = ObjectPool<Packet>::local();
-    const std::size_t live_before =
-        pool.allocated() - pool.freeCount();
+    // Signed net liveness: nodes migrated in from other threads' pools
+    // (released here, carved elsewhere) can push the free list past
+    // this pool's own arena, so the difference may start negative.
+    const auto net = [&pool] {
+        return static_cast<std::int64_t>(pool.allocated()) -
+               static_cast<std::int64_t>(pool.freeCount());
+    };
+    const std::int64_t live_before = net();
     std::vector<PacketPtr> held;
     for (int i = 0; i < 300; ++i)
         held.push_back(makePacket(PacketType::ReadReq, 0, 1, i * 64));
-    EXPECT_EQ(pool.allocated() - pool.freeCount(), live_before + 300);
-    EXPECT_GE(pool.highWater(), live_before + 300);
+    EXPECT_EQ(net(), live_before + 300);
+    EXPECT_GE(pool.highWater(),
+              static_cast<std::size_t>(
+                  std::max<std::int64_t>(live_before + 300, 0)));
     held.clear();
-    EXPECT_EQ(pool.allocated() - pool.freeCount(), live_before);
+    EXPECT_EQ(net(), live_before);
 }
 
 } // namespace

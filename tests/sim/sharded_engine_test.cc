@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <vector>
 
 #include "src/sim/engine.hh"
@@ -310,6 +311,183 @@ TEST(ShardedEngineTest, WirePhaseFiresBeforeDefaultAtSameTick)
     eng.schedule(10, [&] { order.push_back(2); }); // default phase
     EXPECT_EQ(eng.run(), RunStatus::Drained);
     EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ShardedEngineTest, ExecPolicyClampsThreadsToShards)
+{
+    ShardedEngine wide(4, ExecPolicy{16, false, 1});
+    EXPECT_EQ(wide.workThreads(), 4u);
+    ShardedEngine dflt(4);
+    EXPECT_EQ(dflt.workThreads(), 4u); // 0 = one thread per shard
+    ShardedEngine narrow(4, ExecPolicy{2, true, 1});
+    EXPECT_EQ(narrow.workThreads(), 2u);
+    EXPECT_TRUE(narrow.execPolicy().steal);
+    ShardedEngine serial(1, ExecPolicy{8, true, 1});
+    EXPECT_EQ(serial.workThreads(), 1u);
+}
+
+/**
+ * Run the same 4-shard fixed-quantum schedule under one execution
+ * policy and return (per-shard fired ticks, total stall ticks). The
+ * schedule is uneven on purpose: shard 0 carries 4x the events of
+ * shard 3, so multiplexed and stealing executors face real imbalance.
+ */
+std::array<std::vector<Tick>, 4>
+runUnevenSchedule(const ExecPolicy &exec, std::uint64_t *stall_ticks)
+{
+    ShardedEngine eng(4, exec);
+    eng.setLookaheadMode(LookaheadMode::FixedQuantum);
+    eng.setLookahead(8);
+
+    std::array<std::vector<Tick>, 4> fired;
+    for (unsigned s = 0; s < 4; ++s) {
+        const unsigned count = 4 * (4 - s); // 16, 12, 8, 4 events
+        for (unsigned i = 0; i < count; ++i) {
+            const Tick when = 1 + 3 * i + s;
+            eng.shard(s).schedule(when, [&fired, s, &eng] {
+                fired[s].push_back(eng.shard(s).now());
+            });
+        }
+    }
+    EXPECT_EQ(eng.run(), RunStatus::Drained);
+    *stall_ticks = eng.totalBarrierStallTicks();
+
+    // Counter invariants hold under every policy: attempts split into
+    // wins and aborts, and coverage never exceeds the total stall.
+    EXPECT_EQ(eng.eventsExecuted(), 40u);
+    EXPECT_EQ(eng.stealAttempts(), eng.stealsWon() + eng.stealsAborted());
+    EXPECT_LE(eng.coveredStallTicks(), eng.totalBarrierStallTicks());
+    EXPECT_EQ(eng.residualStallTicks(),
+              eng.totalBarrierStallTicks() - eng.coveredStallTicks());
+    return fired;
+}
+
+TEST(ShardedEngineTest, ResultsInvariantAcrossThreadCountsAndStealing)
+{
+    // The tentpole guarantee: shards are deterministic work partitions
+    // and threads are mere executors, so event order, per-shard
+    // clocks, and the (sim-tick) stall census are identical for every
+    // thread count and steal schedule.
+    std::uint64_t stall_base = 0, stall_t1 = 0, stall_t2 = 0,
+                  stall_steal2 = 0, stall_steal4 = 0;
+    const auto base =
+        runUnevenSchedule(ExecPolicy{0, false, 1}, &stall_base);
+    const auto mux1 =
+        runUnevenSchedule(ExecPolicy{1, false, 1}, &stall_t1);
+    const auto mux2 =
+        runUnevenSchedule(ExecPolicy{2, false, 1}, &stall_t2);
+    const auto steal2 =
+        runUnevenSchedule(ExecPolicy{2, true, 1}, &stall_steal2);
+    const auto steal4 =
+        runUnevenSchedule(ExecPolicy{4, true, 1}, &stall_steal4);
+
+    EXPECT_EQ(base, mux1);
+    EXPECT_EQ(base, mux2);
+    EXPECT_EQ(base, steal2);
+    EXPECT_EQ(base, steal4);
+    // barrierStallTicks is a pure function of the round protocol.
+    EXPECT_EQ(stall_base, stall_t1);
+    EXPECT_EQ(stall_base, stall_t2);
+    EXPECT_EQ(stall_base, stall_steal2);
+    EXPECT_EQ(stall_base, stall_steal4);
+}
+
+TEST(ShardedEngineTest, SingleThreadMultiplexesAndCoversStalls)
+{
+    // One executor over four shards: every round the thread runs all
+    // active units back to back, so every unit's window-tail stall
+    // except the round's last is covered — the thread was busy, not
+    // barrier-bound.
+    ShardedEngine eng(4, ExecPolicy{1, false, 1});
+    eng.setLookaheadMode(LookaheadMode::FixedQuantum);
+    eng.setLookahead(8);
+    ASSERT_EQ(eng.workThreads(), 1u);
+
+    for (unsigned s = 0; s < 4; ++s)
+        for (Tick t : {2u, 12u, 22u})
+            eng.shard(s).schedule(t + s, [] {});
+
+    EXPECT_EQ(eng.run(), RunStatus::Drained);
+    EXPECT_GT(eng.totalBarrierStallTicks(), 0u);
+    EXPECT_GT(eng.coveredStallTicks(), 0u);
+    EXPECT_LT(eng.residualStallTicks(), eng.totalBarrierStallTicks());
+    // One participating thread per round: every rendezvous is skipped.
+    EXPECT_EQ(eng.barrierRoundsSkipped(), eng.quantaExecuted());
+    // No second thread exists, so nothing can ever be stolen.
+    EXPECT_EQ(eng.stealAttempts(), 0u);
+}
+
+TEST(ShardedEngineTest, StealMinBacklogGatesLedgerEligibility)
+{
+    // With the floor above every shard's backlog the ledger stays
+    // empty: spare threads have nothing to claim and the home pass
+    // covers all units, bit-identically.
+    std::uint64_t stall_gated = 0, stall_open = 0;
+    const auto gated = runUnevenSchedule(
+        ExecPolicy{2, true, 1'000'000}, &stall_gated);
+    const auto open =
+        runUnevenSchedule(ExecPolicy{2, true, 1}, &stall_open);
+    EXPECT_EQ(gated, open);
+    EXPECT_EQ(stall_gated, stall_open);
+
+    ShardedEngine eng(2, ExecPolicy{2, true, 1'000'000});
+    eng.setLookaheadMode(LookaheadMode::FixedQuantum);
+    eng.setLookahead(8);
+    eng.shard(0).schedule(1, [] {});
+    eng.shard(1).schedule(2, [] {});
+    EXPECT_EQ(eng.run(), RunStatus::Drained);
+    EXPECT_EQ(eng.stealAttempts(), 0u);
+    EXPECT_EQ(eng.stealsWon(), 0u);
+}
+
+TEST(ShardedEngineTest, HostSpansRecordExecutorAndCoverage)
+{
+    // Single executor, host timeline on: every span names thread 0,
+    // nothing is "stolen" (units run on their home thread), and in
+    // each multi-unit round every span except the last is covered.
+    ShardedEngine eng(2, ExecPolicy{1, false, 1});
+    eng.setLookaheadMode(LookaheadMode::FixedQuantum);
+    eng.setLookahead(8);
+    eng.setHostTimelineEnabled(true);
+
+    eng.shard(0).schedule(1, [] {});
+    eng.shard(1).schedule(2, [] {});
+    EXPECT_EQ(eng.run(), RunStatus::Drained);
+
+    ASSERT_FALSE(eng.hostSpans(0).empty());
+    ASSERT_FALSE(eng.hostSpans(1).empty());
+    for (unsigned s = 0; s < 2; ++s) {
+        for (const QuantumSpan &span : eng.hostSpans(s)) {
+            EXPECT_EQ(span.executor, 0u);
+            EXPECT_FALSE(span.stolen);
+        }
+    }
+    // The home pass claims shard 0 then shard 1 in the shared round,
+    // so shard 0's span is covered and shard 1's is not.
+    EXPECT_TRUE(eng.hostSpans(0).front().covered);
+    EXPECT_FALSE(eng.hostSpans(1).front().covered);
+    // The coordinator logged one RoundRecord per decided round.
+    EXPECT_EQ(eng.roundLog().size(), eng.quantaExecuted());
+    EXPECT_EQ(eng.roundLog().front().units, 2u);
+    EXPECT_EQ(eng.roundLog().front().threadsWoken, 1u);
+}
+
+TEST(ShardedEngineTest, LoadSpreadSamplesRoundImbalance)
+{
+    // Shard 0 enters each round with a deeper backlog than shard 1;
+    // the coordinator's spread samples (a deterministic function of
+    // published loads) must see that imbalance.
+    ShardedEngine eng(2, ExecPolicy{2, true, 1});
+    eng.setLookaheadMode(LookaheadMode::FixedQuantum);
+    eng.setLookahead(8);
+
+    for (unsigned i = 0; i < 12; ++i)
+        eng.shard(0).schedule(1 + 2 * i, [] {});
+    eng.shard(1).schedule(1, [] {});
+
+    EXPECT_EQ(eng.run(), RunStatus::Drained);
+    EXPECT_GT(eng.loadSpreadAvg().count(), 0u);
+    EXPECT_GT(eng.loadSpreadAvg().max(), 0.0);
 }
 
 TEST(ShardedEngineTest, WindowNeverExecutesEventsPastTheQuantum)
