@@ -14,6 +14,7 @@
  * Usage:
  *   perf_hotpath [--out FILE] [--quick] [--scale S]
  *                [--shards [--adaptive]] [--worksteal] [--obs]
+ *                [--flow]
  *
  *   --out FILE   write JSON to FILE (default BENCH_hotpath.json;
  *                BENCH_parallel.json with --shards, BENCH_adaptive.json
@@ -56,6 +57,13 @@
  *                (informationally) whether the disabled-path
  *                throughput stayed within 2% of the reference.
  *   --ref FILE   reference BENCH_hotpath.json for --obs
+ *   --flow       hybrid-fidelity mode: every grid point at cycle,
+ *                hybrid and flow fidelity (single engine, default
+ *                topology). Writes BENCH_flow.json with per-point
+ *                events-eliminated and wall-clock speedup columns and
+ *                the relative cycles error of each approximate mode;
+ *                fails only on broken flow-lane conservation (accuracy
+ *                is validate-fidelity's gate)
  */
 
 #include <algorithm>
@@ -418,6 +426,189 @@ runWorkstealBench(const std::string &out_path, bool quick, double scale)
 }
 
 /**
+ * Hybrid-fidelity bench: every fig14 grid point at cycle, hybrid and
+ * flow fidelity on the default topology (flow lanes require a single
+ * engine). Reports, per point and in aggregate, the events eliminated
+ * by the flow lane and the wall-clock speedup of each approximate mode
+ * over the cycle-accurate run, plus the relative cycles error so the
+ * speed/accuracy trade is visible in one file. Writes BENCH_flow.json.
+ * Accuracy is gated by validate-fidelity, not here; this bench fails
+ * only if a run breaks flow-lane conservation.
+ */
+int
+runFlowBench(const std::string &out_path, bool quick, double scale)
+{
+    using namespace netcrafter;
+
+    std::vector<std::pair<std::string, SystemConfig>> configs = {
+        {"base", config::baselineConfig()},
+        {"full", bench::fullNetcrafter()},
+    };
+    if (!quick) {
+        configs.insert(configs.begin() + 1,
+                       {"stitch", bench::stitchSelective32()});
+        configs.insert(configs.begin() + 2,
+                       {"trim", bench::stitchTrim()});
+        configs.push_back({"sector", config::sectorCacheConfig(16)});
+    }
+
+    struct FlowPoint
+    {
+        std::string config;
+        std::string workload;
+        RunResult cycle, hybrid, flow;
+    };
+    const obs::TraceOptions no_trace;
+    const sim::ExecPolicy serial{0, false, 1};
+    std::vector<FlowPoint> points;
+    bool conserved = true;
+
+    auto conservationOk = [](const RunResult &r) {
+        return r.flowPackets == r.flowPacketsDelivered &&
+               r.flowBytesInjected == r.flowBytesDelivered;
+    };
+
+    for (const auto &[cfg_name, cfg] : configs) {
+        for (const auto &app : bench::apps()) {
+            FlowPoint p;
+            p.config = cfg_name;
+            p.workload = app;
+            p.cycle = harness::runWorkload(app, cfg, scale, 1, no_trace,
+                                           serial, flow::Fidelity::Cycle);
+            p.hybrid = harness::runWorkload(app, cfg, scale, 1, no_trace,
+                                            serial,
+                                            flow::Fidelity::Hybrid);
+            p.flow = harness::runWorkload(app, cfg, scale, 1, no_trace,
+                                          serial, flow::Fidelity::Flow);
+            if (!conservationOk(p.hybrid) || !conservationOk(p.flow)) {
+                std::cerr << "perf_hotpath --flow: conservation broken "
+                             "at "
+                          << cfg_name << "/" << app << "\n";
+                conserved = false;
+            }
+            std::cerr << cfg_name << "/" << app << ": "
+                      << p.cycle.events << " ev cycle, " << p.flow.events
+                      << " ev flow ("
+                      << (p.flow.wallSeconds > 0
+                              ? p.cycle.wallSeconds / p.flow.wallSeconds
+                              : 0.0)
+                      << "x wall)\n";
+            points.push_back(std::move(p));
+        }
+    }
+
+    std::uint64_t cyc_events = 0, hyb_events = 0, flo_events = 0;
+    double cyc_wall = 0, hyb_wall = 0, flo_wall = 0;
+    for (const FlowPoint &p : points) {
+        cyc_events += p.cycle.events;
+        hyb_events += p.hybrid.events;
+        flo_events += p.flow.events;
+        cyc_wall += p.cycle.wallSeconds;
+        hyb_wall += p.hybrid.wallSeconds;
+        flo_wall += p.flow.wallSeconds;
+    }
+
+    std::ofstream os(out_path);
+    if (!os) {
+        std::cerr << "cannot open " << out_path << " for writing\n";
+        return 1;
+    }
+    auto relerr = [](std::uint64_t approx, std::uint64_t exact) {
+        if (exact == 0)
+            return 0.0;
+        const double d = static_cast<double>(approx) -
+                         static_cast<double>(exact);
+        return d / static_cast<double>(exact);
+    };
+    os.precision(17);
+    os << "{\n";
+    os << "  \"bench\": \"perf_flow\",\n";
+    os << "  \"workload_set\": \"fig14\",\n";
+    os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+    os << "  \"scale\": " << scale << ",\n";
+    os << "  \"env_scale\": " << harness::envScale() << ",\n";
+    os << "  \"conservation_exact\": " << (conserved ? "true" : "false")
+       << ",\n";
+    os << "  \"points\": [";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const FlowPoint &p = points[i];
+        os << (i ? ",\n    {" : "\n    {");
+        os << "\"config\": \"" << exp::jsonEscape(p.config) << "\", "
+           << "\"workload\": \"" << exp::jsonEscape(p.workload)
+           << "\", "
+           << "\"cycle_events\": " << p.cycle.events << ", "
+           << "\"hybrid_events\": " << p.hybrid.events << ", "
+           << "\"flow_events\": " << p.flow.events << ", "
+           << "\"flow_events_eliminated\": "
+           << (p.cycle.events > p.flow.events
+                   ? p.cycle.events - p.flow.events
+                   : 0)
+           << ", "
+           << "\"cycle_wall_seconds\": " << p.cycle.wallSeconds << ", "
+           << "\"hybrid_wall_seconds\": " << p.hybrid.wallSeconds
+           << ", "
+           << "\"flow_wall_seconds\": " << p.flow.wallSeconds << ", "
+           << "\"hybrid_speedup\": "
+           << (p.hybrid.wallSeconds > 0
+                   ? p.cycle.wallSeconds / p.hybrid.wallSeconds
+                   : 0.0)
+           << ", "
+           << "\"flow_speedup\": "
+           << (p.flow.wallSeconds > 0
+                   ? p.cycle.wallSeconds / p.flow.wallSeconds
+                   : 0.0)
+           << ", "
+           << "\"hybrid_cycles_relerr\": "
+           << relerr(p.hybrid.cycles, p.cycle.cycles) << ", "
+           << "\"flow_cycles_relerr\": "
+           << relerr(p.flow.cycles, p.cycle.cycles) << ", "
+           << "\"hybrid_flow_packets\": " << p.hybrid.flowPackets
+           << ", "
+           << "\"flow_flow_packets\": " << p.flow.flowPackets << "}";
+    }
+    os << "\n  ],\n";
+    os << "  \"cycle\": {\"events\": " << cyc_events
+       << ", \"wall_seconds\": " << cyc_wall
+       << ", \"events_per_second\": "
+       << eventsPerSecond(cyc_events, cyc_wall) << "},\n";
+    os << "  \"hybrid\": {\"events\": " << hyb_events
+       << ", \"wall_seconds\": " << hyb_wall
+       << ", \"events_per_second\": "
+       << eventsPerSecond(hyb_events, hyb_wall)
+       << ", \"speedup_vs_cycle\": "
+       << (hyb_wall > 0 ? cyc_wall / hyb_wall : 0.0) << "},\n";
+    os << "  \"flow\": {\"events\": " << flo_events
+       << ", \"wall_seconds\": " << flo_wall
+       << ", \"events_per_second\": "
+       << eventsPerSecond(flo_events, flo_wall)
+       << ", \"events_eliminated\": "
+       << (cyc_events > flo_events ? cyc_events - flo_events : 0)
+       << ", \"events_eliminated_frac\": "
+       << (cyc_events > 0
+               ? static_cast<double>(cyc_events > flo_events
+                                         ? cyc_events - flo_events
+                                         : 0) /
+                     static_cast<double>(cyc_events)
+               : 0.0)
+       << ", \"speedup_vs_cycle\": "
+       << (flo_wall > 0 ? cyc_wall / flo_wall : 0.0) << "}\n";
+    os << "}\n";
+
+    std::cout << "perf_hotpath --flow: "
+              << (conserved ? "conservation exact"
+                            : "CONSERVATION BROKEN")
+              << ", flow " << (flo_wall > 0 ? cyc_wall / flo_wall : 0.0)
+              << "x wall / "
+              << (flo_events > 0
+                      ? static_cast<double>(cyc_events) /
+                            static_cast<double>(flo_events)
+                      : 0.0)
+              << "x fewer events vs cycle across " << points.size()
+              << " points (JSON: " << out_path << ")\n";
+    return conserved ? 0 : 1;
+}
+
+/**
  * Observability-overhead bench: every grid point twice — tracing
  * disabled vs packet-level tracing + sampling kept in memory — with a
  * hard identity check on the measurements. Writes BENCH_obs.json.
@@ -586,6 +777,7 @@ main(int argc, char **argv)
     bool adaptive = false;
     bool worksteal_bench = false;
     bool obs_bench = false;
+    bool flow_bench = false;
     double scale = 1.0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -603,6 +795,8 @@ main(int argc, char **argv)
             worksteal_bench = true;
         } else if (arg == "--obs") {
             obs_bench = true;
+        } else if (arg == "--flow") {
+            flow_bench = true;
         } else if (arg == "--scale" && i + 1 < argc) {
             const std::string value = argv[++i];
             char *end = nullptr;
@@ -616,7 +810,7 @@ main(int argc, char **argv)
         } else {
             std::cerr << "usage: perf_hotpath [--out FILE] [--quick]"
                          " [--scale S] [--shards [--adaptive]]"
-                         " [--worksteal] [--obs [--ref FILE]]\n";
+                         " [--worksteal] [--obs [--ref FILE]] [--flow]\n";
             return 2;
         }
     }
@@ -629,11 +823,16 @@ main(int argc, char **argv)
                      "--obs\n";
         return 2;
     }
+    if (flow_bench && (shard_bench || obs_bench || worksteal_bench)) {
+        std::cerr << "perf_hotpath: --flow excludes the other modes\n";
+        return 2;
+    }
     if (out_path.empty()) {
         out_path = shard_bench ? (adaptive ? "BENCH_adaptive.json"
                                            : "BENCH_parallel.json")
                    : worksteal_bench ? "BENCH_worksteal.json"
                    : obs_bench       ? "BENCH_obs.json"
+                   : flow_bench      ? "BENCH_flow.json"
                                      : "BENCH_hotpath.json";
     }
     if (shard_bench)
@@ -642,6 +841,8 @@ main(int argc, char **argv)
         return runWorkstealBench(out_path, quick, scale);
     if (obs_bench)
         return runObsBench(out_path, quick, scale, ref_path);
+    if (flow_bench)
+        return runFlowBench(out_path, quick, scale);
 
     std::vector<std::pair<std::string, SystemConfig>> configs = {
         {"base", config::baselineConfig()},

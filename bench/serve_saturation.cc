@@ -20,12 +20,21 @@
  *   --quick      two loads instead of four (CI smoke)
  *   --scale S    extra footprint multiplier on top of NETCRAFTER_SCALE
  *
+ * The default scenario keeps the measurement window short (2k warmup /
+ * 8k measure) so the CI smoke stays cheap — short enough that neither
+ * curve reaches its saturation knee. Set NETCRAFTER_SERVE_LONG=1 when
+ * running outside CI to extend the window (5k/60k) and sweep loads
+ * high enough that the knee (first load whose aggregate p99 exceeds
+ * 3x the low-load p99) is actually reachable; the per-config knee is
+ * reported in the JSON either way ("null" when not reached).
+ *
  * Exits non-zero when any point breaks bit-identity across shard
  * counts or reports unordered percentiles.
  */
 
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -35,6 +44,7 @@
 #include "bench/bench_common.hh"
 #include "src/exp/export.hh"
 #include "src/serve/serve_config.hh"
+#include "src/sim/logging.hh"
 
 namespace {
 
@@ -57,6 +67,27 @@ seconds(std::chrono::steady_clock::time_point t0)
     return std::chrono::duration<double>(
                std::chrono::steady_clock::now() - t0)
         .count();
+}
+
+/**
+ * NETCRAFTER_SERVE_LONG: opt into the knee-reaching scenario (longer
+ * measurement window, higher loads). Validated like every other env
+ * knob — garbage dies instead of silently running the short window.
+ */
+bool
+serveLongFromEnv()
+{
+    const char *text = std::getenv("NETCRAFTER_SERVE_LONG");
+    if (text == nullptr || *text == '\0')
+        return false;
+    if (std::strcmp(text, "1") == 0 || std::strcmp(text, "on") == 0 ||
+        std::strcmp(text, "true") == 0)
+        return true;
+    if (std::strcmp(text, "0") == 0 || std::strcmp(text, "off") == 0 ||
+        std::strcmp(text, "false") == 0)
+        return false;
+    NC_FATAL("NETCRAFTER_SERVE_LONG must be one of 0/1/on/off/"
+             "true/false, got '", text, "'");
 }
 
 } // namespace
@@ -82,16 +113,22 @@ main(int argc, char **argv)
         }
     }
 
+    const bool long_window = serveLongFromEnv();
+
     serve::ServeConfig sc;
     sc.enabled = true;
     sc.arrival = serve::ArrivalKind::Poisson;
     sc.seed = 1;
-    sc.warmupTicks = 2'000;
-    sc.measureTicks = 8'000;
+    sc.warmupTicks = long_window ? 5'000 : 2'000;
+    sc.measureTicks = long_window ? 60'000 : 8'000;
 
-    const std::vector<double> loads =
-        quick ? std::vector<double>{2, 6}
-              : std::vector<double>{2, 4, 6, 8};
+    std::vector<double> loads;
+    if (long_window)
+        loads = quick ? std::vector<double>{2, 8, 16}
+                      : std::vector<double>{2, 4, 6, 8, 10, 12, 14, 16};
+    else
+        loads = quick ? std::vector<double>{2, 6}
+                      : std::vector<double>{2, 4, 6, 8};
     const std::vector<std::pair<std::string, config::SystemConfig>>
         configs = {{"baseline", config::baselineConfig()},
                    {"netcrafter", bench::fullNetcrafter()}};
@@ -139,6 +176,30 @@ main(int argc, char **argv)
         }
     }
 
+    // Per-config knee, same rule as exp::runServeCurve: the first load
+    // whose aggregate p99 exceeds 3x the lowest-load p99 of its curve.
+    // Only the long-window scenario sweeps far enough to reach it.
+    std::vector<std::pair<std::string, double>> knees;
+    for (const auto &[label, cfg] : configs) {
+        (void)cfg;
+        double base_p99 = 0;
+        double knee = 0;
+        for (const Point &p : points) {
+            if (p.config != label)
+                continue;
+            const auto p99 =
+                static_cast<double>(p.serial.serveClasses[3].p99);
+            if (p.load == loads.front())
+                base_p99 = p99;
+            if (base_p99 > 0 && p99 > 3.0 * base_p99 && knee == 0)
+                knee = p.load;
+        }
+        knees.emplace_back(label, knee);
+        if (knee > 0)
+            std::cerr << "knee " << label << ": " << knee
+                      << " req/kcycle\n";
+    }
+
     std::ofstream os(out_path);
     if (!os) {
         std::cerr << "cannot open " << out_path << " for writing\n";
@@ -154,6 +215,18 @@ main(int argc, char **argv)
     os << "  \"warmup_ticks\": " << sc.warmupTicks << ",\n";
     os << "  \"measure_ticks\": " << sc.measureTicks << ",\n";
     os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+    os << "  \"long_window\": " << (long_window ? "true" : "false")
+       << ",\n";
+    os << "  \"knee\": {";
+    for (std::size_t i = 0; i < knees.size(); ++i) {
+        os << (i ? ", " : "") << "\"" << exp::jsonEscape(knees[i].first)
+           << "\": ";
+        if (knees[i].second > 0)
+            os << knees[i].second;
+        else
+            os << "null";
+    }
+    os << "},\n";
     os << "  \"scale\": " << scale << ",\n";
     os << "  \"env_scale\": " << harness::envScale() << ",\n";
     os << "  \"host_cpus\": " << host_cpus << ",\n";

@@ -5,6 +5,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "src/flow/fidelity.hh"
+
 namespace netcrafter::exp {
 
 namespace {
@@ -160,6 +162,23 @@ fields()
         NUM_FIELD("serve_all_p95", r.result.serveClasses[3].p95),
         NUM_FIELD("serve_all_p99", r.result.serveClasses[3].p99),
         NUM_FIELD("serve_all_p999", r.result.serveClasses[3].p999),
+        // Flow-lane fidelity: the fidelity the run executed at, plus
+        // the lane census (all zero at cycle fidelity). The packet and
+        // byte pairs are exact-conservation invariants after a drained
+        // run; the wait splits decompose flow-lane network latency.
+        STR_FIELD("fidelity", flow::fidelityName(r.result.fidelity)),
+        NUM_FIELD("flow_packets", r.result.flowPackets),
+        NUM_FIELD("flow_cycle_packets", r.result.flowCyclePackets),
+        NUM_FIELD("flow_packets_delivered",
+                  r.result.flowPacketsDelivered),
+        NUM_FIELD("flow_bytes_injected", r.result.flowBytesInjected),
+        NUM_FIELD("flow_bytes_delivered", r.result.flowBytesDelivered),
+        NUM_FIELD("flow_epochs_closed", r.result.flowEpochsClosed),
+        NUM_FIELD("flow_lane_activations", r.result.flowLaneActivations),
+        NUM_FIELD("flow_lane_escalations", r.result.flowLaneEscalations),
+        NUM_FIELD("flow_recomputes", r.result.flowRecomputes),
+        NUM_FIELD("flow_md1_wait_ticks", r.result.flowMd1WaitTicks),
+        NUM_FIELD("flow_fifo_wait_ticks", r.result.flowFifoWaitTicks),
     };
     return defs;
 }

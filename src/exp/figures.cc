@@ -340,11 +340,15 @@ figureMain(const std::string &name, int argc, char **argv)
                 return 1;
             }
             opts.trace.sampleInterval = static_cast<Tick>(n);
+        } else if (arg == "--fidelity" && i + 1 < argc) {
+            opts.fidelity =
+                flow::parseFidelityOrDie(argv[++i], "--fidelity");
         } else {
             std::cerr << "usage: " << name
                       << " [--jobs N] [--shards N] [--trace-out DIR]"
                          " [--trace-level off|links|packets|full]"
-                         " [--sample-interval TICKS]\n";
+                         " [--sample-interval TICKS]"
+                         " [--fidelity cycle|flow|hybrid]\n";
             return arg == "--help" || arg == "-h" ? 0 : 1;
         }
     }
@@ -354,6 +358,12 @@ figureMain(const std::string &name, int argc, char **argv)
     if (!explicit_level && !opts.trace.enabled() &&
         (!opts.trace.outDir.empty() || opts.trace.sampleInterval > 0))
         opts.trace.level = obs::TraceLevel::Packets;
+    if (opts.fidelity != flow::Fidelity::Cycle && opts.shards > 1) {
+        std::cerr << "--fidelity " << flow::fidelityName(opts.fidelity)
+                  << " requires --shards 1 (the flow lane is a "
+                     "single-engine fast path)\n";
+        return 1;
+    }
     ResultCache cache;
     Scheduler scheduler(opts, &cache);
     FigureContext ctx{scheduler, std::cout};

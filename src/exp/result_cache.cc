@@ -5,8 +5,14 @@ namespace netcrafter::exp {
 CacheKey
 keyOf(const Job &job)
 {
+    return keyOf(job, flow::Fidelity::Cycle);
+}
+
+CacheKey
+keyOf(const Job &job, flow::Fidelity fidelity)
+{
     return CacheKey{job.workload, job.config.digest(), job.scale,
-                    job.serve.digest()};
+                    job.serve.digest(), fidelity};
 }
 
 harness::RunResult

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/exp/sweep.hh"
+#include "src/flow/fidelity.hh"
 #include "src/harness/runner.hh"
 
 namespace netcrafter::exp {
@@ -42,24 +43,37 @@ struct CacheKey
      */
     std::uint64_t serveDigest = 0;
 
+    /**
+     * Simulation fidelity the point ran at. Unlike the shard count this
+     * IS part of the identity: flow/hybrid results approximate the
+     * cycle measurement, so a cycle-accurate request must never be
+     * served a flow-fidelity result (or vice versa).
+     */
+    flow::Fidelity fidelity = flow::Fidelity::Cycle;
+
     bool
     operator<(const CacheKey &o) const
     {
-        return std::tie(workload, configDigest, scale, serveDigest) <
+        return std::tie(workload, configDigest, scale, serveDigest,
+                        fidelity) <
                std::tie(o.workload, o.configDigest, o.scale,
-                        o.serveDigest);
+                        o.serveDigest, o.fidelity);
     }
 
     bool
     operator==(const CacheKey &o) const
     {
         return workload == o.workload && configDigest == o.configDigest &&
-               scale == o.scale && serveDigest == o.serveDigest;
+               scale == o.scale && serveDigest == o.serveDigest &&
+               fidelity == o.fidelity;
     }
 };
 
-/** The key identifying @p job's simulation point. */
+/** The key identifying @p job's simulation point at cycle fidelity. */
 CacheKey keyOf(const Job &job);
+
+/** The key identifying @p job's simulation point at @p fidelity. */
+CacheKey keyOf(const Job &job, flow::Fidelity fidelity);
 
 class ResultCache
 {

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <thread>
 
+#include "src/config/exec_config.hh"
 #include "src/sim/logging.hh"
 
 namespace netcrafter::exp {
@@ -46,29 +47,30 @@ Scheduler::runJob(const Job &job, JobTiming &timing)
     timing.startSeconds =
         std::chrono::duration<double>(t0 - epoch_).count();
     // With tracing requested the explicit options override the
-    // NETCRAFTER_TRACE_* environment the 4-argument overload consults.
+    // NETCRAFTER_TRACE_* environment; fidelity always comes from the
+    // options (whose default already consulted NETCRAFTER_FIDELITY).
     auto simulate = [&] {
+        const obs::TraceOptions trace = opts_.trace.enabled()
+                                            ? opts_.trace
+                                            : obs::TraceOptions::fromEnv();
+        const sim::ExecPolicy exec = config::execPolicyFromEnv();
         if (job.serve.enabled) {
-            return opts_.trace.enabled()
-                       ? harness::runServe(job.serve, job.config,
-                                           job.scale, shards_,
-                                           opts_.trace)
-                       : harness::runServe(job.serve, job.config,
-                                           job.scale, shards_);
+            return harness::runServe(job.serve, job.config, job.scale,
+                                     shards_, trace, exec,
+                                     opts_.fidelity);
         }
-        return opts_.trace.enabled()
-                   ? harness::runWorkload(job.workload, job.config,
-                                          job.scale, shards_,
-                                          opts_.trace)
-                   : harness::runWorkload(job.workload, job.config,
-                                          job.scale, shards_);
+        return harness::runWorkload(job.workload, job.config, job.scale,
+                                    shards_, trace, exec,
+                                    opts_.fidelity);
     };
     harness::RunResult result;
     if (cache_ != nullptr) {
         // The cache key deliberately excludes shards_: sharding is an
         // execution strategy, not a design point, and results are
-        // bit-identical across shard counts.
-        result = cache_->getOrRun(keyOf(job), simulate,
+        // bit-identical across shard counts. Fidelity, by contrast, is
+        // part of the key — approximate results must never answer a
+        // cycle-accurate request.
+        result = cache_->getOrRun(keyOf(job, opts_.fidelity), simulate,
                                   &timing.cacheHit);
     } else {
         result = simulate();

@@ -20,6 +20,7 @@
 
 #include "src/exp/result_cache.hh"
 #include "src/exp/sweep.hh"
+#include "src/flow/fidelity.hh"
 #include "src/harness/runner.hh"
 
 namespace netcrafter::exp {
@@ -90,6 +91,14 @@ struct SchedulerOptions
      * no trace files (no simulation ran).
      */
     obs::TraceOptions trace{};
+
+    /**
+     * Simulation fidelity for every job. Defaults to the validated
+     * NETCRAFTER_FIDELITY environment (unset = cycle-accurate). Part
+     * of the cache key: jobs running at different fidelities never
+     * share results.
+     */
+    flow::Fidelity fidelity = flow::fidelityFromEnv();
 };
 
 class Scheduler

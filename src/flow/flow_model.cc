@@ -1,0 +1,173 @@
+#include "src/flow/flow_model.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/sim/logging.hh"
+
+namespace netcrafter::flow {
+
+FlowModel::LinkId
+FlowModel::addLink(Rate capacity)
+{
+    NC_ASSERT(capacity > 0, "flow link needs positive capacity");
+    links_.push_back(Link{capacity, 0, 0, 0});
+    return static_cast<LinkId>(links_.size() - 1);
+}
+
+FlowModel::FlowId
+FlowModel::addFlow(std::vector<LinkId> path, Rate demand)
+{
+    for (LinkId l : path)
+        NC_ASSERT(l < links_.size(), "flow path references bad link");
+    Flow f;
+    f.path = std::move(path);
+    f.demand = demand;
+    f.live = true;
+    flows_.push_back(std::move(f));
+    ++liveFlows_;
+    return static_cast<FlowId>(flows_.size() - 1);
+}
+
+void
+FlowModel::removeFlow(FlowId flow)
+{
+    NC_ASSERT(flow < flows_.size() && flows_[flow].live,
+              "removing dead flow");
+    flows_[flow].live = false;
+    flows_[flow].rate = 0;
+    --liveFlows_;
+}
+
+void
+FlowModel::setDemand(FlowId flow, Rate demand)
+{
+    NC_ASSERT(flow < flows_.size() && flows_[flow].live,
+              "demand on dead flow");
+    flows_[flow].demand = demand;
+}
+
+Rate
+FlowModel::linkUtilizationQ16(LinkId link) const
+{
+    const Link &l = links_[link];
+    if (l.load >= l.capacity)
+        return kRateOne;
+    // load/capacity in Q16; both operands are Q16 so the scale cancels.
+    return (l.load << 16) / l.capacity;
+}
+
+void
+FlowModel::recompute()
+{
+    ++recomputes_;
+    for (Link &l : links_) {
+        l.load = 0;
+        l.frozenLoad = 0;
+        l.unfrozen = 0;
+    }
+    std::size_t remaining = 0;
+    for (Flow &f : flows_) {
+        f.rate = 0;
+        f.frozen = !f.live;
+        if (!f.live)
+            continue;
+        if (f.demand == 0 || f.path.empty()) {
+            // Zero-demand flows get zero; link-free flows are never
+            // constrained. Freeze both immediately.
+            f.rate = f.demand;
+            f.frozen = true;
+            continue;
+        }
+        ++remaining;
+        for (LinkId l : f.path)
+            ++links_[l].unfrozen;
+    }
+
+    while (remaining > 0) {
+        // Bottleneck share: the smallest per-flow headroom across
+        // links that still carry unfrozen flows. Lowest link id wins
+        // ties so the freeze order is reproducible.
+        Rate bottleneck_share = std::numeric_limits<Rate>::max();
+        for (const Link &l : links_) {
+            if (l.unfrozen == 0)
+                continue;
+            const Rate headroom =
+                l.capacity > l.frozenLoad ? l.capacity - l.frozenLoad
+                                          : 0;
+            bottleneck_share =
+                std::min(bottleneck_share, headroom / l.unfrozen);
+        }
+
+        // Demand-limited flows whose ask fits under the bottleneck
+        // share are satisfied outright; their leftover capacity raises
+        // everyone else's share next iteration.
+        bool froze_by_demand = false;
+        for (Flow &f : flows_) {
+            if (f.frozen || f.demand > bottleneck_share)
+                continue;
+            f.rate = f.demand;
+            f.frozen = true;
+            froze_by_demand = true;
+            --remaining;
+            for (LinkId l : f.path) {
+                links_[l].frozenLoad += f.rate;
+                --links_[l].unfrozen;
+            }
+        }
+        if (froze_by_demand)
+            continue;
+
+        // Otherwise saturate the bottleneck link: every unfrozen flow
+        // through the most-constrained link freezes at the fair share.
+        for (std::size_t li = 0; li < links_.size(); ++li) {
+            Link &l = links_[li];
+            if (l.unfrozen == 0)
+                continue;
+            const Rate headroom =
+                l.capacity > l.frozenLoad ? l.capacity - l.frozenLoad
+                                          : 0;
+            if (headroom / l.unfrozen != bottleneck_share)
+                continue;
+            // Freeze this link's unfrozen flows, in flow-id order.
+            for (Flow &f : flows_) {
+                if (f.frozen)
+                    continue;
+                if (std::find(f.path.begin(), f.path.end(),
+                              static_cast<LinkId>(li)) == f.path.end())
+                    continue;
+                f.rate = bottleneck_share;
+                f.frozen = true;
+                --remaining;
+                for (LinkId pl : f.path) {
+                    links_[pl].frozenLoad += f.rate;
+                    --links_[pl].unfrozen;
+                }
+            }
+            break; // one bottleneck per iteration keeps this exact
+        }
+    }
+
+    for (Link &l : links_)
+        l.load = l.frozenLoad;
+}
+
+Tick
+FlowModel::md1WaitTicks(Rate rho_q16, Tick service_ticks)
+{
+    if (rho_q16 == 0 || service_ticks == 0)
+        return 0;
+    // Clamp rho at 127/128 of capacity: a saturated server then
+    // reports a ~64x-service wait rather than infinity; sustained
+    // overload is the virtual FIFO servers' job to serialize, not this
+    // estimate's. The clamp is deliberately high — near saturation the
+    // cycle-accurate system develops deep synchronized bursts (stalled
+    // wavefronts re-issue together), and the steep tail of the M/D/1
+    // curve is what stands in for that burst amplification.
+    constexpr Rate kMaxRho = kRateOne - kRateOne / 128;
+    const Rate rho = std::min(rho_q16, kMaxRho);
+    return static_cast<Tick>((rho * service_ticks) /
+                             (2 * (kRateOne - rho)));
+}
+
+} // namespace netcrafter::flow

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Analytic flow model: aggregates steady-state packet streams into
+ * `Flow` objects with byte rates over shared-bandwidth links, and
+ * answers two questions the fidelity controller needs each epoch:
+ *
+ *  1. What is each flow's max-min fair-share rate given every flow's
+ *     measured demand and every link's capacity?
+ *  2. How long does a packet expect to wait behind cross traffic on a
+ *     link at utilization rho (an M/D/1 queueing-delay estimate)?
+ *
+ * Everything is integer/Q16 fixed point: recomputation visits flows and
+ * links strictly in id order, so the allocation is a pure function of
+ * (capacities, demands) with no floating-point association order to
+ * leak through — the property the determinism unit test pins down.
+ */
+
+#ifndef NETCRAFTER_FLOW_FLOW_MODEL_HH
+#define NETCRAFTER_FLOW_FLOW_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/types.hh"
+
+namespace netcrafter::flow {
+
+/** Q16 fixed-point rate in bytes per cycle. */
+using Rate = std::uint64_t;
+
+/** Q16 scale factor: rateQ16(1) is one byte per cycle. */
+inline constexpr Rate kRateOne = Rate{1} << 16;
+
+/** Bytes/cycle expressed in Q16. */
+constexpr Rate
+rateQ16(std::uint64_t bytes_per_cycle)
+{
+    return bytes_per_cycle << 16;
+}
+
+/**
+ * The max-min waterfiller. Links and flows are dense ids; removed flows
+ * keep their id (tombstoned) so ids stay stable across recomputes.
+ */
+class FlowModel
+{
+  public:
+    using LinkId = std::uint32_t;
+    using FlowId = std::uint32_t;
+
+    /** Register a link of @p capacity (Q16 bytes/cycle, > 0). */
+    LinkId addLink(Rate capacity);
+
+    /**
+     * Register a flow traversing @p path with offered demand
+     * @p demand (Q16 bytes/cycle). A flow with an empty path is legal
+     * (purely intra-switch traffic) and is always granted its demand.
+     */
+    FlowId addFlow(std::vector<LinkId> path, Rate demand);
+
+    /** Remove a flow; its id is never reused. */
+    void removeFlow(FlowId flow);
+
+    /** Update a flow's offered demand (takes effect at recompute()). */
+    void setDemand(FlowId flow, Rate demand);
+
+    /**
+     * Deterministic max-min fair allocation. Repeatedly freezes either
+     * every demand-limited flow (demand <= the current bottleneck
+     * share) or every flow through the most-constrained link; integer
+     * division throughout, ties broken by lowest id.
+     */
+    void recompute();
+
+    /** Allocated rate of @p flow after the last recompute(). */
+    Rate rate(FlowId flow) const { return flows_[flow].rate; }
+
+    /** Offered demand of @p flow. */
+    Rate demand(FlowId flow) const { return flows_[flow].demand; }
+
+    /** Sum of allocated rates crossing @p link. */
+    Rate linkLoad(LinkId link) const { return links_[link].load; }
+
+    Rate linkCapacity(LinkId link) const
+    {
+        return links_[link].capacity;
+    }
+
+    /**
+     * Utilization of @p link in Q16 (kRateOne == fully loaded),
+     * clamped to kRateOne.
+     */
+    Rate linkUtilizationQ16(LinkId link) const;
+
+    std::size_t numLinks() const { return links_.size(); }
+    std::size_t numFlows() const { return liveFlows_; }
+    std::uint64_t recomputes() const { return recomputes_; }
+
+    /**
+     * M/D/1 mean queueing delay, in ticks, for a deterministic service
+     * time of @p service_ticks on a server at utilization @p rho_q16:
+     * Wq = rho * S / (2 * (1 - rho)). rho is clamped just below 1 so a
+     * transiently saturated link yields a large finite wait instead of
+     * a division blow-up. Pure integer math.
+     */
+    static Tick md1WaitTicks(Rate rho_q16, Tick service_ticks);
+
+  private:
+    struct Link
+    {
+        Rate capacity = 0;
+        Rate load = 0;
+        // Scratch for recompute().
+        Rate frozenLoad = 0;
+        std::uint32_t unfrozen = 0;
+    };
+
+    struct Flow
+    {
+        std::vector<LinkId> path;
+        Rate demand = 0;
+        Rate rate = 0;
+        bool live = false;
+        bool frozen = false; // recompute() scratch
+    };
+
+    std::vector<Link> links_;
+    std::vector<Flow> flows_;
+    std::size_t liveFlows_ = 0;
+    std::uint64_t recomputes_ = 0;
+};
+
+} // namespace netcrafter::flow
+
+#endif // NETCRAFTER_FLOW_FLOW_MODEL_HH

@@ -19,6 +19,14 @@ ComputeUnit::ComputeUnit(sim::Engine &engine, std::string name,
     l1Tlb_ = std::make_unique<vm::Tlb>(engine, this->name() + ".l1tlb",
                                        params_.l1Tlb,
                                        std::move(tlb_miss));
+    if (params_.wakeOnL1Unblock) {
+        l1_->setUnblockHook([this] {
+            if (stalled_) {
+                stalled_ = false;
+                scheduleDispatch();
+            }
+        });
+    }
 }
 
 void
@@ -130,8 +138,13 @@ ComputeUnit::dispatchCycle()
                 ++issued;
             }
         }
-        if (!accepted)
+        if (!accepted) {
+            if (params_.wakeOnL1Unblock) {
+                stalled_ = true;
+                return; // woken by the L1 unblock hook
+            }
             break; // L1 MSHRs full: stall the issue port this cycle
+        }
     }
     scheduleDispatch();
 }

@@ -49,6 +49,16 @@ struct CuParams
     vm::TlbParams l1Tlb;
     std::uint32_t issueWidth = 1;
     std::uint32_t maxResidentWaves = 8;
+
+    /**
+     * Event-driven issue-port stalls: instead of re-polling the L1
+     * every cycle while its MSHR file is full, park the dispatch loop
+     * and let the L1's unblock hook wake it. Set by the GPU system at
+     * flow/hybrid fidelity, where the polling events would dominate
+     * the fast path; cycle fidelity keeps the classic per-cycle retry
+     * so its event stream stays bit-identical.
+     */
+    bool wakeOnL1Unblock = false;
 };
 
 /** Per-CU compute model. */
@@ -130,6 +140,9 @@ class ComputeUnit : public sim::SimObject
     std::list<WaveState> waves_;
     std::deque<PendingLine> dispatchQueue_;
     bool dispatchScheduled_ = false;
+
+    /** Parked on a full L1 awaiting the unblock hook (wakeOnL1Unblock). */
+    bool stalled_ = false;
 
     std::uint64_t instructions_ = 0;
 };

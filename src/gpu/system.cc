@@ -32,11 +32,20 @@ MultiGpuSystem::validateShards(const config::SystemConfig &cfg,
 MultiGpuSystem::MultiGpuSystem(const config::SystemConfig &cfg,
                                unsigned shards,
                                const obs::TraceOptions &trace,
-                               const sim::ExecPolicy &exec)
-    : cfg_(cfg), engine_(validateShards(cfg, shards), exec),
+                               const sim::ExecPolicy &exec,
+                               flow::Fidelity fidelity)
+    : cfg_(cfg), fidelity_(fidelity),
+      engine_(validateShards(cfg, shards), exec),
       pageTable_(cfg.numGpus())
 {
     cfg_.validate();
+    if (fidelity_ != flow::Fidelity::Cycle && engine_.numShards() > 1) {
+        NC_FATAL("fidelity=", flow::fidelityName(fidelity_),
+                 " requires a serial system; the flow lane schedules "
+                 "fused completions across clusters, which conservative "
+                 "shard barriers cannot order — run with shards=1 or "
+                 "fidelity=cycle");
+    }
     noc::resetPacketIds();
     if (trace.enabled()) {
         // The sink must exist before any component constructs: lanes
@@ -50,7 +59,12 @@ MultiGpuSystem::MultiGpuSystem(const config::SystemConfig &cfg,
         }
         engine_.setHostTimelineEnabled(true);
     }
-    network_ = std::make_unique<noc::Network>(engine_, cfg_);
+    if (fidelity_ == flow::Fidelity::Cycle) {
+        network_ = std::make_unique<noc::Network>(engine_, cfg_);
+    } else {
+        network_ = std::make_unique<noc::Network>(engine_.shard(0),
+                                                  cfg_, fidelity_);
+    }
     buildChips();
 }
 
@@ -134,6 +148,10 @@ MultiGpuSystem::buildChips()
         cu_params.l1Tlb.mshrEntries = cfg_.l1TlbMshrEntries;
         cu_params.issueWidth = cfg_.cuIssueWidth;
         cu_params.maxResidentWaves = cfg_.maxWavesPerCu;
+        // At flow/hybrid fidelity the per-cycle L1 retry polling would
+        // dominate the fused fast path; park the issue port instead.
+        cu_params.wakeOnL1Unblock =
+            fidelity_ != flow::Fidelity::Cycle;
 
         chip.cus.reserve(cfg_.cusPerGpu);
         for (std::uint32_t c = 0; c < cfg_.cusPerGpu; ++c) {
@@ -246,6 +264,8 @@ MultiGpuSystem::l1Fill(GpuId g, mem::FillRequest req)
             [done = std::move(req.done)](const noc::Packet &) {
                 done(0);
             };
+        if (tryFusedRoundTrip(g, pkt))
+            return;
         network_->sendPacket(std::move(pkt));
         return;
     }
@@ -295,6 +315,8 @@ MultiGpuSystem::l1Fill(GpuId g, mem::FillRequest req)
         }
         req.done(mask);
     };
+    if (tryFusedRoundTrip(g, pkt))
+        return;
     network_->sendPacket(std::move(pkt));
 }
 
@@ -311,62 +333,176 @@ MultiGpuSystem::fetchPte(GpuId g, const vm::WalkStep &step,
     markPriority(*pkt, g);
     gpuLocal_[g].outstanding[pkt->id] =
         [done = std::move(done)](const noc::Packet &) { done(); };
+    if (tryFusedRoundTrip(g, pkt))
+        return;
     network_->sendPacket(std::move(pkt));
+}
+
+noc::PacketPtr
+MultiGpuSystem::buildResponse(GpuId owner, const noc::Packet &req)
+{
+    switch (req.type) {
+      case noc::PacketType::ReadReq: {
+        auto rsp = noc::makePacket(noc::PacketType::ReadRsp, owner,
+                                   req.src, req.addr);
+        rsp->reqId = req.id;
+        rsp->bytesNeeded = req.bytesNeeded;
+        rsp->neededOffset = req.neededOffset;
+        rsp->trimEligible = req.trimEligible;
+        rsp->latencyCritical = req.latencyCritical;
+        if (cfg_.l1FillMode == config::L1FillMode::SectorAlways &&
+            req.bytesNeeded > 0) {
+            // Sector-cache baseline: the response carries only the
+            // requested sectors no matter which network it crosses.
+            const mem::SectorMask mask =
+                maskForRange(req.neededOffset, req.bytesNeeded);
+            rsp->payloadBytes =
+                static_cast<std::uint32_t>(std::popcount(mask)) *
+                cfg_.netcrafter.trimGranularity;
+            rsp->trimmed = true;
+            rsp->trimSector = static_cast<std::uint8_t>(
+                req.neededOffset / cfg_.netcrafter.trimGranularity);
+        }
+        return rsp;
+      }
+      case noc::PacketType::WriteReq: {
+        auto rsp = noc::makePacket(noc::PacketType::WriteRsp, owner,
+                                   req.src, req.addr);
+        rsp->reqId = req.id;
+        rsp->latencyCritical = req.latencyCritical;
+        return rsp;
+      }
+      case noc::PacketType::PageTableReq: {
+        auto rsp = noc::makePacket(noc::PacketType::PageTableRsp,
+                                   owner, req.src, req.addr);
+        rsp->reqId = req.id;
+        rsp->latencyCritical = req.latencyCritical;
+        return rsp;
+      }
+      default:
+        NC_PANIC("response packet delivered to request handler: ",
+                 req.toString());
+    }
+}
+
+bool
+MultiGpuSystem::tryFusedRoundTrip(GpuId g, noc::PacketPtr &pkt)
+{
+    flow::FidelityController *ctl = network_->flowController();
+    if (!ctl)
+        return false;
+    sim::Engine &eng = engineOf(g);
+    const Tick now = eng.now();
+    // The classification covers the whole round trip: there is no
+    // owner-side event left to reclassify the response, so a fused
+    // request's response rides the flow lane unconditionally (its
+    // transit still trains the reverse lane's rate estimate).
+    if (!ctl->classify(*pkt, now))
+        return false;
+    pkt->injectedAt = now;
+    obs::tracepoint(eng, obs::TraceLevel::Packets,
+                    obs::TraceKind::PktStage,
+                    obs::TraceStage::FlowTransit,
+                    gpuLocal_[g].traceLane, pkt->id, pkt->totalBytes());
+    const Tick req_arrive = ctl->transit(*pkt, now);
+    ctl->noteDelivered(*pkt);
+
+    // The remaining hops run as a short event chain so every virtual
+    // server is touched at its own simulated time, and the owner L2 is
+    // the real event-driven model (MSHRs, banks, DRAM) — only the
+    // network hops are analytic. Folding the whole round trip into one
+    // event at injection time reserved server slots with future-dated
+    // arrivals; present-time packets then queued behind reservations
+    // that were not in front of them, and the spurious backlog
+    // compounded into a runaway (~12x inflation of simulated time on
+    // GUPS).
+    eng.scheduleAbs(req_arrive, [this, ctl, pkt]() mutable {
+        const GpuId owner = pkt->dst;
+        const Addr line = pkt->type == noc::PacketType::PageTableReq
+                              ? lineAddr(pkt->addr)
+                              : pkt->addr;
+        const bool is_write = pkt->type == noc::PacketType::WriteReq;
+        auto respond = [this, ctl, pkt]() mutable {
+            const GpuId owner = pkt->dst;
+            auto rsp = buildResponse(owner, *pkt);
+            sim::Engine &rsp_eng = engineOf(rsp->dst);
+            rsp->injectedAt = rsp_eng.now();
+            const Tick rsp_arrive =
+                ctl->transit(*rsp, rsp_eng.now());
+            rsp_eng.scheduleAbs(rsp_arrive, [this, ctl,
+                                             rsp]() mutable {
+                obs::tracepoint(engineOf(rsp->dst),
+                                obs::TraceLevel::Packets,
+                                obs::TraceKind::PktStage,
+                                obs::TraceStage::FlowDeliver,
+                                gpuLocal_[rsp->dst].traceLane,
+                                rsp->reqId, rsp->totalBytes());
+                ctl->noteDelivered(*rsp);
+                handleResponse(std::move(rsp));
+            });
+        };
+        if (is_write)
+            chips_[owner].l2->write(line, std::move(respond));
+        else
+            chips_[owner].l2->read(line, std::move(respond));
+    });
+    return true;
+}
+
+bool
+MultiGpuSystem::trySendResponseOnFlowLane(noc::PacketPtr &rsp)
+{
+    flow::FidelityController *ctl = network_->flowController();
+    if (!ctl)
+        return false;
+    sim::Engine &eng = engineOf(rsp->dst);
+    const Tick now = eng.now();
+    if (!ctl->classify(*rsp, now))
+        return false;
+    rsp->injectedAt = now;
+    obs::tracepoint(eng, obs::TraceLevel::Packets,
+                    obs::TraceKind::PktStage,
+                    obs::TraceStage::FlowTransit,
+                    gpuLocal_[rsp->dst].traceLane, rsp->id,
+                    rsp->totalBytes());
+    const Tick arrive = ctl->transit(*rsp, now);
+    eng.scheduleAbs(arrive, [this, ctl, rsp]() mutable {
+        obs::tracepoint(engineOf(rsp->dst), obs::TraceLevel::Packets,
+                        obs::TraceKind::PktStage,
+                        obs::TraceStage::FlowDeliver,
+                        gpuLocal_[rsp->dst].traceLane, rsp->reqId,
+                        rsp->totalBytes());
+        ctl->noteDelivered(*rsp);
+        handleResponse(std::move(rsp));
+    });
+    return true;
 }
 
 void
 MultiGpuSystem::handleRemoteRequest(GpuId owner, noc::PacketPtr req)
 {
-    switch (req->type) {
-      case noc::PacketType::ReadReq: {
-        chips_[owner].l2->read(req->addr, [this, owner, req] {
-            auto rsp = noc::makePacket(noc::PacketType::ReadRsp, owner,
-                                       req->src, req->addr);
-            rsp->reqId = req->id;
-            rsp->bytesNeeded = req->bytesNeeded;
-            rsp->neededOffset = req->neededOffset;
-            rsp->trimEligible = req->trimEligible;
-            rsp->latencyCritical = req->latencyCritical;
-            if (cfg_.l1FillMode == config::L1FillMode::SectorAlways &&
-                req->bytesNeeded > 0) {
-                // Sector-cache baseline: the response carries only the
-                // requested sectors no matter which network it crosses.
-                const mem::SectorMask mask =
-                    maskForRange(req->neededOffset, req->bytesNeeded);
-                rsp->payloadBytes =
-                    static_cast<std::uint32_t>(std::popcount(mask)) *
-                    cfg_.netcrafter.trimGranularity;
-                rsp->trimmed = true;
-                rsp->trimSector = static_cast<std::uint8_t>(
-                    req->neededOffset / cfg_.netcrafter.trimGranularity);
-            }
-            network_->sendPacket(std::move(rsp));
-        });
-        break;
-      }
-      case noc::PacketType::WriteReq: {
-        chips_[owner].l2->write(req->addr, [this, owner, req] {
-            auto rsp = noc::makePacket(noc::PacketType::WriteRsp, owner,
-                                       req->src, req->addr);
-            rsp->reqId = req->id;
-            rsp->latencyCritical = req->latencyCritical;
-            network_->sendPacket(std::move(rsp));
-        });
-        break;
-      }
-      case noc::PacketType::PageTableReq: {
-        chips_[owner].l2->read(lineAddr(req->addr), [this, owner, req] {
-            auto rsp = noc::makePacket(noc::PacketType::PageTableRsp,
-                                       owner, req->src, req->addr);
-            rsp->reqId = req->id;
-            rsp->latencyCritical = req->latencyCritical;
-            network_->sendPacket(std::move(rsp));
-        });
-        break;
-      }
-      default:
-        NC_PANIC("response packet delivered to request handler: ",
-                 req->toString());
+    const bool is_write = req->type == noc::PacketType::WriteReq;
+    const Addr line = req->type == noc::PacketType::PageTableReq
+                          ? lineAddr(req->addr)
+                          : req->addr;
+    // An escalated (flit-path) request's response classifies on its
+    // own: its reverse lane may well be steady even while the forward
+    // lane is in a contention window.
+    auto respond = [this, owner, req] {
+        auto rsp = buildResponse(owner, *req);
+        if (trySendResponseOnFlowLane(rsp))
+            return;
+        network_->sendPacket(std::move(rsp));
+    };
+    if (is_write) {
+        chips_[owner].l2->write(line, std::move(respond));
+    } else {
+        if (req->type != noc::PacketType::ReadReq &&
+            req->type != noc::PacketType::PageTableReq) {
+            NC_PANIC("response packet delivered to request handler: ",
+                     req->toString());
+        }
+        chips_[owner].l2->read(line, std::move(respond));
     }
 }
 
@@ -642,6 +778,27 @@ MultiGpuSystem::collectStats() const
             reg.counter(p + "bytesTrimmed")
                 .inc(ctrl->trimStats().bytesTrimmed);
         }
+    }
+    if (const auto *ctl = network_->flowController()) {
+        const flow::FlowLaneStats &fs = ctl->stats();
+        reg.counter("flow.flowPackets").inc(fs.flowPackets);
+        reg.counter("flow.cyclePackets").inc(fs.cyclePackets);
+        reg.counter("flow.flowPacketsDelivered")
+            .inc(fs.flowPacketsDelivered);
+        reg.counter("flow.flowBytesInjected").inc(fs.flowBytesInjected);
+        reg.counter("flow.flowBytesDelivered")
+            .inc(fs.flowBytesDelivered);
+        reg.counter("flow.epochsClosed").inc(fs.epochsClosed);
+        reg.counter("flow.laneActivations").inc(fs.laneActivations);
+        reg.counter("flow.laneEscalations").inc(fs.laneEscalations);
+        reg.counter("flow.stitchedPieces").inc(fs.stitchedPieces);
+        reg.counter("flow.md1WaitTicks").inc(fs.md1WaitTicks);
+        reg.counter("flow.fifoWaitTicks").inc(fs.fifoWaitTicks);
+        reg.counter("flow.recomputes").inc(fs.recomputes);
+        reg.counter("flow.trimmedPackets")
+            .inc(ctl->trimStats().packetsTrimmed);
+        reg.counter("flow.bytesTrimmed")
+            .inc(ctl->trimStats().bytesTrimmed);
     }
     reg.average("system.interReadLatency") = interClusterReadLatency();
     reg.distribution("system.remoteReadBytesNeeded") =

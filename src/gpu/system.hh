@@ -30,6 +30,8 @@
 #include <vector>
 
 #include "src/config/system_config.hh"
+#include "src/flow/fidelity.hh"
+#include "src/flow/fidelity_controller.hh"
 #include "src/gpu/compute_unit.hh"
 #include "src/mem/dram.hh"
 #include "src/mem/l2_cache.hh"
@@ -62,11 +64,21 @@ class MultiGpuSystem : public workloads::PlacementDirectory
      * threads drive the shards (thread count, work stealing) — an
      * execution detail. Simulation results are identical for every
      * shard count and every execution policy.
+     *
+     * @p fidelity selects the execution fidelity (src/flow/): Cycle is
+     * the classic flit-level path and the default; Flow and Hybrid
+     * fuse steady-state network round trips into single analytic
+     * events and require shards == 1 (fatal otherwise). Fidelity is an
+     * execution property like the shard count: it is not part of the
+     * configuration digest, but results may differ slightly from
+     * Cycle, so experiment caches key on it separately.
      */
     explicit MultiGpuSystem(const config::SystemConfig &cfg,
                             unsigned shards = 1,
                             const obs::TraceOptions &trace = {},
-                            const sim::ExecPolicy &exec = {});
+                            const sim::ExecPolicy &exec = {},
+                            flow::Fidelity fidelity =
+                                flow::Fidelity::Cycle);
     ~MultiGpuSystem() override;
 
     /**
@@ -137,6 +149,15 @@ class MultiGpuSystem : public workloads::PlacementDirectory
     const noc::Network &network() const { return *network_; }
     const vm::PageTable &pageTable() const { return pageTable_; }
     const config::SystemConfig &cfg() const { return cfg_; }
+
+    /** Execution fidelity this system was built with. */
+    flow::Fidelity fidelity() const { return fidelity_; }
+
+    /** Flow-lane controller (nullptr at cycle fidelity). */
+    const flow::FidelityController *flowController() const
+    {
+        return network_->flowController();
+    }
 
     /** The sharded engine complex driving the system. */
     sim::ShardedEngine &engines() { return engine_; }
@@ -250,6 +271,28 @@ class MultiGpuSystem : public workloads::PlacementDirectory
     void markPriority(noc::Packet &pkt, GpuId requester);
     void handleRemoteRequest(GpuId owner, noc::PacketPtr req);
     void handleResponse(noc::PacketPtr rsp);
+
+    /** Build the response packet answering @p req (owner side). */
+    noc::PacketPtr buildResponse(GpuId owner, const noc::Packet &req);
+
+    /**
+     * Flow-lane fused round trip: request transit, analytic owner-side
+     * L2 service, response transit, one completion event delivering to
+     * handleResponse. The caller must have registered the request in
+     * its outstanding table first. Returns false — leaving @p pkt
+     * untouched — at cycle fidelity or when the request's lane is
+     * escalated (Hybrid warmup / instability); the caller then uses
+     * the flit path.
+     */
+    bool tryFusedRoundTrip(GpuId g, noc::PacketPtr &pkt);
+
+    /**
+     * Route a response built on the owner's side of an *escalated*
+     * (flit-path) request back through the flow lane when its reverse
+     * lane qualifies. Returns false — @p rsp untouched — when the
+     * response must ride the flit path too.
+     */
+    bool trySendResponseOnFlowLane(noc::PacketPtr &rsp);
     void l1Fill(GpuId g, mem::FillRequest req);
     void fetchPte(GpuId g, const vm::WalkStep &step,
                   std::function<void()> done);
@@ -264,6 +307,7 @@ class MultiGpuSystem : public workloads::PlacementDirectory
                                    unsigned shards);
 
     config::SystemConfig cfg_;
+    flow::Fidelity fidelity_ = flow::Fidelity::Cycle;
 
     /**
      * Declared before every component so it outlives them all; the

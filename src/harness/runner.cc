@@ -126,6 +126,26 @@ collectSystemStats(RunResult &r, gpu::MultiGpuSystem &system,
     r.flitPoolHighWater = flit_pool.highWater();
     r.poolArenaBytes = packet_pool.arenaBytes() + flit_pool.arenaBytes();
     r.smallFnHeapAllocs = sim::SmallFn::heapAllocations();
+
+    r.fidelity = system.fidelity();
+    if (const flow::FidelityController *ctl = system.flowController()) {
+        const flow::FlowLaneStats &fs = ctl->stats();
+        r.flowPackets = fs.flowPackets;
+        r.flowCyclePackets = fs.cyclePackets;
+        r.flowPacketsDelivered = fs.flowPacketsDelivered;
+        r.flowBytesInjected = fs.flowBytesInjected;
+        r.flowBytesDelivered = fs.flowBytesDelivered;
+        r.flowEpochsClosed = fs.epochsClosed;
+        r.flowLaneActivations = fs.laneActivations;
+        r.flowLaneEscalations = fs.laneEscalations;
+        r.flowRecomputes = fs.recomputes;
+        r.flowMd1WaitTicks = fs.md1WaitTicks;
+        r.flowFifoWaitTicks = fs.fifoWaitTicks;
+        // Flow-lane trim folds into the headline trim census so
+        // figure extraction is fidelity-agnostic.
+        r.trimmedPackets += ctl->trimStats().packetsTrimmed;
+        r.bytesTrimmed += ctl->trimStats().bytesTrimmed;
+    }
 }
 
 /** Write the per-run trace artifacts and fill the trace census. */
@@ -220,10 +240,20 @@ runWorkload(const std::string &workload_name,
             unsigned shards, const obs::TraceOptions &trace,
             const sim::ExecPolicy &exec)
 {
+    return runWorkload(workload_name, cfg, scale, shards, trace, exec,
+                       flow::fidelityFromEnv());
+}
+
+RunResult
+runWorkload(const std::string &workload_name,
+            const config::SystemConfig &cfg, double scale,
+            unsigned shards, const obs::TraceOptions &trace,
+            const sim::ExecPolicy &exec, flow::Fidelity fidelity)
+{
     const auto t_start = std::chrono::steady_clock::now();
 
     auto workload = workloads::makeWorkload(workload_name);
-    gpu::MultiGpuSystem system(cfg, shards, trace, exec);
+    gpu::MultiGpuSystem system(cfg, shards, trace, exec, fidelity);
     system.run(*workload, scale * envScale());
 
     RunResult r;
@@ -259,10 +289,20 @@ runServe(const serve::ServeConfig &serve,
          unsigned shards, const obs::TraceOptions &trace,
          const sim::ExecPolicy &exec)
 {
+    return runServe(serve, cfg, scale, shards, trace, exec,
+                    flow::fidelityFromEnv());
+}
+
+RunResult
+runServe(const serve::ServeConfig &serve,
+         const config::SystemConfig &cfg, double scale,
+         unsigned shards, const obs::TraceOptions &trace,
+         const sim::ExecPolicy &exec, flow::Fidelity fidelity)
+{
     NC_ASSERT(serve.enabled, "runServe with serving disabled");
     const auto t_start = std::chrono::steady_clock::now();
 
-    gpu::MultiGpuSystem system(cfg, shards, trace, exec);
+    gpu::MultiGpuSystem system(cfg, shards, trace, exec, fidelity);
     serve::ServeSession session(system, serve, scale * envScale());
     const serve::ServeReport report = session.run();
     if (report.status != sim::RunStatus::Drained) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/config/system_config.hh"
+#include "src/flow/fidelity.hh"
 #include "src/obs/trace.hh"
 #include "src/serve/serve_config.hh"
 #include "src/sim/sharded_engine.hh"
@@ -213,6 +214,44 @@ struct RunResult
 
     /** Time-series rows the interval sampler produced. */
     std::uint64_t sampleRows = 0;
+
+    // Flow-lane fidelity census (all zero at cycle fidelity). Unlike
+    // the shard count, fidelity CAN change measurements — flow/hybrid
+    // results approximate cycle results — which is why it sits below
+    // the sameMeasurement() cut as run metadata, and why experiment
+    // caches key on it (see exp::ResultCache). ------------------------
+    /** Fidelity the run executed at. */
+    flow::Fidelity fidelity = flow::Fidelity::Cycle;
+
+    /** Packets whose round trip was fused onto the flow lane. */
+    std::uint64_t flowPackets = 0;
+
+    /** Packets classified back to the flit path (Hybrid warmup,
+     *  contention windows). */
+    std::uint64_t flowCyclePackets = 0;
+
+    /** Flow-lane packets delivered (== flowPackets after a drain). */
+    std::uint64_t flowPacketsDelivered = 0;
+
+    /** Post-trim bytes entering / leaving the flow lane; exact
+     *  conservation means the two are equal after a drained run. */
+    std::uint64_t flowBytesInjected = 0;
+    std::uint64_t flowBytesDelivered = 0;
+
+    /** Rate-estimation epochs closed across lanes. */
+    std::uint64_t flowEpochsClosed = 0;
+
+    /** Hybrid lane transitions: cycle->flow and flow->cycle. */
+    std::uint64_t flowLaneActivations = 0;
+    std::uint64_t flowLaneEscalations = 0;
+
+    /** Max-min fair-share recomputations the flow model ran. */
+    std::uint64_t flowRecomputes = 0;
+
+    /** Flow-lane wait decomposition: analytic M/D/1 latency added on
+     *  top of the virtual-FIFO backlog, and the backlog itself. */
+    std::uint64_t flowMd1WaitTicks = 0;
+    std::uint64_t flowFifoWaitTicks = 0;
 };
 
 /**
@@ -252,6 +291,20 @@ RunResult runWorkload(const std::string &workload_name,
                       const sim::ExecPolicy &exec);
 
 /**
+ * As above, additionally pinning the execution fidelity instead of the
+ * validated NETCRAFTER_FIDELITY environment every other overload
+ * consults (unset = cycle). Fidelity is run metadata, not a config
+ * field: flow/hybrid runs approximate the cycle measurement (the
+ * validation harness bounds the error), so results from different
+ * fidelities must never be conflated — exp::ResultCache keys on it.
+ */
+RunResult runWorkload(const std::string &workload_name,
+                      const config::SystemConfig &cfg, double scale,
+                      unsigned shards, const obs::TraceOptions &trace,
+                      const sim::ExecPolicy &exec,
+                      flow::Fidelity fidelity);
+
+/**
  * Run one open-loop serving scenario (@p serve must be enabled) on a
  * system built from @p cfg and fill the serve_* fields alongside every
  * ordinary measurement. The result's workload name is
@@ -272,6 +325,13 @@ RunResult runServe(const serve::ServeConfig &serve,
                    const config::SystemConfig &cfg, double scale,
                    unsigned shards, const obs::TraceOptions &trace,
                    const sim::ExecPolicy &exec);
+
+/** As above with an explicit fidelity (see the runWorkload overload). */
+RunResult runServe(const serve::ServeConfig &serve,
+                   const config::SystemConfig &cfg, double scale,
+                   unsigned shards, const obs::TraceOptions &trace,
+                   const sim::ExecPolicy &exec,
+                   flow::Fidelity fidelity);
 
 /** Geometric mean of a sequence of positive ratios. */
 double geomean(const std::vector<double> &xs);

@@ -37,6 +37,8 @@ L1Cache::access(Addr line, std::uint32_t offset, std::uint32_t bytes,
         req.done = [this, done = std::move(done)](SectorMask) {
             NC_ASSERT(outstandingWrites_ > 0, "write ack underflow");
             --outstandingWrites_;
+            if (onUnblock_)
+                onUnblock_();
             if (done)
                 done();
         };
@@ -93,6 +95,8 @@ L1Cache::handleFill(Addr line, SectorMask filled)
     NC_ASSERT(filled != 0, "fill delivered no sectors");
     tags_.fill(line, filled);
     auto waiters = mshr_.release(line);
+    if (onUnblock_)
+        onUnblock_();
     for (auto &w : waiters) {
         if (tags_.covers(line, w.needed)) {
             w.done();

@@ -78,6 +78,14 @@ class L1Cache : public sim::SimObject
     bool access(Addr line, std::uint32_t offset, std::uint32_t bytes,
                 bool is_write, Callback done);
 
+    /**
+     * Install a hook invoked whenever an MSHR or write slot frees (a
+     * fill landed or a write-through ack returned). The CU uses it to
+     * park its issue port on rejection instead of re-polling every
+     * cycle (CuParams::wakeOnL1Unblock).
+     */
+    void setUnblockHook(Callback fn) { onUnblock_ = std::move(fn); }
+
     std::uint64_t readAccesses() const { return readAccesses_; }
     std::uint64_t readHits() const { return readHits_; }
     std::uint64_t readMisses() const { return readMisses_; }
@@ -104,6 +112,7 @@ class L1Cache : public sim::SimObject
     FillFn below_;
     Mshr<Waiter> mshr_;
     std::size_t outstandingWrites_ = 0;
+    Callback onUnblock_;
 
     std::uint64_t readAccesses_ = 0;
     std::uint64_t readHits_ = 0;

@@ -7,13 +7,23 @@
 
 namespace netcrafter::noc {
 
-Network::Network(sim::Engine &engine, const config::SystemConfig &cfg)
+Network::Network(sim::Engine &engine, const config::SystemConfig &cfg,
+                 flow::Fidelity fidelity)
     : SimObject(engine, "network"), cfg_(cfg)
 {
     cfg_.validate();
     const std::vector<sim::Engine *> cluster_engines(cfg_.numClusters,
                                                      &engine);
     build(cluster_engines, nullptr);
+    if (fidelity != flow::Fidelity::Cycle) {
+        flowController_ = std::make_unique<flow::FidelityController>(
+            cfg_, fidelity);
+        for (auto &[key, il] : interLinks_) {
+            flowController_->attachInterLink(key.first, key.second,
+                                             il.monitor.get(),
+                                             il.channel.get());
+        }
+    }
 }
 
 Network::Network(sim::ShardedEngine &engines,

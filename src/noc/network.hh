@@ -23,6 +23,8 @@
 
 #include "src/config/system_config.hh"
 #include "src/core/controller.hh"
+#include "src/flow/fidelity.hh"
+#include "src/flow/fidelity_controller.hh"
 #include "src/noc/link.hh"
 #include "src/noc/rdma.hh"
 #include "src/noc/switch.hh"
@@ -48,8 +50,15 @@ namespace netcrafter::noc {
 class Network : public sim::SimObject
 {
   public:
-    /** Build on a single engine (serial execution). */
-    Network(sim::Engine &engine, const config::SystemConfig &cfg);
+    /**
+     * Build on a single engine (serial execution). Flow and Hybrid
+     * fidelities additionally instantiate a FidelityController wired
+     * to every inter-cluster link's census sinks; the GPU system
+     * routes steady-state round trips through it instead of the flit
+     * path (see src/flow/fidelity_controller.hh).
+     */
+    Network(sim::Engine &engine, const config::SystemConfig &cfg,
+            flow::Fidelity fidelity = flow::Fidelity::Cycle);
 
     /**
      * Build across @p engines' shards: cluster c's components bind to
@@ -104,6 +113,16 @@ class Network : public sim::SimObject
 
     const config::SystemConfig &cfg() const { return cfg_; }
 
+    /** The flow-lane controller; nullptr at cycle fidelity. */
+    flow::FidelityController *flowController()
+    {
+        return flowController_.get();
+    }
+    const flow::FidelityController *flowController() const
+    {
+        return flowController_.get();
+    }
+
   private:
     struct InterLink
     {
@@ -118,6 +137,7 @@ class Network : public sim::SimObject
 
     config::SystemConfig cfg_;
     unsigned numShards_ = 1;
+    std::unique_ptr<flow::FidelityController> flowController_;
     std::vector<std::unique_ptr<RdmaEngine>> rdmas_;
     std::vector<std::unique_ptr<Switch>> switches_;
     std::vector<std::unique_ptr<Link>> gpuLinks_;

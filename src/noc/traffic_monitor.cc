@@ -54,6 +54,45 @@ TrafficMonitor::observe(const Flit &flit)
 }
 
 void
+TrafficMonitor::observeFlowPacket(const Packet &pkt,
+                                  std::uint32_t wire_flits,
+                                  std::uint32_t flit_bytes)
+{
+    const std::uint32_t bytes = pkt.totalBytes();
+    const auto type_idx = static_cast<std::size_t>(pkt.type);
+    ++packetsByType_[type_idx];
+    bytesByType_[type_idx] += bytes;
+    totalUsefulBytes_ += bytes;
+    if (pkt.isPtw())
+        ptwBytes_ += bytes;
+
+    if (wire_flits == 0) {
+        // Absorbed by the stitch approximation: one logical flit rode
+        // another packet's padding, contributing no wire flits.
+        ++flitsByType_[type_idx];
+        ++stitchedPieces_;
+        return;
+    }
+
+    flitsByType_[type_idx] += wire_flits;
+    totalFlits_ += wire_flits;
+    totalWireBytes_ +=
+        static_cast<std::uint64_t>(wire_flits) * flit_bytes;
+
+    // Only the last flit is partially filled; the census buckets are
+    // the same halves-of-capacity split observe() uses.
+    const std::uint32_t padded = wire_flits * flit_bytes - bytes;
+    if (padded > 0) {
+        ++flitsWithPadding_;
+        const double frac = static_cast<double>(padded) / flit_bytes;
+        if (frac <= 0.5)
+            ++quarterPadded_;
+        else
+            ++threeQuarterPadded_;
+    }
+}
+
+void
 TrafficMonitor::merge(const TrafficMonitor &other)
 {
     totalFlits_ += other.totalFlits_;

@@ -23,6 +23,18 @@ class TrafficMonitor
     /** Record one flit crossing the observed link. */
     void observe(const Flit &flit);
 
+    /**
+     * Record a whole packet the flow lane carried across the observed
+     * link without materializing flits (src/flow/). @p wire_flits is
+     * the number of flits the packet synthesizes on the wire — zero
+     * for a packet the stitch approximation absorbed into another
+     * packet's padding, which is then censused like a stitched piece.
+     * Keeps every headline census field (totals, per-type, padding
+     * buckets, PTW share, stitch counts) consistent across fidelities.
+     */
+    void observeFlowPacket(const Packet &pkt, std::uint32_t wire_flits,
+                           std::uint32_t flit_bytes);
+
     // --- Totals ----------------------------------------------------------
     std::uint64_t totalFlits() const { return totalFlits_; }
     std::uint64_t totalWireBytes() const { return totalWireBytes_; }

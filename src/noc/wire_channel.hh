@@ -36,6 +36,7 @@
 #ifndef NETCRAFTER_NOC_WIRE_CHANNEL_HH
 #define NETCRAFTER_NOC_WIRE_CHANNEL_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -105,6 +106,29 @@ class WireChannel : public sim::SimObject, public sim::CrossShardPort
     setObserver(std::function<void(const Flit &)> fn)
     {
         observer_ = std::move(fn);
+    }
+
+    /**
+     * Credit traffic the flow lane (src/flow/) carried over this wire
+     * analytically: the synthesized @p flits never existed as objects,
+     * but the channel's transfer and busy counters must cover them so
+     * utilization and wire-byte figures read the same at any fidelity.
+     */
+    void
+    creditFlowTraffic(std::uint64_t flits, std::uint64_t wire_bytes,
+                      std::uint64_t useful_bytes, Tick tick)
+    {
+        usefulBytesTransferred_ += useful_bytes;
+        if (flits == 0)
+            return;
+        flitsTransferred_ += flits;
+        bytesTransferred_ += wire_bytes;
+        busyCycles_ += divCeil(flits, flitsPerCycle_);
+        if (!everBusy_) {
+            everBusy_ = true;
+            firstBusyTick_ = tick;
+        }
+        lastBusyTick_ = std::max(lastBusyTick_, tick);
     }
 
     /** Flits re-materialized into the destination shard's pools. */

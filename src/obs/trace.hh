@@ -71,10 +71,12 @@ enum class TraceStage : std::uint8_t {
     CtrlTrim,
     ServeArrive,
     ServeRetire,
+    FlowTransit,
+    FlowDeliver,
 };
 
 /** Number of TraceStage values (for tables indexed by stage). */
-inline constexpr std::size_t kNumTraceStages = 22;
+inline constexpr std::size_t kNumTraceStages = 24;
 
 /** Stable lower-case name for a stage ("wireDepart", "walkStart", ...). */
 const char *traceStageName(TraceStage stage);

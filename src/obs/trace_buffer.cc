@@ -33,6 +33,8 @@ traceStageName(TraceStage stage)
       case TraceStage::CtrlTrim: return "ctrlTrim";
       case TraceStage::ServeArrive: return "serveArrive";
       case TraceStage::ServeRetire: return "serveRetire";
+      case TraceStage::FlowTransit: return "flowTransit";
+      case TraceStage::FlowDeliver: return "flowDeliver";
     }
     return "(invalid)";
 }

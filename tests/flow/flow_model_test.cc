@@ -1,0 +1,140 @@
+/** @file Unit tests for the max-min flow model and M/D/1 estimate. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/flow/flow_model.hh"
+
+namespace netcrafter::flow {
+namespace {
+
+TEST(FlowModel, SingleLinkEqualSplit)
+{
+    // Two flows, each demanding more than half of a 10 B/cy link:
+    // max-min gives each exactly half.
+    FlowModel m;
+    const auto link = m.addLink(rateQ16(10));
+    const auto a = m.addFlow({link}, rateQ16(8));
+    const auto b = m.addFlow({link}, rateQ16(9));
+    m.recompute();
+    EXPECT_EQ(m.rate(a), rateQ16(5));
+    EXPECT_EQ(m.rate(b), rateQ16(5));
+    EXPECT_EQ(m.linkLoad(link), rateQ16(10));
+    EXPECT_EQ(m.linkUtilizationQ16(link), kRateOne);
+}
+
+TEST(FlowModel, DemandLimitedFlowDonatesHeadroom)
+{
+    // One flow asks for 2 of a 10-capacity link; the leftover 8 goes
+    // to the greedy flow instead of an even 5/5 split.
+    FlowModel m;
+    const auto link = m.addLink(rateQ16(10));
+    const auto small = m.addFlow({link}, rateQ16(2));
+    const auto big = m.addFlow({link}, rateQ16(100));
+    m.recompute();
+    EXPECT_EQ(m.rate(small), rateQ16(2));
+    EXPECT_EQ(m.rate(big), rateQ16(8));
+}
+
+TEST(FlowModel, TwoLinkBottleneck)
+{
+    // Classic 3-flow, 2-link max-min: flow C crosses both links.
+    //   link0 capacity 10: flows A, C
+    //   link1 capacity  4: flows B, C
+    // link1's share (2 each) binds B and C; A then takes link0's
+    // remaining 8.
+    FlowModel m;
+    const auto l0 = m.addLink(rateQ16(10));
+    const auto l1 = m.addLink(rateQ16(4));
+    const auto a = m.addFlow({l0}, rateQ16(100));
+    const auto b = m.addFlow({l1}, rateQ16(100));
+    const auto c = m.addFlow({l0, l1}, rateQ16(100));
+    m.recompute();
+    EXPECT_EQ(m.rate(b), rateQ16(2));
+    EXPECT_EQ(m.rate(c), rateQ16(2));
+    EXPECT_EQ(m.rate(a), rateQ16(8));
+    EXPECT_EQ(m.linkLoad(l0), rateQ16(10));
+    EXPECT_EQ(m.linkLoad(l1), rateQ16(4));
+}
+
+TEST(FlowModel, EmptyPathFlowAlwaysGranted)
+{
+    FlowModel m;
+    const auto f = m.addFlow({}, rateQ16(123));
+    m.recompute();
+    EXPECT_EQ(m.rate(f), rateQ16(123));
+}
+
+TEST(FlowModel, RemovedFlowReleasesItsShare)
+{
+    FlowModel m;
+    const auto link = m.addLink(rateQ16(10));
+    const auto a = m.addFlow({link}, rateQ16(100));
+    const auto b = m.addFlow({link}, rateQ16(100));
+    m.recompute();
+    EXPECT_EQ(m.rate(a), rateQ16(5));
+    m.removeFlow(b);
+    m.recompute();
+    EXPECT_EQ(m.rate(a), rateQ16(10));
+    EXPECT_EQ(m.rate(b), 0u);
+    EXPECT_EQ(m.numFlows(), 1u);
+}
+
+TEST(FlowModel, RecomputeIsDeterministic)
+{
+    // The allocation must be a pure function of (capacities, demands):
+    // identical models recomputed any number of times agree bit for
+    // bit, including after demand churn that exercises the freeze
+    // order.
+    auto build = [] {
+        FlowModel m;
+        const auto l0 = m.addLink(rateQ16(16));
+        const auto l1 = m.addLink(rateQ16(16));
+        m.addFlow({l0}, rateQ16(7));
+        m.addFlow({l0, l1}, rateQ16(13));
+        m.addFlow({l1}, rateQ16(5));
+        m.addFlow({l0}, rateQ16(11));
+        return m;
+    };
+    FlowModel x = build();
+    FlowModel y = build();
+    for (int round = 0; round < 3; ++round) {
+        x.recompute();
+        y.recompute();
+        for (FlowModel::FlowId f = 0; f < 4; ++f)
+            ASSERT_EQ(x.rate(f), y.rate(f)) << "flow " << f;
+    }
+    // Same-demand churn through setDemand must land on the same
+    // answer as the fresh model.
+    x.setDemand(1, rateQ16(40));
+    x.recompute();
+    x.setDemand(1, rateQ16(13));
+    x.recompute();
+    for (FlowModel::FlowId f = 0; f < 4; ++f)
+        EXPECT_EQ(x.rate(f), y.rate(f)) << "flow " << f;
+}
+
+TEST(FlowModel, Md1WaitShape)
+{
+    // Zero at zero utilization or zero service time.
+    EXPECT_EQ(FlowModel::md1WaitTicks(0, 10), 0u);
+    EXPECT_EQ(FlowModel::md1WaitTicks(kRateOne / 2, 0), 0u);
+    // Exact closed form at rho = 1/2: Wq = S/2.
+    EXPECT_EQ(FlowModel::md1WaitTicks(kRateOne / 2, 10), 5u);
+    // Monotone in rho and in service time.
+    const Tick low = FlowModel::md1WaitTicks(kRateOne / 4, 10);
+    const Tick high = FlowModel::md1WaitTicks(3 * (kRateOne / 4), 10);
+    EXPECT_LT(low, high);
+    EXPECT_LT(FlowModel::md1WaitTicks(kRateOne / 2, 5),
+              FlowModel::md1WaitTicks(kRateOne / 2, 50));
+    // Saturation clamps to a large finite wait, no blow-up.
+    const Tick sat = FlowModel::md1WaitTicks(kRateOne, 10);
+    EXPECT_GT(sat, high);
+    EXPECT_LT(sat, 10'000u);
+    // Over-unity input behaves like saturation.
+    EXPECT_EQ(FlowModel::md1WaitTicks(2 * kRateOne, 10), sat);
+}
+
+} // namespace
+} // namespace netcrafter::flow

@@ -64,6 +64,12 @@ usage(int code)
           "                    The default worker count is divided by N\n"
           "                    so jobs x shards never oversubscribes\n"
           "  --scale X         set NETCRAFTER_SCALE for this run\n"
+          "  --fidelity F      cycle|flow|hybrid (default: the\n"
+          "                    validated NETCRAFTER_FIDELITY env, else\n"
+          "                    cycle). flow/hybrid approximate the\n"
+          "                    cycle-accurate numbers (see\n"
+          "                    validate-fidelity) and require\n"
+          "                    --shards 1\n"
           "  --json FILE       export every simulated result as JSON\n"
           "  --csv FILE        export every simulated result as CSV\n"
           "  --timings         print a per-job wall-time table\n"
@@ -259,6 +265,10 @@ main(int argc, char **argv)
         }
         else if (arg == "--scale")
             setenv("NETCRAFTER_SCALE", value("--scale").c_str(), 1);
+        else if (arg == "--fidelity") {
+            opts.fidelity = flow::parseFidelityOrDie(
+                value("--fidelity"), "--fidelity");
+        }
         else if (arg == "--json")
             json_path = value("--json");
         else if (arg == "--csv")
@@ -315,6 +325,14 @@ main(int argc, char **argv)
     if (!explicit_level && !opts.trace.enabled() &&
         (!opts.trace.outDir.empty() || opts.trace.sampleInterval > 0))
         opts.trace.level = obs::TraceLevel::Packets;
+
+    if (opts.fidelity != flow::Fidelity::Cycle && opts.shards > 1) {
+        std::cerr << "--fidelity "
+                  << flow::fidelityName(opts.fidelity)
+                  << " requires --shards 1 (the flow lane is a "
+                     "single-engine fast path)\n";
+        return usage(1);
+    }
 
     if (!registry_json.empty()) {
         if (registry_workload.empty()) {
