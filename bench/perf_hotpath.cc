@@ -80,6 +80,7 @@
 #include "src/config/system_config.hh"
 #include "src/exp/export.hh"
 #include "src/obs/json_validate.hh"
+#include "src/obs/telemetry.hh"
 #include "src/obs/trace.hh"
 #include "src/sim/sharded_engine.hh"
 
@@ -683,6 +684,39 @@ runObsBench(const std::string &out_path, bool quick, double scale,
         }
     }
 
+    // Third leg: tracing off but the live-telemetry sampler running
+    // (heartbeat stream + armed phase profiling). The sampler only
+    // reads relaxed atomics the simulation publishes anyway, so the
+    // measurements must stay bit-identical to the disabled leg.
+    Totals tel_t;
+    bool telemetry_identical = true;
+    const std::string heartbeat_path = out_path + ".heartbeat.ndjson";
+    {
+        obs::TelemetryOptions topts;
+        topts.heartbeatPath = heartbeat_path;
+        topts.intervalMs = 50;
+        obs::Telemetry::instance().start(topts);
+    }
+    point = 0;
+    for (const auto &[cfg_name, cfg] : configs) {
+        for (const auto &app : bench::apps()) {
+            const RunResult &off = off_results[point++];
+            const RunResult tel =
+                harness::runWorkload(app, cfg, scale, 1, disabled);
+            tel_t.events += tel.events;
+            tel_t.wall += tel.wallSeconds;
+            if (!harness::sameMeasurement(off, tel)) {
+                std::cerr << "perf_hotpath --obs: telemetry CHANGED "
+                             "the measurement at "
+                          << cfg_name << "/" << app << "\n";
+                telemetry_identical = false;
+            }
+        }
+    }
+    obs::Telemetry::instance().stop(); // final heartbeat lands first
+    const std::uint64_t heartbeat_records =
+        obs::Telemetry::instance().heartbeats();
+
     // Optional reference: the disabled path against a plain
     // BENCH_hotpath.json from the same machine. Informational — wall
     // clock noise on shared CI runners is larger than the 2% budget,
@@ -730,6 +764,8 @@ runObsBench(const std::string &out_path, bool quick, double scale,
     os << "  \"sample_interval\": " << enabled.sampleInterval << ",\n";
     os << "  \"measurements_identical\": "
        << (identical ? "true" : "false") << ",\n";
+    os << "  \"telemetry_identical\": "
+       << (telemetry_identical ? "true" : "false") << ",\n";
     os << "  \"disabled\": {\"events\": " << off_t.events
        << ", \"wall_seconds\": " << off_t.wall
        << ", \"events_per_second\": "
@@ -741,8 +777,17 @@ runObsBench(const std::string &out_path, bool quick, double scale,
        << ", \"trace_records\": " << trace_records
        << ", \"trace_dropped\": " << trace_dropped
        << ", \"sample_rows\": " << sample_rows << "},\n";
+    os << "  \"telemetry\": {\"events\": " << tel_t.events
+       << ", \"wall_seconds\": " << tel_t.wall
+       << ", \"events_per_second\": "
+       << eventsPerSecond(tel_t.events, tel_t.wall)
+       << ", \"heartbeat_records\": " << heartbeat_records
+       << ", \"heartbeat_path\": \""
+       << exp::jsonEscape(heartbeat_path) << "\"},\n";
     os << "  \"enabled_over_disabled_wall\": "
        << (off_t.wall > 0 ? on_t.wall / off_t.wall : 0.0) << ",\n";
+    os << "  \"telemetry_over_disabled_wall\": "
+       << (off_t.wall > 0 ? tel_t.wall / off_t.wall : 0.0) << ",\n";
     os << "  \"ref\": "
        << (ref_path.empty() ? std::string("null")
                             : "\"" + exp::jsonEscape(ref_path) + "\"")
@@ -753,14 +798,18 @@ runObsBench(const std::string &out_path, bool quick, double scale,
     os << "}\n";
 
     std::cout << "perf_hotpath --obs: "
-              << (identical ? "measurements identical"
-                            : "MEASUREMENTS DIVERGED")
+              << (identical && telemetry_identical
+                      ? "measurements identical"
+                      : "MEASUREMENTS DIVERGED")
               << ", " << eventsPerSecond(off_t.events, off_t.wall)
               << " ev/s disabled vs "
               << eventsPerSecond(on_t.events, on_t.wall)
-              << " ev/s enabled, " << trace_records
-              << " records (JSON: " << out_path << ")\n";
-    return identical ? 0 : 1;
+              << " ev/s traced vs "
+              << eventsPerSecond(tel_t.events, tel_t.wall)
+              << " ev/s telemetry, " << trace_records << " records, "
+              << heartbeat_records << " heartbeats (JSON: " << out_path
+              << ")\n";
+    return identical && telemetry_identical ? 0 : 1;
 }
 
 } // namespace

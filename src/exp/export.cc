@@ -179,6 +179,17 @@ fields()
         NUM_FIELD("flow_recomputes", r.result.flowRecomputes),
         NUM_FIELD("flow_md1_wait_ticks", r.result.flowMd1WaitTicks),
         NUM_FIELD("flow_fifo_wait_ticks", r.result.flowFifoWaitTicks),
+        // Host-time self-profiling phase split (all zero unless the
+        // run was traced, NETCRAFTER_PROFILE was set, or live
+        // telemetry was on) plus the suppressed-warning tally.
+        NUM_FIELD("warnings_suppressed", r.result.warningsSuppressed),
+        NUM_FIELD("phase_execute_seconds", r.result.phaseExecuteSeconds),
+        NUM_FIELD("phase_barrier_wait_seconds",
+                  r.result.phaseBarrierWaitSeconds),
+        NUM_FIELD("phase_ingress_seconds", r.result.phaseIngressSeconds),
+        NUM_FIELD("phase_steal_scan_seconds",
+                  r.result.phaseStealScanSeconds),
+        NUM_FIELD("phase_export_seconds", r.result.phaseExportSeconds),
     };
     return defs;
 }

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "src/config/exec_config.hh"
+#include "src/obs/telemetry.hh"
 #include "src/sim/logging.hh"
 
 namespace netcrafter::exp {
@@ -102,6 +103,20 @@ Scheduler::run(const SweepSpec &spec)
     std::atomic<std::size_t> done{0};
     std::mutex log_mu;
 
+    // Publish sweep-level progress for the heartbeat/ETA display. Live
+    // mode starts the sampler itself (TTY on) if nothing else has;
+    // otherwise the counters only feed an already-running sampler.
+    if (opts_.progress == ProgressMode::Live &&
+        !obs::Telemetry::instance().running()) {
+        obs::TelemetryOptions topts = obs::TelemetryOptions::fromEnv();
+        topts.tty = true;
+        obs::Telemetry::instance().start(topts);
+    }
+    obs::SweepProgress sweep_progress;
+    sweep_progress.jobsTotal.store(spec.size(),
+                                   std::memory_order_relaxed);
+    obs::Telemetry::instance().registerSweep(&sweep_progress);
+
     auto worker = [&] {
         for (;;) {
             const std::size_t i = next.fetch_add(1);
@@ -109,8 +124,14 @@ Scheduler::run(const SweepSpec &spec)
                 return;
             const Job &job = spec.jobs()[i];
             out.results[i] = runJob(job, out.timings[i]);
+            sweep_progress.jobsDone.fetch_add(
+                1, std::memory_order_relaxed);
+            if (out.timings[i].cacheHit) {
+                sweep_progress.cacheHits.fetch_add(
+                    1, std::memory_order_relaxed);
+            }
             const std::size_t finished = done.fetch_add(1) + 1;
-            if (opts_.progress) {
+            if (opts_.progress == ProgressMode::PerJob) {
                 std::ostringstream line;
                 line << "[" << finished << "/" << spec.size() << "] "
                      << spec.name() << " " << job.name << " "
@@ -135,6 +156,7 @@ Scheduler::run(const SweepSpec &spec)
         for (auto &th : pool)
             th.join();
     }
+    obs::Telemetry::instance().unregisterSweep(&sweep_progress);
 
     if (cache_ != nullptr) {
         out.cacheHits = cache_->hits() - hits0;

@@ -64,6 +64,23 @@ struct SweepResult
     std::map<std::string, std::size_t> index;
 };
 
+/** How a Scheduler reports progress while a sweep runs. */
+enum class ProgressMode
+{
+    /** Silent. */
+    Off,
+
+    /** One line per completed job to SchedulerOptions::log. */
+    PerJob,
+
+    /**
+     * Single-line live TTY display (rate, backlog, jobs done, ETA)
+     * painted by the telemetry sampler; no per-job lines. The
+     * scheduler starts the Telemetry singleton if nothing else has.
+     */
+    Live,
+};
+
 struct SchedulerOptions
 {
     /** Worker threads; 0 = one per hardware thread. */
@@ -79,8 +96,8 @@ struct SchedulerOptions
      */
     unsigned shards = 1;
 
-    /** Print one line per completed job to @p log. */
-    bool progress = false;
+    /** Progress reporting; see ProgressMode. */
+    ProgressMode progress = ProgressMode::Off;
 
     /** Progress sink; null = std::cerr. */
     std::ostream *log = nullptr;

@@ -5,6 +5,8 @@
 #include "src/noc/flit.hh"
 #include "src/noc/traffic_monitor.hh"
 #include "src/noc/wire_channel.hh"
+#include "src/obs/progress_board.hh"
+#include "src/sim/engine.hh"
 #include "src/sim/logging.hh"
 
 namespace netcrafter::flow {
@@ -115,6 +117,13 @@ FidelityController::advanceEpochs(Lane &lane, Tick now)
                 lane.stableEpochs >= kStableEpochs) {
                 lane.flowLane = true;
                 ++stats_.laneActivations;
+                // Live-telemetry gauge: hybrid lanes currently riding
+                // the flow path. Flow fidelity is single-shard, so the
+                // current engine's cell is the only writer.
+                if (sim::Engine *e = sim::Engine::current())
+                    if (obs::ShardCell *cell = e->progressCell())
+                        cell->flowLanesActive.fetch_add(
+                            1, std::memory_order_relaxed);
             }
         } else {
             lane.stableEpochs = 0;
@@ -124,6 +133,10 @@ FidelityController::advanceEpochs(Lane &lane, Tick now)
                 // packets complete on their already-computed schedule.
                 lane.flowLane = false;
                 ++stats_.laneEscalations;
+                if (sim::Engine *e = sim::Engine::current())
+                    if (obs::ShardCell *cell = e->progressCell())
+                        cell->flowLanesActive.fetch_sub(
+                            1, std::memory_order_relaxed);
             }
         }
 

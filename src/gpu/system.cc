@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstdlib>
 
+#include "src/obs/telemetry.hh"
 #include "src/obs/trace_buffer.hh"
 #include "src/sim/logging.hh"
 #include "src/sim/pool.hh"
@@ -66,10 +67,24 @@ MultiGpuSystem::MultiGpuSystem(const config::SystemConfig &cfg,
                                                   cfg_, fidelity_);
     }
     buildChips();
+
+    // Live telemetry: arm the host-time self-profiler (phase timers
+    // feed RunResult columns, heartbeats, and the host-trace counter
+    // tracks) and expose the progress board + flight recorder to the
+    // background sampler. Registration is a no-op when telemetry is
+    // not running; everything here is host-side observation only.
+    engine_.setProfilingEnabled(obs::profilingArmed(trace.enabled()));
+    obs::Telemetry::instance().registerRun(
+        &engine_.progressBoard(),
+        [this](std::ostream &os) { engine_.dumpFlightRecord(os); });
 }
 
 MultiGpuSystem::~MultiGpuSystem()
 {
+    // Unregister before any member is torn down: the sampler must not
+    // read a board (or dump a flight record) mid-destruction.
+    obs::Telemetry::instance().unregisterRun(&engine_.progressBoard());
+
     // Opt-in leak census for CI and tests: abandoning a run must not
     // leave events or cross-shard exports behind.
     static const bool census =

@@ -14,6 +14,8 @@
 #include "src/serve/session.hh"
 #include "src/obs/interval_sampler.hh"
 #include "src/obs/lifecycle.hh"
+#include "src/obs/progress_board.hh"
+#include "src/obs/telemetry.hh"
 #include "src/obs/trace_buffer.hh"
 #include "src/sim/logging.hh"
 #include "src/sim/pool.hh"
@@ -146,6 +148,17 @@ collectSystemStats(RunResult &r, gpu::MultiGpuSystem &system,
         r.trimmedPackets += ctl->trimStats().packetsTrimmed;
         r.bytesTrimmed += ctl->trimStats().bytesTrimmed;
     }
+
+    // Host-time self-profiling census. The board accumulates zeros
+    // unless profiling was armed, so the columns are free otherwise.
+    const obs::ProgressBoard &board = engines.progressBoard();
+    r.phaseExecuteSeconds = board.phaseSeconds(obs::Phase::Execute);
+    r.phaseBarrierWaitSeconds =
+        board.phaseSeconds(obs::Phase::BarrierWait);
+    r.phaseIngressSeconds = board.phaseSeconds(obs::Phase::Ingress);
+    r.phaseStealScanSeconds =
+        board.phaseSeconds(obs::Phase::StealScan);
+    r.phaseExportSeconds = board.phaseSeconds(obs::Phase::Export);
 }
 
 /** Write the per-run trace artifacts and fill the trace census. */
@@ -156,10 +169,18 @@ exportTraceArtifacts(RunResult &r, gpu::MultiGpuSystem &system,
                      const config::SystemConfig &cfg, double scale)
 {
     if (system.traceSink() != nullptr) {
+        const auto t_export = std::chrono::steady_clock::now();
         const obs::TraceSink &sink = *system.traceSink();
         const std::vector<obs::TraceRecord> merged = sink.merged();
         r.traceRecords = sink.totalRecords();
         r.traceDropped = sink.totalDropped();
+        if (r.traceDropped > 0) {
+            NC_WARN("trace ring overflow: ", r.traceDropped, " of ",
+                    r.traceRecords + r.traceDropped,
+                    " records dropped for ", name,
+                    " - raise TraceOptions::bufferCap or lower the "
+                    "trace level");
+        }
 
         obs::TimeSeries series;
         if (trace.sampleInterval > 0) {
@@ -196,6 +217,17 @@ exportTraceArtifacts(RunResult &r, gpu::MultiGpuSystem &system,
                 obs::writeRegistryJson(reg, os);
             }
         }
+
+        // Export runs after collectSystemStats read the board, so the
+        // result column is stamped here as well as booked into the
+        // board (which the heartbeat sampler reads live).
+        const auto ns = std::chrono::duration_cast<
+            std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t_export);
+        system.engines().addPhaseNanos(
+            obs::Phase::Export, static_cast<std::uint64_t>(ns.count()));
+        r.phaseExportSeconds +=
+            static_cast<double>(ns.count()) * 1e-9;
     }
 }
 
@@ -250,7 +282,9 @@ runWorkload(const std::string &workload_name,
             unsigned shards, const obs::TraceOptions &trace,
             const sim::ExecPolicy &exec, flow::Fidelity fidelity)
 {
+    obs::Telemetry::instance().ensureStartedFromEnv();
     const auto t_start = std::chrono::steady_clock::now();
+    const std::uint64_t warn0 = netcrafter::suppressedWarnCount();
 
     auto workload = workloads::makeWorkload(workload_name);
     gpu::MultiGpuSystem system(cfg, shards, trace, exec, fidelity);
@@ -259,6 +293,7 @@ runWorkload(const std::string &workload_name,
     RunResult r;
     r.workload = workload_name;
     collectSystemStats(r, system, cfg);
+    r.warningsSuppressed = netcrafter::suppressedWarnCount() - warn0;
     exportTraceArtifacts(r, system, trace, workload_name, cfg, scale);
     finishTiming(r, t_start);
     return r;
@@ -300,7 +335,9 @@ runServe(const serve::ServeConfig &serve,
          const sim::ExecPolicy &exec, flow::Fidelity fidelity)
 {
     NC_ASSERT(serve.enabled, "runServe with serving disabled");
+    obs::Telemetry::instance().ensureStartedFromEnv();
     const auto t_start = std::chrono::steady_clock::now();
+    const std::uint64_t warn0 = netcrafter::suppressedWarnCount();
 
     gpu::MultiGpuSystem system(cfg, shards, trace, exec, fidelity);
     serve::ServeSession session(system, serve, scale * envScale());
@@ -315,6 +352,7 @@ runServe(const serve::ServeConfig &serve,
     r.workload =
         std::string("serve-") + serve::arrivalKindName(serve.arrival);
     collectSystemStats(r, system, cfg);
+    r.warningsSuppressed = netcrafter::suppressedWarnCount() - warn0;
 
     r.offeredLoad = serve.offeredLoad;
     r.serveInjected = report.injected;

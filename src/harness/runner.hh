@@ -252,6 +252,29 @@ struct RunResult
      *  top of the virtual-FIFO backlog, and the backlog itself. */
     std::uint64_t flowMd1WaitTicks = 0;
     std::uint64_t flowFifoWaitTicks = 0;
+
+    // Host-time self-profiling census (diagnostics only: host seconds
+    // per execution phase, summed over executor threads; all zero
+    // unless profiling was armed — telemetry running, tracing on, or
+    // NETCRAFTER_PROFILE) ----------------------------------------------
+    /** Host seconds dispatching events inside windows. */
+    double phaseExecuteSeconds = 0;
+
+    /** Host seconds parked at (or coordinating) the round barrier. */
+    double phaseBarrierWaitSeconds = 0;
+
+    /** Host seconds draining sealed cross-shard mailboxes. */
+    double phaseIngressSeconds = 0;
+
+    /** Host seconds scanning claim words and the steal ledger. */
+    double phaseStealScanSeconds = 0;
+
+    /** Host seconds exporting trace artifacts after the run. */
+    double phaseExportSeconds = 0;
+
+    /** NC_WARN_ONCE repeats suppressed during the run (diagnostics
+     *  only; non-zero means stderr hid repeated warnings). */
+    std::uint64_t warningsSuppressed = 0;
 };
 
 /**

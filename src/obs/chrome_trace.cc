@@ -333,6 +333,23 @@ writeHostChromeTrace(const sim::ShardedEngine &engine, std::ostream &os)
         writer.counter(kHostPid, "round_load_spread",
                        round.hostTime * 1e6, "events",
                        static_cast<double>(round.loadSpread));
+        // Host-time self-profiling: cumulative per-phase seconds at
+        // each barrier round, one counter track per phase. All-zero
+        // rounds (profiling unarmed) are skipped so untouched traces
+        // stay byte-identical to the pre-profiling format.
+        double phase_total = 0;
+        for (double secs : round.phaseSeconds)
+            phase_total += secs;
+        if (phase_total > 0) {
+            for (unsigned p = 0; p < obs::kPhaseCount; ++p) {
+                writer.counter(
+                    kHostPid,
+                    std::string("host_phase_") +
+                        phaseName(static_cast<Phase>(p)),
+                    round.hostTime * 1e6, "seconds",
+                    round.phaseSeconds[p]);
+            }
+        }
     }
     writer.write(os);
 }

@@ -1,0 +1,79 @@
+#include "src/obs/watchdog.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <utility>
+
+#include "src/sim/logging.hh"
+
+namespace netcrafter::obs {
+
+Watchdog::Watchdog(Options opts, ClockFn clock, ProgressFn progress,
+                   DumpFn dump)
+    : opts_(std::move(opts)), clock_(std::move(clock)),
+      progress_(std::move(progress)), dump_(std::move(dump))
+{
+    NC_ASSERT(opts_.noProgressSecs > 0,
+              "watchdog needs a positive no-progress threshold");
+}
+
+bool
+Watchdog::poll()
+{
+    if (triggered_)
+        return false;
+
+    const double now = clock_();
+    const std::uint64_t progress = progress_();
+
+    if (progress != lastProgress_ || !haveBaseline_ || progress == 0) {
+        // Forward progress (or nothing started yet): reset the fuse.
+        lastProgress_ = progress;
+        lastChange_ = now;
+        haveBaseline_ = true;
+        idleSecs_ = 0;
+        return false;
+    }
+
+    idleSecs_ = now - lastChange_;
+    if (idleSecs_ < opts_.noProgressSecs)
+        return false;
+
+    fire();
+    return true;
+}
+
+void
+Watchdog::fire()
+{
+    triggered_ = true;
+
+    std::ostringstream record;
+    record << "=== NetCrafter watchdog: no simulation progress for "
+           << idleSecs_ << " host seconds (threshold "
+           << opts_.noProgressSecs << "s, progress counter stuck at "
+           << lastProgress_ << ") ===\n";
+    if (dump_)
+        dump_(record);
+
+    std::cerr << record.str() << std::flush;
+    if (!opts_.dumpPath.empty()) {
+        std::ofstream out(opts_.dumpPath);
+        if (out) {
+            out << record.str();
+        } else {
+            NC_WARN("watchdog could not open dump file '", opts_.dumpPath,
+                    "'; flight record went to stderr only");
+        }
+    }
+
+    if (opts_.abortOnTrigger) {
+        std::cerr << "watchdog: aborting (abort-on-trigger set)\n"
+                  << std::flush;
+        std::abort();
+    }
+}
+
+} // namespace netcrafter::obs

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Hang-diagnosing watchdog: detects "no simulation progress for N host
+ * seconds" and dumps a flight-recorder snapshot before (optionally)
+ * aborting, turning a silent hang into a bug report.
+ *
+ * The watchdog itself owns no thread — obs::Telemetry's sampler polls
+ * it at every heartbeat interval. Clock, progress source, and dump sink
+ * are all injected std::functions so tests can drive the trigger
+ * deterministically with a fake host clock (no sleeps, no flakiness).
+ */
+
+#ifndef NETCRAFTER_OBS_WATCHDOG_HH
+#define NETCRAFTER_OBS_WATCHDOG_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace netcrafter::obs {
+
+/** Detects a stalled simulation and fires the flight recorder once. */
+class Watchdog
+{
+  public:
+    struct Options
+    {
+        /** Host seconds without forward progress before firing. */
+        double noProgressSecs = 30.0;
+
+        /** Extra file the flight record is written to (stderr always
+         *  gets a copy); empty keeps it stderr-only. */
+        std::string dumpPath;
+
+        /** std::abort() after dumping, so a hung batch job dies with
+         *  a diagnosable core instead of burning its walltime. */
+        bool abortOnTrigger = false;
+    };
+
+    /** Monotonic host clock, in seconds. */
+    using ClockFn = std::function<double()>;
+
+    /** Monotone progress counter (e.g. total events executed). */
+    using ProgressFn = std::function<std::uint64_t()>;
+
+    /** Writes the flight-recorder snapshot to a stream. */
+    using DumpFn = std::function<void(std::ostream &)>;
+
+    Watchdog(Options opts, ClockFn clock, ProgressFn progress,
+             DumpFn dump);
+
+    /**
+     * Sample progress against the clock. Returns true when this call
+     * fired the trigger (at most once per Watchdog). A progress counter
+     * of zero is treated as "not started yet" and never times out —
+     * a process parked before its first event is idle, not hung.
+     */
+    bool poll();
+
+    /** Has the no-progress trigger fired? */
+    bool triggered() const { return triggered_; }
+
+    /** Host seconds since the last observed progress change. */
+    double idleSeconds() const { return idleSecs_; }
+
+  private:
+    void fire();
+
+    Options opts_;
+    ClockFn clock_;
+    ProgressFn progress_;
+    DumpFn dump_;
+
+    std::uint64_t lastProgress_ = 0;
+    double lastChange_ = 0;
+    bool haveBaseline_ = false;
+    double idleSecs_ = 0;
+    bool triggered_ = false;
+};
+
+} // namespace netcrafter::obs
+
+#endif // NETCRAFTER_OBS_WATCHDOG_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "src/obs/progress_board.hh"
 #include "src/obs/trace_buffer.hh"
 #include "src/sim/logging.hh"
 
@@ -91,6 +92,11 @@ ServeSession::inject(std::size_t stream_idx, Tick now)
     local.measuredArrivals += req.measured ? 1 : 0;
     ++local.inflight;
     local.peakInflight = std::max(local.peakInflight, local.inflight);
+    // Live-telemetry gauge: runs on the GPU's shard, so the cell's
+    // single-writer discipline holds; pure observation, never read back.
+    if (obs::ShardCell *cell =
+            sys_.engineFor(stream.gpu).progressCell())
+        cell->serveInflight.fetch_add(1, std::memory_order_relaxed);
 
     gpu::WaveDesc desc;
     desc.kernel = &kernels_.of(stream.cls);
@@ -132,6 +138,8 @@ ServeSession::onRetire(GpuId g, const gpu::WaveDesc &desc)
     ++local.completed;
     NC_ASSERT(local.inflight > 0, "retire with no requests in flight");
     --local.inflight;
+    if (obs::ShardCell *cell = sys_.engineFor(g).progressCell())
+        cell->serveInflight.fetch_sub(1, std::memory_order_relaxed);
     if (req.measured)
         local.sketch[req.cls].record(latency);
 

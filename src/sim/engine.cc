@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/progress_board.hh"
 #include "src/sim/logging.hh"
 
 namespace netcrafter::sim {
@@ -105,11 +106,21 @@ Engine::runWindow(Tick limit)
         NC_ASSERT(ev->when() >= now_, "event queue went backwards");
         now_ = ev->when();
         ++eventsExecuted_;
+        if ((eventsExecuted_ & kProgressMask) == 0 && progress_ != nullptr)
+            publishProgress();
         ev->process();
         if (stopRequested_)
             return lastRunStatus_ = RunStatus::Stopped;
     }
     return lastRunStatus_ = RunStatus::Drained;
+}
+
+void
+Engine::publishProgress()
+{
+    progress_->tick.store(now_, std::memory_order_relaxed);
+    progress_->events.store(eventsExecuted_, std::memory_order_relaxed);
+    progress_->backlog.store(queue_.size(), std::memory_order_relaxed);
 }
 
 } // namespace netcrafter::sim

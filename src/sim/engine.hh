@@ -20,6 +20,7 @@
 namespace netcrafter::obs {
 class TraceBuffer;
 class TraceSink;
+struct ShardCell;
 } // namespace netcrafter::obs
 
 namespace netcrafter::sim {
@@ -218,6 +219,19 @@ class Engine
         trace_ = buffer;
     }
 
+    /**
+     * This engine's live-progress cell on the owning ShardedEngine's
+     * ProgressBoard, or nullptr. runWindow() republishes tick/events/
+     * backlog into it every 4096 events so a background sampler sees
+     * liveness even inside one long window (or a serial drain); the
+     * serve/flow subsystems bump its gauges from event context. Writes
+     * are relaxed atomic stores — observation only, never an input.
+     */
+    obs::ShardCell *progressCell() const { return progress_; }
+
+    /** Attach the progress cell; the caller keeps ownership. */
+    void setProgressCell(obs::ShardCell *cell) { progress_ = cell; }
+
   private:
     /** A pooled one-shot event: fires its callback, then recycles. */
     class CallbackEvent final : public Event
@@ -239,6 +253,12 @@ class Engine
 
     /** Pooled nodes per slab; slabs are never freed while running. */
     static constexpr std::size_t kSlabSize = 64;
+
+    /** Mid-window progress publish cadence: every 4096 events. */
+    static constexpr std::uint64_t kProgressMask = 0xFFF;
+
+    /** Relaxed-store tick/events/backlog into the progress cell. */
+    void publishProgress();
 
     CallbackEvent *acquireCallback();
 
@@ -265,6 +285,7 @@ class Engine
     std::vector<std::string> attachedNames_;
     obs::TraceBuffer *trace_ = nullptr;
     obs::TraceSink *traceSink_ = nullptr;
+    obs::ShardCell *progress_ = nullptr;
 };
 
 } // namespace netcrafter::sim

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <ostream>
+#include <string>
 
+#include "src/obs/trace_buffer.hh"
 #include "src/sim/logging.hh"
 
 namespace netcrafter::sim {
@@ -146,6 +149,11 @@ ShardedEngine::ShardedEngine(unsigned shards, ExecPolicy exec)
     stealsAborted_.assign(threads_, 0);
     coveredStall_.assign(threads_, 0);
 
+    board_.init(shards, threads_);
+    phaseClocks_.resize(threads_);
+    for (unsigned s = 0; s < shards; ++s)
+        engines_[s]->setProgressCell(&board_.cell(s));
+
     if (shards > 1) {
         coord_ = std::make_unique<Coordination>(shards, threads_);
         for (unsigned t = 1; t < threads_; ++t)
@@ -239,6 +247,7 @@ ShardedEngine::decide() noexcept
         c.status =
             m == kTickNever ? RunStatus::Drained : RunStatus::LimitHit;
         ++c.round;
+        publishRound();
         const std::uint64_t ring = 2 * c.round + 1;
         for (unsigned t = 0; t < threads_; ++t) {
             c.door[t].store(ring, std::memory_order_release);
@@ -364,10 +373,17 @@ ShardedEngine::decide() noexcept
 
     c.pending.store(woken, std::memory_order_release);
     ++c.round;
+    publishRound();
 
-    if (hostTimeline_)
-        roundLog_.push_back(
-            RoundRecord{c.round, hostSeconds(), actives, woken, spread});
+    if (hostTimeline_) {
+        RoundRecord rec{c.round, hostSeconds(), actives, woken, spread};
+        if (profiling_) {
+            for (unsigned p = 0; p < obs::kPhaseCount; ++p)
+                rec.phaseSeconds[p] =
+                    board_.phaseSeconds(static_cast<obs::Phase>(p));
+        }
+        roundLog_.push_back(rec);
+    }
 
     // Ring exactly `woken` doorbells and stop: the loop must not touch
     // c.woken after the final ring. Once the last woken thread's door
@@ -404,6 +420,7 @@ ShardedEngine::execUnit(unsigned s, unsigned t)
     // returns come home to the source side — pinned to the owning
     // shard's unit (not the executing thread), so arrival order is a
     // function of the partition alone.
+    phaseSwitch(t, obs::Phase::Ingress);
     for (CrossShardPort *port : ports_) {
         if (port->dstShard() == s)
             port->importAtDst();
@@ -413,7 +430,9 @@ ShardedEngine::execUnit(unsigned s, unsigned t)
 
     const Tick window_end = c.windowEnd;
     const double host_begin = hostTimeline_ ? hostSeconds() : 0;
+    phaseSwitch(t, obs::Phase::Execute);
     engine.runWindow(window_end);
+    phaseSwitch(t, obs::Phase::StealScan);
 
     // Idle ticks at the window tail: the window forced this shard to
     // wait even though it had nothing left to simulate. An unbounded
@@ -442,6 +461,14 @@ ShardedEngine::execUnit(unsigned s, unsigned t)
 
     c.nextTick[s] = engine.nextEventTick();
     c.load[s] = engine.pendingEvents();
+
+    // Live-progress publish: this thread holds the unit's claim, so it
+    // is the only writer of the cell this round.
+    obs::ShardCell &cell = board_.cell(s);
+    cell.tick.store(engine.now(), std::memory_order_relaxed);
+    cell.events.store(engine.eventsExecuted(), std::memory_order_relaxed);
+    cell.backlog.store(c.load[s], std::memory_order_relaxed);
+    cell.nextTick.store(c.nextTick[s], std::memory_order_relaxed);
     return stall;
 }
 
@@ -458,6 +485,7 @@ ShardedEngine::threadLoop(unsigned t)
         c.nextTick[s] = engines_[s]->nextEventTick();
         c.load[s] = engines_[s]->pendingEvents();
     }
+    phaseOpen(t, obs::Phase::BarrierWait);
     std::uint64_t seen = c.door[t].load(std::memory_order_acquire);
     if (c.pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
         decide();
@@ -465,9 +493,12 @@ ShardedEngine::threadLoop(unsigned t)
     for (;;) {
         c.door[t].wait(seen, std::memory_order_acquire);
         seen = c.door[t].load(std::memory_order_acquire);
-        if (seen & 1)
+        if (seen & 1) {
+            phaseFlush(t);
             return; // drain over; c.status is already published
+        }
         const std::uint64_t r = seen / 2;
+        phaseSwitch(t, obs::Phase::StealScan);
 
         // Tail-stall coverage: when this thread begins another unit in
         // the same round, the previous unit's window-tail stall cost
@@ -527,6 +558,7 @@ ShardedEngine::threadLoop(unsigned t)
 
         // Arrive only after the scan is complete: the coordinator must
         // not rebuild the ledger while any thread could still read it.
+        phaseSwitch(t, obs::Phase::BarrierWait);
         if (c.pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
             decide();
     }
@@ -554,19 +586,30 @@ RunStatus
 ShardedEngine::run(Tick limit)
 {
     if (numShards() == 1) {
-        if (!hostTimeline_)
-            return engines_[0]->run(limit);
-        // Serial runs have no quanta; record the whole drain as one
-        // span so the host-time trace is populated either way.
-        const Tick start_tick = engines_[0]->now();
-        const double host_begin = hostSeconds();
-        const RunStatus status = engines_[0]->run(limit);
-        QuantumSpan span;
-        span.windowStart = start_tick;
-        span.windowEnd = engines_[0]->now();
-        span.hostBegin = host_begin;
-        span.hostEnd = hostSeconds();
-        hostSpans_[0].push_back(span);
+        Engine &engine = *engines_[0];
+        const Tick start_tick = engine.now();
+        const double host_begin = hostTimeline_ ? hostSeconds() : 0;
+        phaseOpen(0, obs::Phase::Execute);
+        const RunStatus status = engine.run(limit);
+        phaseFlush(0);
+        if (hostTimeline_) {
+            // Serial runs have no quanta; record the whole drain as
+            // one span so the host-time trace is populated either way.
+            QuantumSpan span;
+            span.windowStart = start_tick;
+            span.windowEnd = engine.now();
+            span.hostBegin = host_begin;
+            span.hostEnd = hostSeconds();
+            hostSpans_[0].push_back(span);
+        }
+        obs::ShardCell &cell = board_.cell(0);
+        cell.tick.store(engine.now(), std::memory_order_relaxed);
+        cell.events.store(engine.eventsExecuted(),
+                          std::memory_order_relaxed);
+        cell.backlog.store(engine.pendingEvents(),
+                           std::memory_order_relaxed);
+        cell.nextTick.store(engine.nextEventTick(),
+                            std::memory_order_relaxed);
         return status;
     }
 
@@ -659,6 +702,179 @@ ShardedEngine::stealsAborted() const
     for (std::uint64_t v : stealsAborted_)
         sum += v;
     return sum;
+}
+
+void
+ShardedEngine::phaseOpen(unsigned t, obs::Phase p)
+{
+    if (!profiling_)
+        return;
+    PhaseClock &pc = phaseClocks_[t];
+    pc.open = true;
+    pc.cur = p;
+    pc.last = std::chrono::steady_clock::now();
+}
+
+void
+ShardedEngine::phaseSwitch(unsigned t, obs::Phase next)
+{
+    if (!profiling_)
+        return;
+    PhaseClock &pc = phaseClocks_[t];
+    const auto now = std::chrono::steady_clock::now();
+    if (pc.open) {
+        board_.addPhaseNanos(
+            t, pc.cur,
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    now - pc.last)
+                    .count()));
+    }
+    pc.open = true;
+    pc.cur = next;
+    pc.last = now;
+}
+
+void
+ShardedEngine::phaseFlush(unsigned t)
+{
+    if (!profiling_)
+        return;
+    PhaseClock &pc = phaseClocks_[t];
+    if (pc.open) {
+        board_.addPhaseNanos(
+            t, pc.cur,
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - pc.last)
+                    .count()));
+    }
+    pc.open = false;
+}
+
+void
+ShardedEngine::publishRound()
+{
+    Coordination &c = *coord_;
+    const unsigned n = numShards();
+
+    board_.round.store(c.round, std::memory_order_relaxed);
+    board_.windowStart.store(c.windowStart, std::memory_order_relaxed);
+    board_.windowEnd.store(c.windowEnd, std::memory_order_relaxed);
+    board_.quanta.store(quantaExecuted_, std::memory_order_relaxed);
+    board_.idleParks.store(idleParks_, std::memory_order_relaxed);
+
+    // The executors' tallies are plain words, but every executor's
+    // writes happen-before the coordinator via the thread-counted
+    // arrival countdown, so summing them here is race-free.
+    std::uint64_t stall = 0;
+    for (unsigned s = 0; s < n; ++s)
+        stall += stallTicks_[s];
+    board_.stallTicks.store(stall, std::memory_order_relaxed);
+    std::uint64_t won = 0;
+    for (unsigned t = 0; t < threads_; ++t)
+        won += stealsWon_[t];
+    board_.stealsWon.store(won, std::memory_order_relaxed);
+
+    for (unsigned s = 0; s < n; ++s)
+        board_.cell(s).nextTick.store(c.nextTick[s],
+                                      std::memory_order_relaxed);
+}
+
+void
+ShardedEngine::dumpFlightRecord(std::ostream &os) const
+{
+    const unsigned n = numShards();
+    const auto tick_str = [](Tick t) {
+        return t == kTickNever ? std::string("never")
+                               : std::to_string(t);
+    };
+
+    os << "--- flight record: " << n << " shard(s) x " << threads_
+       << " thread(s), barrier round "
+       << board_.round.load(std::memory_order_relaxed) << ", window ["
+       << tick_str(board_.windowStart.load(std::memory_order_relaxed))
+       << ", "
+       << tick_str(board_.windowEnd.load(std::memory_order_relaxed))
+       << "], quanta "
+       << board_.quanta.load(std::memory_order_relaxed)
+       << ", stall_ticks "
+       << board_.stallTicks.load(std::memory_order_relaxed)
+       << ", steals_won "
+       << board_.stealsWon.load(std::memory_order_relaxed)
+       << ", idle_parks "
+       << board_.idleParks.load(std::memory_order_relaxed) << " ---\n";
+
+    unsigned suspect = n;
+    Tick suspect_next = kTickNever;
+    for (unsigned s = 0; s < n; ++s) {
+        const obs::ShardCell &cell = board_.cell(s);
+        const Tick next =
+            cell.nextTick.load(std::memory_order_relaxed);
+        const std::uint64_t backlog =
+            cell.backlog.load(std::memory_order_relaxed);
+        os << "shard " << s << ": tick="
+           << cell.tick.load(std::memory_order_relaxed)
+           << " events=" << cell.events.load(std::memory_order_relaxed)
+           << " backlog=" << backlog << " next=" << tick_str(next)
+           << " claim_round="
+           << (coord_ ? coord_->claim[s].load(std::memory_order_relaxed)
+                      : 0)
+           << " serve_inflight="
+           << cell.serveInflight.load(std::memory_order_relaxed)
+           << "\n";
+        if (backlog > 0 && next < suspect_next) {
+            suspect = s;
+            suspect_next = next;
+        }
+    }
+
+    if (coord_) {
+        os << "doorbells:";
+        for (unsigned t = 0; t < threads_; ++t)
+            os << ' ' << coord_->door[t].load(std::memory_order_relaxed);
+        os << "\n";
+    }
+
+    std::size_t pending_exports = 0;
+    for (std::size_t i = 0; i < ports_.size(); ++i) {
+        const std::size_t pending = ports_[i]->pendingExports();
+        pending_exports += pending;
+        if (pending != 0) {
+            os << "port #" << i << " (" << ports_[i]->srcShard()
+               << " -> " << ports_[i]->dstShard() << "): " << pending
+               << " pending exports\n";
+        }
+    }
+    os << "pending cross-shard exports: " << pending_exports << "\n";
+
+    constexpr std::size_t kTailRecords = 8;
+    for (unsigned s = 0; s < n; ++s) {
+        const obs::TraceBuffer *tb = engines_[s]->trace();
+        if (tb == nullptr || tb->records().empty())
+            continue;
+        const auto &recs = tb->records();
+        const std::size_t first =
+            recs.size() > kTailRecords ? recs.size() - kTailRecords : 0;
+        os << "shard " << s << " trace tail (" << recs.size()
+           << " records):\n";
+        for (std::size_t i = first; i < recs.size(); ++i) {
+            const obs::TraceRecord &rec = recs[i];
+            os << "  tick=" << rec.tick << " stage="
+               << obs::traceStageName(
+                      static_cast<obs::TraceStage>(rec.stage))
+               << " lane=" << rec.lane << " id=" << rec.id << "\n";
+        }
+    }
+
+    if (suspect < n) {
+        os << "suspect: shard " << suspect << " stuck at barrier round "
+           << board_.round.load(std::memory_order_relaxed)
+           << " (earliest next-event tick " << tick_str(suspect_next)
+           << " with non-empty backlog)\n";
+    } else {
+        os << "suspect: none (no shard reports a backlog)\n";
+    }
 }
 
 double

@@ -81,14 +81,17 @@
 #ifndef NETCRAFTER_SIM_SHARDED_ENGINE_HH
 #define NETCRAFTER_SIM_SHARDED_ENGINE_HH
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "src/obs/progress_board.hh"
 #include "src/sim/engine.hh"
 #include "src/sim/types.hh"
 #include "src/stats/stats.hh"
@@ -248,6 +251,11 @@ struct RoundRecord
     /** Published-backlog spread max-min over the active shards (the
      *  donor/thief imbalance stealing exists to exploit). */
     std::uint64_t loadSpread = 0;
+
+    /** Cumulative per-phase host seconds (summed over threads) at the
+     *  time the round was decided; zeros unless self-profiling is
+     *  armed. Feeds the host-trace phase counter tracks. */
+    std::array<double, obs::kPhaseCount> phaseSeconds{};
 };
 
 /** Drives N shard Engines through conservative barrier-synced quanta. */
@@ -439,8 +447,66 @@ class ShardedEngine
     /** Seconds since construction on the host steady clock. */
     double hostSeconds() const;
 
+    /**
+     * The lock-free live-progress board a background sampler
+     * (obs::Telemetry) reads. Written unconditionally at window/round
+     * granularity with relaxed stores — the cost is a handful of
+     * stores per barrier round, never per event — so attaching or
+     * detaching a sampler cannot perturb the simulation.
+     */
+    obs::ProgressBoard &progressBoard() { return board_; }
+    const obs::ProgressBoard &progressBoard() const { return board_; }
+
+    /**
+     * Arm host-time self-profiling: scoped phase timers (execute /
+     * barrier-wait / ingress / steal-scan / export) accumulated per
+     * thread into the progress board. Off by default — armed, each
+     * phase transition costs one steady-clock read on the executor.
+     * Host-time diagnostics only; simulation results are identical
+     * either way.
+     */
+    void setProfilingEnabled(bool on) { profiling_ = on; }
+    bool profilingEnabled() const { return profiling_; }
+
+    /** Attribute @p ns of host time to @p p (thread-0 row). The
+     *  harness uses this to book artifact export against the run. */
+    void
+    addPhaseNanos(obs::Phase p, std::uint64_t ns)
+    {
+        board_.addPhaseNanos(0, p, ns);
+    }
+
+    /**
+     * Flight-recorder snapshot for hang diagnosis: per-shard published
+     * tick/events/backlog/next-event plus claim words, per-thread
+     * doorbell words, pending cross-shard exports, the last few trace
+     * records per shard, and the suspected stuck shard (earliest
+     * published next-event tick with a non-empty backlog). Reads the
+     * board and protocol atomics plus — best-effort — non-atomic
+     * diagnostic state; meant to run when the engine is wedged or
+     * quiescent, so racy reads cost accuracy, not safety-critical
+     * state.
+     */
+    void dumpFlightRecord(std::ostream &os) const;
+
   private:
     struct Coordination;
+
+    /** Per-thread phase-timer state; touched only by the owning
+     *  thread. */
+    struct PhaseClock
+    {
+        bool open = false;
+        obs::Phase cur = obs::Phase::Execute;
+        std::chrono::steady_clock::time_point last;
+    };
+
+    void phaseOpen(unsigned t, obs::Phase p);
+    void phaseSwitch(unsigned t, obs::Phase next);
+    void phaseFlush(unsigned t);
+
+    /** Coordinator-exclusive: publish round-granularity board state. */
+    void publishRound();
 
     /** Home executor of shard @p s under the round-robin map. */
     unsigned homeThread(unsigned s) const { return s % threads_; }
@@ -481,6 +547,10 @@ class ShardedEngine
     std::chrono::steady_clock::time_point epoch_;
     std::vector<std::vector<QuantumSpan>> hostSpans_;
     std::vector<RoundRecord> roundLog_;
+
+    obs::ProgressBoard board_;
+    bool profiling_ = false;
+    std::vector<PhaseClock> phaseClocks_;
 };
 
 } // namespace netcrafter::sim

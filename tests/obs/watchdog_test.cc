@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Watchdog tests: the no-progress trigger driven by an injectable fake
+ * host clock (no sleeps), the flight-recorder dump naming the stuck
+ * shard and barrier round, and the abort-on-trigger death path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/gpu/system.hh"
+#include "src/obs/watchdog.hh"
+#include "src/workloads/workload.hh"
+
+namespace netcrafter {
+namespace {
+
+std::string
+slurp(const std::filesystem::path &path)
+{
+    std::ifstream is(path);
+    EXPECT_TRUE(is.is_open()) << path;
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+TEST(Watchdog, FiresOnceAfterTheQuietPeriodAndDumps)
+{
+    const std::filesystem::path dump =
+        std::filesystem::path(::testing::TempDir()) / "watchdog.txt";
+    std::filesystem::remove(dump);
+
+    double now = 0;
+    std::uint64_t progress = 1;
+    obs::Watchdog::Options opts;
+    opts.noProgressSecs = 5.0;
+    opts.dumpPath = dump.string();
+    obs::Watchdog dog(
+        opts, [&] { return now; }, [&] { return progress; },
+        [](std::ostream &os) { os << "FLIGHT-RECORD-BODY\n"; });
+
+    EXPECT_FALSE(dog.poll()); // baseline sample
+    now = 3;
+    EXPECT_FALSE(dog.poll()); // idle 3s < 5s
+    now = 4;
+    progress = 2; // forward progress resets the fuse
+    EXPECT_FALSE(dog.poll());
+    now = 8;
+    EXPECT_FALSE(dog.poll()); // idle 4s since the reset
+    EXPECT_DOUBLE_EQ(dog.idleSeconds(), 4.0);
+    now = 10;
+    EXPECT_TRUE(dog.poll()); // idle 6s >= 5s: fire
+    EXPECT_TRUE(dog.triggered());
+    now = 100;
+    EXPECT_FALSE(dog.poll()); // at most once per watchdog
+
+    const std::string record = slurp(dump);
+    EXPECT_NE(record.find("NetCrafter watchdog"), std::string::npos);
+    EXPECT_NE(record.find("no simulation progress for 6"),
+              std::string::npos);
+    EXPECT_NE(record.find("FLIGHT-RECORD-BODY"), std::string::npos);
+}
+
+TEST(Watchdog, ZeroProgressMeansNotStartedAndNeverFires)
+{
+    double now = 0;
+    obs::Watchdog::Options opts;
+    opts.noProgressSecs = 1.0;
+    obs::Watchdog dog(
+        opts, [&] { return now; }, [] { return std::uint64_t{0}; },
+        obs::Watchdog::DumpFn{});
+    for (now = 0; now < 1000; now += 100)
+        EXPECT_FALSE(dog.poll());
+    EXPECT_FALSE(dog.triggered());
+}
+
+TEST(WatchdogDeathTest, AbortOnTriggerDiesAfterTheDump)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            double now = 0;
+            obs::Watchdog::Options opts;
+            opts.noProgressSecs = 1.0;
+            opts.abortOnTrigger = true;
+            obs::Watchdog dog(
+                opts, [&] { return now; },
+                [] { return std::uint64_t{7}; },
+                obs::Watchdog::DumpFn{});
+            dog.poll(); // baseline
+            now = 2;
+            dog.poll(); // fires and aborts
+            std::_Exit(0); // unreachable: fail the expectation loudly
+        },
+        "watchdog: aborting");
+}
+
+config::SystemConfig
+tinyMeshConfig()
+{
+    config::SystemConfig cfg = config::baselineConfig();
+    cfg.cusPerGpu = 8;
+    cfg.maxWavesPerCu = 4;
+    cfg.numClusters = 4;
+    cfg.gpusPerCluster = 1;
+    return cfg;
+}
+
+TEST(WatchdogDeathTest, FlightRecordNamesTheStuckShardAndRound)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const std::filesystem::path path =
+        std::filesystem::path(::testing::TempDir()) /
+        "flight-record.txt";
+    std::filesystem::remove(path);
+
+    // Abort a 2-shard run mid-flight (undersized cycle cap), snapshot
+    // the flight record while the backlog is still pending, then let
+    // the teardown census kill the child — an aborted sharded system
+    // must never be destroyed in the parent process.
+    EXPECT_DEATH(
+        {
+            gpu::MultiGpuSystem system(tinyMeshConfig(), 2);
+            auto wl = workloads::makeWorkload("GUPS");
+            const sim::RunStatus status =
+                system.runFor(*wl, 0.34, /*max_cycles=*/500);
+            if (status == sim::RunStatus::Drained)
+                std::_Exit(0); // mis-calibrated cap: fail loudly
+            {
+                std::ofstream os(path);
+                system.engines().dumpFlightRecord(os);
+            }
+            system.auditTeardown(); // NC_PANIC: dies here
+            std::_Exit(0);
+        },
+        "teardown census");
+
+    const std::string record = slurp(path);
+    EXPECT_NE(record.find("flight record: 2 shard(s)"),
+              std::string::npos)
+        << record;
+    EXPECT_NE(record.find("shard 0:"), std::string::npos) << record;
+    EXPECT_NE(record.find("shard 1:"), std::string::npos) << record;
+    EXPECT_NE(record.find("suspect: shard"), std::string::npos)
+        << record;
+    EXPECT_NE(record.find("barrier round"), std::string::npos)
+        << record;
+}
+
+} // namespace
+} // namespace netcrafter

@@ -27,6 +27,7 @@
 #include "src/harness/runner.hh"
 #include "src/harness/table.hh"
 #include "src/obs/chrome_trace.hh"
+#include "src/obs/telemetry.hh"
 #include "src/workloads/workload.hh"
 
 namespace {
@@ -74,6 +75,23 @@ usage(int code)
           "  --csv FILE        export every simulated result as CSV\n"
           "  --timings         print a per-job wall-time table\n"
           "  --quiet           suppress per-job progress lines\n"
+          "  --live            single-line live progress/ETA display\n"
+          "                    instead of per-job lines (redrawn in\n"
+          "                    place on stderr by the telemetry\n"
+          "                    sampler)\n"
+          "  --heartbeat-out FILE  append one NDJSON heartbeat record\n"
+          "                    per interval (per-shard tick/event/\n"
+          "                    backlog progress, phase times, sweep\n"
+          "                    ETA); validate with heartbeat-validate.\n"
+          "                    NETCRAFTER_HEARTBEAT_* set the same\n"
+          "                    knobs\n"
+          "  --heartbeat-interval MS  wall ms between heartbeats\n"
+          "                    (default 500)\n"
+          "  --watchdog SECS   dump a flight-recorder snapshot to\n"
+          "                    stderr when no simulation progress is\n"
+          "                    made for SECS host seconds\n"
+          "                    (NETCRAFTER_WATCHDOG_{SECS,DUMP,ABORT}\n"
+          "                    add a dump file / abort-on-hang)\n"
           "  --registry-json FILE  with --workload: run one workload\n"
           "                    under the baseline config and dump its\n"
           "                    full stats registry as JSON\n"
@@ -212,8 +230,11 @@ main(int argc, char **argv)
     std::vector<std::string> want;
     std::string json_path, csv_path, registry_json, registry_workload;
     exp::Scheduler::Options opts;
-    opts.progress = true;
+    opts.progress = exp::ProgressMode::PerJob;
     bool timings = false;
+    // Telemetry flags override the NETCRAFTER_HEARTBEAT_* /
+    // NETCRAFTER_WATCHDOG_* environment.
+    obs::TelemetryOptions telemetry = obs::TelemetryOptions::fromEnv();
     bool serve_mode = false;
     exp::ServeCurveSpec serve_spec;
     // NETCRAFTER_SERVE_* sets the scenario (arrival, mix, phases,
@@ -307,7 +328,38 @@ main(int argc, char **argv)
         else if (arg == "--timings")
             timings = true;
         else if (arg == "--quiet")
-            opts.progress = false;
+            opts.progress = exp::ProgressMode::Off;
+        else if (arg == "--live") {
+            opts.progress = exp::ProgressMode::Live;
+            telemetry.tty = true;
+        }
+        else if (arg == "--heartbeat-out")
+            telemetry.heartbeatPath = value("--heartbeat-out");
+        else if (arg == "--heartbeat-interval") {
+            const std::string text = value("--heartbeat-interval");
+            char *end = nullptr;
+            const long n = std::strtol(text.c_str(), &end, 10);
+            if (end == text.c_str() || *end != '\0' || n < 1 ||
+                n > 3'600'000) {
+                std::cerr << "--heartbeat-interval must be a wall "
+                             "interval in [1, 3600000] ms, got '"
+                          << text << "'\n";
+                return usage(1);
+            }
+            telemetry.intervalMs = static_cast<unsigned>(n);
+        }
+        else if (arg == "--watchdog") {
+            const std::string text = value("--watchdog");
+            char *end = nullptr;
+            const double secs = std::strtod(text.c_str(), &end);
+            if (end == text.c_str() || *end != '\0' || !(secs > 0)) {
+                std::cerr << "--watchdog must be a positive host-"
+                             "second threshold, got '"
+                          << text << "'\n";
+                return usage(1);
+            }
+            telemetry.watchdogSecs = secs;
+        }
         else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "unknown option '" << arg << "'\n";
             return usage(1);
@@ -356,6 +408,12 @@ main(int argc, char **argv)
         }
     }
 
+    // Start the sampler before any job runs so every MultiGpuSystem
+    // registers its progress board (the Scheduler's Live fallback only
+    // covers the flagless NETCRAFTER_HEARTBEAT_* path).
+    if (telemetry.enabled())
+        obs::Telemetry::instance().start(telemetry);
+
     exp::ResultCache cache;
     exp::Scheduler scheduler(opts, &cache);
 
@@ -376,6 +434,10 @@ main(int argc, char **argv)
         fig->run(ctx);
         std::cout << "\n";
     }
+
+    // Join the sampler before printing the summary: emits the final
+    // heartbeat and, with --live, terminates the TTY line cleanly.
+    obs::Telemetry::instance().stop();
 
     // Per-job wall-time stats come from the cache snapshot: one entry
     // per unique simulated point.
