@@ -64,6 +64,17 @@
  *                the relative cycles error of each approximate mode;
  *                fails only on broken flow-lane conservation (accuracy
  *                is validate-fidelity's gate)
+ *   --relaxed    relaxed-sync mode: the fig14 grid on the 4-cluster
+ *                topology, Strict vs Relaxed at a sweep of skew
+ *                bounds (16/64/256/1024 ticks) at 4 shards, plus
+ *                executor-policy replicas of the relaxed-256 point
+ *                (must reproduce it bit-for-bit) and 8-/16-cluster
+ *                scale points. Writes BENCH_relaxed.json with the
+ *                rendezvous-reduction, residual-stall-reduction,
+ *                observed-skew and late-slot-displacement columns;
+ *                fails on strict census divergence, instruction
+ *                conservation breakage, a skew-bound violation, or
+ *                replica divergence (accuracy is audit-skew's gate)
  */
 
 #include <algorithm>
@@ -139,6 +150,9 @@ runShardBench(const std::string &out_path, bool quick, double scale,
         cfg.numClusters = 4;
         cfg.gpusPerCluster = 1;
     }
+
+    const std::string note =
+        bench::undersubscribedNote("perf_hotpath --shards", 4);
 
     const std::vector<unsigned> shard_counts = {1, 2, 4};
     struct ShardRow
@@ -216,6 +230,7 @@ runShardBench(const std::string &out_path, bool quick, double scale,
     os << "  \"env_scale\": " << netcrafter::harness::envScale()
        << ",\n";
     os << "  \"host_cpus\": " << host_cpus << ",\n";
+    os << "  \"notes\": \"" << exp::jsonEscape(note) << "\",\n";
     os << "  \"census_identical\": " << (census_ok ? "true" : "false")
        << ",\n";
     os << "  \"points\": [";
@@ -319,6 +334,8 @@ runWorkstealBench(const std::string &out_path, bool quick, double scale)
         {"s4-t2-steal", 4, sim::ExecPolicy{2, true, 1}},
         {"s4-t4-steal", 4, sim::ExecPolicy{4, true, 1}},
     };
+    const std::string note =
+        bench::undersubscribedNote("perf_hotpath --worksteal", 4);
     const obs::TraceOptions no_trace;
     bool census_ok = true;
 
@@ -381,6 +398,7 @@ runWorkstealBench(const std::string &out_path, bool quick, double scale)
     os << "  \"env_scale\": " << netcrafter::harness::envScale()
        << ",\n";
     os << "  \"host_cpus\": " << host_cpus << ",\n";
+    os << "  \"notes\": \"" << exp::jsonEscape(note) << "\",\n";
     os << "  \"census_identical\": " << (census_ok ? "true" : "false")
        << ",\n";
     os << "  \"points\": [";
@@ -424,6 +442,352 @@ runWorkstealBench(const std::string &out_path, bool quick, double scale)
               << rows.size() << " executor policies, host_cpus="
               << host_cpus << " (JSON: " << out_path << ")\n";
     return census_ok ? 0 : 1;
+}
+
+/**
+ * Relaxed-sync bench: the fig14 grid on the 4-cluster topology under
+ * the adaptive lookahead, comparing Strict execution against Relaxed
+ * execution at a sweep of skew bounds (all at 4 shards, one thread per
+ * shard), plus two executor-policy replicas of the headline relaxed
+ * point that must reproduce its measurement exactly, and 8- and
+ * 16-cluster scale points that only the relaxed epoch rendezvous makes
+ * tractable. Writes BENCH_relaxed.json with, per relaxed row, the
+ * barrier-rendezvous reduction over Strict, the residual-stall
+ * reduction, the observed-skew extrema (gated <= the bound), and the
+ * late-slot displacement census. Fails when a Strict row's census
+ * diverges from serial, when a Relaxed row breaks instruction
+ * conservation or its skew bound, or when the policy replicas diverge
+ * from the headline relaxed measurement.
+ */
+int
+runRelaxedBench(const std::string &out_path, bool quick, double scale)
+{
+    using namespace netcrafter;
+
+    sim::setDefaultLookaheadMode(sim::LookaheadMode::Adaptive);
+
+    std::vector<std::pair<std::string, SystemConfig>> configs = {
+        {"base", config::baselineConfig()},
+        {"full", bench::fullNetcrafter()},
+    };
+    if (!quick) {
+        configs.insert(configs.begin() + 1,
+                       {"stitch", bench::stitchSelective32()});
+        configs.insert(configs.begin() + 2,
+                       {"trim", bench::stitchTrim()});
+        configs.push_back({"sector", config::sectorCacheConfig(16)});
+    }
+    for (auto &[name, cfg] : configs) {
+        cfg.numClusters = 4;
+        cfg.gpusPerCluster = 1;
+    }
+
+    const sim::SyncPolicy strict{};
+    auto relaxed = [](Tick bound) {
+        return sim::SyncPolicy{sim::SyncMode::Relaxed, bound};
+    };
+
+    struct SyncRow
+    {
+        std::string label;
+        unsigned shards;
+        sim::ExecPolicy exec;
+        sim::SyncPolicy sync;
+        std::uint64_t events = 0;
+        std::uint64_t cycles = 0;
+        std::uint64_t instructions = 0;
+        std::uint64_t quanta = 0;
+        std::uint64_t stallTicks = 0;
+        std::uint64_t residualStall = 0;
+        std::uint64_t maxSkew = 0;
+        double skewSum = 0;
+        std::uint64_t skewPoints = 0;
+        std::uint64_t lateArrivals = 0;
+        std::uint64_t lateCredits = 0;
+        std::uint64_t lateDisplacement = 0;
+        std::uint64_t maxLateDisplacement = 0;
+        double wall = 0;
+        std::vector<RunResult> results;
+    };
+    const sim::ExecPolicy t4{0, false, 1};
+    std::vector<SyncRow> rows = {
+        {"serial", 1, t4, strict},
+        {"s4-strict", 4, t4, strict},
+        {"s4-relaxed-16", 4, t4, relaxed(16)},
+        {"s4-relaxed-64", 4, t4, relaxed(64)},
+        {"s4-relaxed-256", 4, t4, relaxed(256)},
+        {"s4-relaxed-1024", 4, t4, relaxed(1024)},
+        // Executor-policy replicas of the headline relaxed point: the
+        // relaxed epoch schedule is a pure function of simulated state,
+        // so these must reproduce s4-relaxed-256 measurement-for-
+        // measurement despite different thread counts and stealing.
+        {"s4-t2-relaxed-256", 4, sim::ExecPolicy{2, false, 1},
+         relaxed(256)},
+        {"s4-t4-steal-relaxed-256", 4, sim::ExecPolicy{4, true, 1},
+         relaxed(256)},
+    };
+    const std::string note =
+        bench::undersubscribedNote("perf_hotpath --relaxed", 4);
+    const obs::TraceOptions no_trace;
+    const flow::Fidelity cycle = flow::Fidelity::Cycle;
+
+    bool census_ok = true;       // strict rows vs serial, bit-exact
+    bool conserved = true;       // relaxed rows: instructions vs serial
+    bool skew_bounded = true;    // max observed skew <= bound, per run
+    bool replicas_match = true;  // policy replicas vs s4-relaxed-256
+
+    for (SyncRow &row : rows) {
+        for (const auto &[cfg_name, cfg] : configs) {
+            for (const auto &app : bench::apps()) {
+                const RunResult r = harness::runWorkload(
+                    app, cfg, scale, row.shards, no_trace, row.exec,
+                    cycle, row.sync);
+                row.events += r.events;
+                row.cycles += r.cycles;
+                row.instructions += r.instructions;
+                row.quanta += r.quantaExecuted;
+                row.stallTicks += r.barrierStallTicks;
+                row.residualStall += r.residualStallTicks;
+                row.maxSkew = std::max(row.maxSkew, r.maxObservedSkew);
+                if (r.meanObservedSkew > 0) {
+                    row.skewSum += r.meanObservedSkew;
+                    ++row.skewPoints;
+                }
+                row.lateArrivals += r.lateArrivals;
+                row.lateCredits += r.lateCredits;
+                row.lateDisplacement += r.lateDisplacementTicks;
+                row.maxLateDisplacement = std::max(
+                    row.maxLateDisplacement, r.maxLateDisplacement);
+                row.wall += r.wallSeconds;
+                if (row.sync.mode == sim::SyncMode::Relaxed &&
+                    r.maxObservedSkew >
+                        static_cast<std::uint64_t>(
+                            row.sync.skewBound)) {
+                    std::cerr << "perf_hotpath --relaxed: skew bound "
+                                 "VIOLATED at "
+                              << row.label << "/" << cfg_name << "/"
+                              << app << ": " << r.maxObservedSkew
+                              << " > " << row.sync.skewBound << "\n";
+                    skew_bounded = false;
+                }
+                row.results.push_back(r);
+            }
+        }
+        const SyncRow &serial_row = rows.front();
+        if (&row != &serial_row) {
+            if (row.sync.mode == sim::SyncMode::Strict &&
+                (row.events != serial_row.events ||
+                 row.cycles != serial_row.cycles)) {
+                std::cerr << "perf_hotpath --relaxed: strict census "
+                             "diverged at "
+                          << row.label << "\n";
+                census_ok = false;
+            }
+            if (row.instructions != serial_row.instructions) {
+                std::cerr << "perf_hotpath --relaxed: instruction "
+                             "conservation BROKEN at "
+                          << row.label << ": " << row.instructions
+                          << " vs serial " << serial_row.instructions
+                          << "\n";
+                conserved = false;
+            }
+        }
+        std::cerr << row.label << ": " << row.events << " events / "
+                  << row.quanta << " quanta / " << row.residualStall
+                  << " residual stall, max skew " << row.maxSkew
+                  << ", " << row.lateArrivals << " late arrivals ("
+                  << row.wall << "s)\n";
+    }
+
+    // The headline relaxed point and its executor-policy replicas must
+    // report identical measurements run-for-run.
+    {
+        const SyncRow *headline = nullptr;
+        for (const SyncRow &row : rows)
+            if (row.label == "s4-relaxed-256")
+                headline = &row;
+        for (const SyncRow &row : rows) {
+            if (&row == headline ||
+                row.label.find("relaxed-256") == std::string::npos)
+                continue;
+            for (std::size_t i = 0; i < row.results.size(); ++i) {
+                if (!harness::sameMeasurement(row.results[i],
+                                              headline->results[i])) {
+                    std::cerr << "perf_hotpath --relaxed: replica "
+                              << row.label
+                              << " DIVERGED from s4-relaxed-256 at "
+                                 "point "
+                              << i << "\n";
+                    replicas_match = false;
+                    break;
+                }
+            }
+        }
+    }
+
+    // Scale points: grids the strict doorbell barrier priced out. Each
+    // cluster count is its own simulated system, so strict and relaxed
+    // compare within a pair only. Run before the JSON opens so their
+    // conservation/skew checks feed the top-level gates.
+    struct ScalePoint
+    {
+        unsigned clusters;
+        std::string workload;
+        RunResult result;
+    };
+    std::vector<ScalePoint> scale_points;
+    for (unsigned clusters : std::vector<unsigned>{8, 16}) {
+        SystemConfig cfg = config::baselineConfig();
+        cfg.numClusters = clusters;
+        cfg.gpusPerCluster = 1;
+        const std::string app = bench::apps().front();
+        const RunResult s = harness::runWorkload(
+            app, cfg, scale, clusters, no_trace, t4, cycle, strict);
+        const RunResult x = harness::runWorkload(
+            app, cfg, scale, clusters, no_trace, t4, cycle,
+            relaxed(256));
+        if (x.instructions != s.instructions) {
+            std::cerr << "perf_hotpath --relaxed: instruction "
+                         "conservation BROKEN at " << clusters
+                      << " clusters\n";
+            conserved = false;
+        }
+        if (x.maxObservedSkew > 256) {
+            std::cerr << "perf_hotpath --relaxed: skew bound VIOLATED "
+                         "at " << clusters << " clusters\n";
+            skew_bounded = false;
+        }
+        std::cerr << "s" << clusters << ": strict "
+                  << s.quantaExecuted << " quanta vs relaxed "
+                  << x.quantaExecuted << " quanta, max skew "
+                  << x.maxObservedSkew << "\n";
+        scale_points.push_back({clusters, app, s});
+        scale_points.push_back({clusters, app, x});
+    }
+
+    std::ofstream os(out_path);
+    if (!os) {
+        std::cerr << "cannot open " << out_path << " for writing\n";
+        return 1;
+    }
+    const unsigned host_cpus = bench::hostCpus();
+    const SyncRow &strict4 = rows[1];
+    os.precision(17);
+    os << "{\n";
+    os << "  \"bench\": \"perf_relaxed\",\n";
+    os << "  \"workload_set\": \"fig14\",\n";
+    os << "  \"topology\": \"4 clusters x 1 gpu\",\n";
+    os << "  \"lookahead\": \"adaptive\",\n";
+    os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+    os << "  \"scale\": " << scale << ",\n";
+    os << "  \"env_scale\": " << harness::envScale() << ",\n";
+    os << "  \"host_cpus\": " << host_cpus << ",\n";
+    os << "  \"notes\": \"" << exp::jsonEscape(note) << "\",\n";
+    os << "  \"strict_census_identical\": "
+       << (census_ok ? "true" : "false") << ",\n";
+    os << "  \"instructions_conserved\": "
+       << (conserved ? "true" : "false") << ",\n";
+    os << "  \"skew_within_bound\": "
+       << (skew_bounded ? "true" : "false") << ",\n";
+    os << "  \"replicas_identical\": "
+       << (replicas_match ? "true" : "false") << ",\n";
+    os << "  \"points\": [";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const SyncRow &r = rows[i];
+        const bool is_relaxed = r.sync.mode == sim::SyncMode::Relaxed;
+        os << (i ? ",\n    {" : "\n    {");
+        os << "\"label\": \"" << exp::jsonEscape(r.label) << "\", "
+           << "\"shards\": " << r.shards << ", "
+           << "\"sync_mode\": \"" << sim::syncModeName(r.sync.mode)
+           << "\", "
+           << "\"skew_bound\": "
+           << (is_relaxed ? static_cast<std::uint64_t>(r.sync.skewBound)
+                          : 0)
+           << ", "
+           << "\"steal\": " << (r.exec.steal ? "true" : "false") << ", "
+           << "\"events\": " << r.events << ", "
+           << "\"cycles\": " << r.cycles << ", "
+           << "\"instructions\": " << r.instructions << ", "
+           << "\"quanta_executed\": " << r.quanta << ", "
+           << "\"barrier_stall_ticks\": " << r.stallTicks << ", "
+           << "\"residual_stall_ticks\": " << r.residualStall << ", "
+           << "\"max_observed_skew\": " << r.maxSkew << ", "
+           << "\"mean_observed_skew\": "
+           << (r.skewPoints > 0
+                   ? r.skewSum / static_cast<double>(r.skewPoints)
+                   : 0.0)
+           << ", "
+           << "\"late_arrivals\": " << r.lateArrivals << ", "
+           << "\"late_credits\": " << r.lateCredits << ", "
+           << "\"late_displacement_ticks\": " << r.lateDisplacement
+           << ", "
+           << "\"max_late_displacement\": " << r.maxLateDisplacement
+           << ", "
+           << "\"quanta_reduction_x\": "
+           << (is_relaxed && r.quanta > 0
+                   ? static_cast<double>(strict4.quanta) /
+                         static_cast<double>(r.quanta)
+                   : 1.0)
+           << ", "
+           << "\"residual_stall_reduction_frac\": "
+           << (is_relaxed && strict4.residualStall > 0
+                   ? 1.0 - static_cast<double>(r.residualStall) /
+                               static_cast<double>(strict4.residualStall)
+                   : 0.0)
+           << ", "
+           << "\"cycles_relerr\": "
+           << (rows.front().cycles > 0
+                   ? (static_cast<double>(r.cycles) -
+                      static_cast<double>(rows.front().cycles)) /
+                         static_cast<double>(rows.front().cycles)
+                   : 0.0)
+           << ", "
+           << "\"wall_seconds\": " << r.wall << ", "
+           << "\"events_per_second\": "
+           << eventsPerSecond(r.events, r.wall) << "}";
+    }
+    os << "\n  ],\n";
+    os << "  \"scale_points\": [";
+    for (std::size_t i = 0; i < scale_points.size(); ++i) {
+        const ScalePoint &p = scale_points[i];
+        const RunResult &r = p.result;
+        os << (i ? ",\n    {" : "\n    {");
+        os << "\"label\": \"s" << p.clusters << "-"
+           << sim::syncModeName(r.syncMode) << "\", "
+           << "\"clusters\": " << p.clusters << ", "
+           << "\"shards\": " << p.clusters << ", "
+           << "\"workload\": \"" << exp::jsonEscape(p.workload)
+           << "\", "
+           << "\"sync_mode\": \"" << sim::syncModeName(r.syncMode)
+           << "\", "
+           << "\"skew_bound\": "
+           << static_cast<std::uint64_t>(r.skewBound) << ", "
+           << "\"events\": " << r.events << ", "
+           << "\"cycles\": "
+           << static_cast<std::uint64_t>(r.cycles) << ", "
+           << "\"instructions\": " << r.instructions << ", "
+           << "\"quanta_executed\": " << r.quantaExecuted << ", "
+           << "\"residual_stall_ticks\": " << r.residualStallTicks
+           << ", "
+           << "\"max_observed_skew\": " << r.maxObservedSkew << ", "
+           << "\"late_arrivals\": " << r.lateArrivals << ", "
+           << "\"wall_seconds\": " << r.wallSeconds << "}";
+    }
+    os << "\n  ]\n}\n";
+
+    const bool ok =
+        census_ok && conserved && skew_bounded && replicas_match;
+    std::cout << "perf_hotpath --relaxed: "
+              << (ok ? "PASS" : "FAIL") << " — strict census "
+              << (census_ok ? "identical" : "DIVERGED")
+              << ", instructions "
+              << (conserved ? "conserved" : "BROKEN") << ", skew "
+              << (skew_bounded ? "within bound" : "OUT OF BOUND")
+              << ", replicas "
+              << (replicas_match ? "identical" : "DIVERGED")
+              << ", host_cpus=" << host_cpus << " (JSON: " << out_path
+              << ")\n";
+    return ok ? 0 : 1;
 }
 
 /**
@@ -827,6 +1191,7 @@ main(int argc, char **argv)
     bool worksteal_bench = false;
     bool obs_bench = false;
     bool flow_bench = false;
+    bool relaxed_bench = false;
     double scale = 1.0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -846,6 +1211,8 @@ main(int argc, char **argv)
             obs_bench = true;
         } else if (arg == "--flow") {
             flow_bench = true;
+        } else if (arg == "--relaxed") {
+            relaxed_bench = true;
         } else if (arg == "--scale" && i + 1 < argc) {
             const std::string value = argv[++i];
             char *end = nullptr;
@@ -859,7 +1226,8 @@ main(int argc, char **argv)
         } else {
             std::cerr << "usage: perf_hotpath [--out FILE] [--quick]"
                          " [--scale S] [--shards [--adaptive]]"
-                         " [--worksteal] [--obs [--ref FILE]] [--flow]\n";
+                         " [--worksteal] [--obs [--ref FILE]] [--flow]"
+                         " [--relaxed]\n";
             return 2;
         }
     }
@@ -876,12 +1244,19 @@ main(int argc, char **argv)
         std::cerr << "perf_hotpath: --flow excludes the other modes\n";
         return 2;
     }
+    if (relaxed_bench &&
+        (shard_bench || obs_bench || worksteal_bench || flow_bench)) {
+        std::cerr << "perf_hotpath: --relaxed excludes the other "
+                     "modes\n";
+        return 2;
+    }
     if (out_path.empty()) {
         out_path = shard_bench ? (adaptive ? "BENCH_adaptive.json"
                                            : "BENCH_parallel.json")
                    : worksteal_bench ? "BENCH_worksteal.json"
                    : obs_bench       ? "BENCH_obs.json"
                    : flow_bench      ? "BENCH_flow.json"
+                   : relaxed_bench   ? "BENCH_relaxed.json"
                                      : "BENCH_hotpath.json";
     }
     if (shard_bench)
@@ -892,6 +1267,8 @@ main(int argc, char **argv)
         return runObsBench(out_path, quick, scale, ref_path);
     if (flow_bench)
         return runFlowBench(out_path, quick, scale);
+    if (relaxed_bench)
+        return runRelaxedBench(out_path, quick, scale);
 
     std::vector<std::pair<std::string, SystemConfig>> configs = {
         {"base", config::baselineConfig()},

@@ -114,6 +114,9 @@ main(int argc, char **argv)
     }
 
     const bool long_window = serveLongFromEnv();
+    // The determinism leg runs every point at 2 shards.
+    const std::string note =
+        bench::undersubscribedNote("serve_saturation", 2);
 
     serve::ServeConfig sc;
     sc.enabled = true;
@@ -230,6 +233,7 @@ main(int argc, char **argv)
     os << "  \"scale\": " << scale << ",\n";
     os << "  \"env_scale\": " << harness::envScale() << ",\n";
     os << "  \"host_cpus\": " << host_cpus << ",\n";
+    os << "  \"notes\": \"" << exp::jsonEscape(note) << "\",\n";
     os << "  \"shard_identical\": " << (all_ok ? "true" : "false")
        << ",\n";
     os << "  \"points\": [";

@@ -26,6 +26,8 @@ constexpr Rate kStableSlack = kRateOne / 4;
 FidelityController::FidelityController(const config::SystemConfig &cfg,
                                        Fidelity fidelity)
     : cfg_(cfg), fidelity_(fidelity),
+      epochTicks_(flowEpochTicksFromEnv(kDefaultEpochTicks)),
+      stableEpochs_(flowStableEpochsFromEnv(kDefaultStableEpochs)),
       trimEngine_(cfg.netcrafter.trimGranularity)
 {
     NC_ASSERT(fidelity != Fidelity::Cycle,
@@ -96,8 +98,8 @@ FidelityController::advanceEpochs(Lane &lane, Tick now)
     // landing before the lane's current epoch simply count into it.
     if (now < lane.epochStart)
         return;
-    while (now - lane.epochStart >= kEpochTicks) {
-        const Rate rate = (lane.epochBytes << 16) / kEpochTicks;
+    while (now - lane.epochStart >= epochTicks_) {
+        const Rate rate = (lane.epochBytes << 16) / epochTicks_;
         lane.epochBytes = 0;
         ++stats_.epochsClosed;
 
@@ -111,10 +113,10 @@ FidelityController::advanceEpochs(Lane &lane, Tick now)
         }
 
         if (stable) {
-            if (lane.stableEpochs < kStableEpochs)
+            if (lane.stableEpochs < stableEpochs_)
                 ++lane.stableEpochs;
             if (!lane.flowLane && fidelity_ == Fidelity::Hybrid &&
-                lane.stableEpochs >= kStableEpochs) {
+                lane.stableEpochs >= stableEpochs_) {
                 lane.flowLane = true;
                 ++stats_.laneActivations;
                 // Live-telemetry gauge: hybrid lanes currently riding
@@ -140,13 +142,13 @@ FidelityController::advanceEpochs(Lane &lane, Tick now)
             }
         }
 
-        lane.epochStart += kEpochTicks;
-        if (now - lane.epochStart >= 4 * kEpochTicks) {
+        lane.epochStart += epochTicks_;
+        if (now - lane.epochStart >= 4 * epochTicks_) {
             // Long idle gap: one zero-rate close settles the lane,
             // then jump to the epoch containing `now` (still aligned
-            // to kEpochTicks multiples) instead of looping per epoch.
+            // to epochTicks_ multiples) instead of looping per epoch.
             lane.lastRate = 0;
-            if (lane.stableEpochs < kStableEpochs)
+            if (lane.stableEpochs < stableEpochs_)
                 ++lane.stableEpochs;
             if (lane.hasFlow) {
                 model_.setDemand(lane.flow, 0);
@@ -154,7 +156,7 @@ FidelityController::advanceEpochs(Lane &lane, Tick now)
             }
             ++stats_.epochsClosed;
             lane.epochStart =
-                now - (now - lane.epochStart) % kEpochTicks;
+                now - (now - lane.epochStart) % epochTicks_;
         }
     }
 }

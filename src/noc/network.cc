@@ -257,4 +257,58 @@ Network::maxIngressDepth() const
     return depth;
 }
 
+std::uint64_t
+Network::interClusterFlitsDelivered() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &[key, il] : interLinks_)
+        sum += il.channel->flitsDelivered();
+    return sum;
+}
+
+std::uint64_t
+Network::interClusterBytesDelivered() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &[key, il] : interLinks_)
+        sum += il.channel->bytesDelivered();
+    return sum;
+}
+
+std::uint64_t
+Network::lateSlottedFlits() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &[key, il] : interLinks_)
+        sum += il.channel->lateSlottedFlits();
+    return sum;
+}
+
+std::uint64_t
+Network::lateSlottedCredits() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &[key, il] : interLinks_)
+        sum += il.channel->lateSlottedCredits();
+    return sum;
+}
+
+std::uint64_t
+Network::lateDisplacementTicks() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &[key, il] : interLinks_)
+        sum += il.channel->lateDisplacementTicks();
+    return sum;
+}
+
+std::uint64_t
+Network::maxLateDisplacement() const
+{
+    std::uint64_t max = 0;
+    for (const auto &[key, il] : interLinks_)
+        max = std::max(max, il.channel->maxLateDisplacement());
+    return max;
+}
+
 } // namespace netcrafter::noc

@@ -111,6 +111,26 @@ class Network : public sim::SimObject
     /** Peak per-channel ingress-queue depth at a quantum barrier. */
     std::size_t maxIngressDepth() const;
 
+    /** Sum of flits delivered into sink buffers (conservation side of
+     *  interClusterFlits(); excludes flow-credited synthetic flits). */
+    std::uint64_t interClusterFlitsDelivered() const;
+
+    /** Sum of wire bytes delivered into sink buffers. */
+    std::uint64_t interClusterBytesDelivered() const;
+
+    /** Cross-shard arrivals late-slotted at the receiver's current
+     *  tick (relaxed sync only; always 0 under Strict). */
+    std::uint64_t lateSlottedFlits() const;
+
+    /** Credit returns late-slotted at the source side. */
+    std::uint64_t lateSlottedCredits() const;
+
+    /** Total forward displacement in ticks over all late slots. */
+    std::uint64_t lateDisplacementTicks() const;
+
+    /** Largest single late-slot displacement in ticks. */
+    std::uint64_t maxLateDisplacement() const;
+
     const config::SystemConfig &cfg() const { return cfg_; }
 
     /** The flow-lane controller; nullptr at cycle fidelity. */

@@ -1,0 +1,129 @@
+#include "src/obs/skew_auditor.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace netcrafter::obs {
+
+namespace {
+
+/** FNV-1a fold of one 64-bit word into @p h. */
+inline std::uint64_t
+fnv1a(std::uint64_t h, std::uint64_t word)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (word >> (i * 8)) & 0xffu;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/**
+ * Per-lane audit state. Arrivals sharing one tick are a simultaneous
+ * batch with no order among them (the canonical sort breaks the tie by
+ * packet id on both ends), so FIFO is judged across ticks: an arrival
+ * reorders its lane iff a flit that departed after it already arrived
+ * at a strictly earlier tick.
+ */
+struct LaneState
+{
+    /** Outstanding departures: flit key -> (departure order, tick). */
+    std::unordered_map<std::uint64_t,
+                       std::pair<std::uint64_t, Tick>>
+        outstanding;
+
+    std::uint64_t nextDepartSeq = 0;
+
+    Tick batchTick = 0;
+    std::uint64_t maxSeqBeforeBatch = 0;
+    std::uint64_t maxSeqInBatch = 0;
+    bool sawArrival = false;
+    bool anyEarlierBatch = false;
+};
+
+/** Flit identity within a lane: packet id and flit sequence number. */
+inline std::uint64_t
+flitKey(const TraceRecord &rec)
+{
+    return (rec.id << 16) | (rec.b & 0xffffu);
+}
+
+} // namespace
+
+SkewAuditReport
+auditSkew(const std::vector<TraceRecord> &merged)
+{
+    SkewAuditReport report;
+    std::unordered_map<std::uint16_t, LaneState> lanes;
+
+    for (const TraceRecord &rec : merged) {
+        ++report.records;
+        report.digest = fnv1a(report.digest, rec.tick);
+        report.digest = fnv1a(report.digest, rec.id);
+        report.digest = fnv1a(
+            report.digest,
+            (static_cast<std::uint64_t>(rec.a) << 32) | rec.b);
+        report.digest = fnv1a(
+            report.digest,
+            (static_cast<std::uint64_t>(rec.lane) << 16) |
+                (static_cast<std::uint64_t>(rec.kind) << 8) |
+                rec.stage);
+
+        const auto stage = static_cast<TraceStage>(rec.stage);
+        if (stage == TraceStage::WireDepart) {
+            ++report.wireDeparts;
+            LaneState &lane = lanes[rec.lane];
+            lane.outstanding.emplace(
+                flitKey(rec),
+                std::make_pair(lane.nextDepartSeq++, rec.tick));
+        } else if (stage == TraceStage::WireArrive) {
+            ++report.wireArrives;
+            LaneState &lane = lanes[rec.lane];
+            const auto it = lane.outstanding.find(flitKey(rec));
+            if (it == lane.outstanding.end()) {
+                ++report.orphanArrivals;
+                continue;
+            }
+            const auto [depart_seq, depart_tick] = it->second;
+            lane.outstanding.erase(it);
+
+            if (rec.tick < depart_tick) {
+                ++report.negativeLatencies;
+            } else {
+                const std::uint64_t latency = rec.tick - depart_tick;
+                report.maxWireLatency =
+                    std::max(report.maxWireLatency, latency);
+                report.totalWireLatencyTicks += latency;
+            }
+
+            if (!lane.sawArrival) {
+                lane.sawArrival = true;
+                lane.batchTick = rec.tick;
+                lane.maxSeqInBatch = depart_seq;
+            } else if (rec.tick != lane.batchTick) {
+                lane.maxSeqBeforeBatch =
+                    lane.anyEarlierBatch
+                        ? std::max(lane.maxSeqBeforeBatch,
+                                   lane.maxSeqInBatch)
+                        : lane.maxSeqInBatch;
+                lane.anyEarlierBatch = true;
+                lane.batchTick = rec.tick;
+                lane.maxSeqInBatch = depart_seq;
+            } else {
+                lane.maxSeqInBatch =
+                    std::max(lane.maxSeqInBatch, depart_seq);
+            }
+            if (lane.anyEarlierBatch &&
+                depart_seq < lane.maxSeqBeforeBatch) {
+                ++report.reorderedArrivals;
+            }
+        }
+    }
+
+    report.lanesAudited = lanes.size();
+    for (const auto &[lane_id, lane] : lanes)
+        report.undeliveredDeparts += lane.outstanding.size();
+    return report;
+}
+
+} // namespace netcrafter::obs

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * SkewAuditor: trace-based accuracy auditor for relaxed-sync runs.
+ *
+ * A Relaxed run lets shards free-run up to the skew bound past the
+ * slowest shard, and slots cross-shard arrivals whose stamped tick is
+ * already in the receiver's past at the receiver's current tick. Two
+ * properties must survive that relaxation exactly, and both are
+ * checkable from the merged trace stream alone:
+ *
+ *  - per-channel FIFO order: on every directed wire lane, flits arrive
+ *    in exactly the order they departed — late-slotting moves arrivals
+ *    forward in time but never reorders a channel;
+ *  - conservation: every departed flit arrives (no loss, no
+ *    duplication), so the per-lane depart and arrive multisets match.
+ *
+ * The auditor folds one pass over the canonical merged stream (sorted
+ * TraceRecords are shard-count independent, see trace.hh) and reports
+ * the violation counts plus a record digest. The digest is an FNV-1a
+ * fold over every record's fields: two runs produced the same trace iff
+ * the digests and record counts match, which is how the skew-bound-0
+ * bit-identity gate compares a Relaxed(S=0) run against Strict without
+ * holding both streams in memory.
+ */
+
+#ifndef NETCRAFTER_OBS_SKEW_AUDITOR_HH
+#define NETCRAFTER_OBS_SKEW_AUDITOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/obs/trace.hh"
+
+namespace netcrafter::obs {
+
+/** What one auditSkew() fold observed. */
+struct SkewAuditReport
+{
+    /** Records folded (all kinds). */
+    std::uint64_t records = 0;
+
+    /** WireDepart / WireArrive stage records seen. */
+    std::uint64_t wireDeparts = 0;
+    std::uint64_t wireArrives = 0;
+
+    /** Distinct wire lanes that carried at least one flit. */
+    std::uint64_t lanesAudited = 0;
+
+    /** Arrivals that violated their lane's departure order — must be
+     *  zero under both Strict and Relaxed execution. */
+    std::uint64_t reorderedArrivals = 0;
+
+    /** Arrivals with no matching departure, plus departures that never
+     *  arrived — must both be zero after a drained run. */
+    std::uint64_t orphanArrivals = 0;
+    std::uint64_t undeliveredDeparts = 0;
+
+    /** Arrivals stamped before their departure tick — impossible by
+     *  construction; non-zero means a corrupted stream. */
+    std::uint64_t negativeLatencies = 0;
+
+    /** Max and summed wire latency (arrive - depart) over all flits,
+     *  in ticks. Late-slotting shows up here as added latency. */
+    std::uint64_t maxWireLatency = 0;
+    std::uint64_t totalWireLatencyTicks = 0;
+
+    /** FNV-1a digest over every record's fields, in stream order. */
+    std::uint64_t digest = 0;
+
+    /** True when no FIFO, conservation, or causality violation was
+     *  observed. */
+    bool
+    clean() const
+    {
+        return reorderedArrivals == 0 && orphanArrivals == 0 &&
+               undeliveredDeparts == 0 && negativeLatencies == 0;
+    }
+};
+
+/**
+ * Fold @p merged (the canonical sorted stream from TraceSink::merged())
+ * and report per-lane FIFO/conservation violations, wire-latency
+ * extrema, and the stream digest. Requires at least TraceLevel::Links
+ * so WireDepart/WireArrive records exist; with an empty stream the
+ * report is all-zero (and clean()).
+ */
+SkewAuditReport auditSkew(const std::vector<TraceRecord> &merged);
+
+} // namespace netcrafter::obs
+
+#endif // NETCRAFTER_OBS_SKEW_AUDITOR_HH

@@ -76,6 +76,20 @@
  * the stall that still manifests as host idle time. Steal counters and
  * coverage depend on host scheduling and are diagnostics, never
  * measurements.
+ *
+ * Bounded relaxed windows (SyncMode::Relaxed with a non-zero skew
+ * bound) are free-run regions, not tick fences, so the window-tail
+ * rule would score fictional idleness there: a wide window's tail is
+ * not a wait, because the round ends when its slowest participant
+ * drains. Those rounds instead settle their stall at the next
+ * decide(), once the laggard is known: each active shard is charged
+ * from the tick its next runnable work existed (its own queue or a
+ * sealed arrival — the same signal the strict active set uses to
+ * grant idle parks) to the laggard's resume point. Ticks parked with
+ * an empty horizon score zero, exactly as strict idle parks do, which
+ * keeps the strict and relaxed stall columns comparable. The charge
+ * is a pure function of pre-barrier simulation state, so it is
+ * executor- and steal-policy-invariant like every other measurement.
  */
 
 #ifndef NETCRAFTER_SIM_SHARDED_ENGINE_HH
@@ -113,6 +127,60 @@ enum class LookaheadMode : std::uint8_t
 /** Process-wide default mode newly built ShardedEngines start in. */
 void setDefaultLookaheadMode(LookaheadMode mode);
 LookaheadMode defaultLookaheadMode();
+
+/** How strictly the barrier protocol bounds cross-shard clock skew. */
+enum class SyncMode : std::uint8_t
+{
+    /**
+     * Conservative windows only (PR 3/5): nothing sent inside a window
+     * can arrive inside it, so results are bit-identical to serial
+     * execution at every shard count.
+     */
+    Strict,
+
+    /**
+     * Graphite-style bounded-skew free-running: each round's window is
+     * widened to at least skewBound ticks past the slowest shard, so a
+     * leading shard may run ahead of a cross-shard arrival addressed to
+     * it. Such late arrivals are slotted at the receiver's current tick
+     * (per-channel FIFO order and packet/byte conservation still hold
+     * exactly — see noc::WireChannel::importAtDst). The doorbell
+     * barrier degrades into a periodic epoch rendezvous used only for
+     * skew-bound enforcement, ingress, and steal-ledger refresh.
+     * Reproducible for a fixed (seed, shards, threads, skew bound) —
+     * the epoch schedule is a pure function of pre-barrier sim state,
+     * so it is executor-invariant like the strict protocol — but NOT
+     * bit-identical to Strict; tools/audit-skew measures the accuracy
+     * cost. A skew bound of 0 degenerates to exactly Strict.
+     */
+    Relaxed,
+};
+
+/** Stable lower-case name for a sync mode ("strict"/"relaxed"). */
+const char *syncModeName(SyncMode mode);
+
+/**
+ * Synchronization policy of a sharded run: the mode plus the skew bound
+ * S (in ticks) a Relaxed run may let a shard free-run past the slowest
+ * shard. Ignored (and harmless) when the mode is Strict or the system
+ * has one shard.
+ */
+struct SyncPolicy
+{
+    SyncMode mode = SyncMode::Strict;
+
+    /**
+     * Maximum ticks a shard may lead the slowest shard in Relaxed mode.
+     * Each epoch window covers [m, max(adaptive_end, m + skewBound)],
+     * so 0 reproduces the strict window exactly and larger bounds trade
+     * rendezvous rounds for timing displacement on late arrivals. The
+     * default equals interLinkLatency — the largest bound the committed
+     * VALIDATE_relaxed.json certifies within the 2% error budget;
+     * tools/audit-skew re-measures the cost of any larger bound (it
+     * grows steeply: see the bench sweep in BENCH_relaxed.json).
+     */
+    Tick skewBound = 16;
+};
 
 /**
  * How a ShardedEngine maps shards (deterministic work partitions) onto
@@ -252,6 +320,10 @@ struct RoundRecord
      *  donor/thief imbalance stealing exists to exploit). */
     std::uint64_t loadSpread = 0;
 
+    /** Observed clock skew at this rendezvous (always 0 in Strict
+     *  mode); the per-epoch sample behind maxObservedSkew(). */
+    std::uint64_t maxSkew = 0;
+
     /** Cumulative per-phase host seconds (summed over threads) at the
      *  time the round was decided; zeros unless self-profiling is
      *  armed. Feeds the host-trace phase counter tracks. */
@@ -309,6 +381,31 @@ class ShardedEngine
     /** Select the window policy (default: the process-wide default). */
     void setLookaheadMode(LookaheadMode mode) { mode_ = mode; }
     LookaheadMode lookaheadMode() const { return mode_; }
+
+    /**
+     * Select the synchronization policy. Must be set before the first
+     * run(); the mode is part of the result's identity (a Relaxed run
+     * is reproducible but not bit-identical to Strict), so it is fixed
+     * for the engine's lifetime in practice.
+     */
+    void setSyncPolicy(SyncPolicy sync) { sync_ = sync; }
+    const SyncPolicy &syncPolicy() const { return sync_; }
+    SyncMode syncMode() const { return sync_.mode; }
+
+    /**
+     * Largest observed clock skew, in ticks: max over epochs of
+     * (leading shard clock - slowest shard's next runnable tick),
+     * sampled by the coordinator at each bounded-window rendezvous.
+     * Always 0 in Strict mode (conservative windows keep every shard
+     * inside the safe horizon); in Relaxed mode strictly below the
+     * skew bound by construction — the widened window ends at
+     * m + skewBound and the next epoch's floor advances by at least
+     * the minimum cross-shard latency.
+     */
+    std::uint64_t maxObservedSkew() const { return maxObservedSkew_; }
+
+    /** Mean/min/max observed skew over the same per-epoch samples. */
+    const stats::Average &skewAvg() const { return skewAvg_; }
 
     /**
      * Drain every shard (or stop once the earliest pending event lies
@@ -520,6 +617,7 @@ class ShardedEngine
     std::vector<CrossShardPort *> ports_;
     Tick lookahead_ = kTickNever;
     LookaheadMode mode_ = defaultLookaheadMode();
+    SyncPolicy sync_;
     ExecPolicy exec_;
     unsigned threads_ = 1;
 
@@ -535,6 +633,8 @@ class ShardedEngine
     stats::Distribution windowDist_;
     stats::Average windowAvg_;
     stats::Average loadSpread_;
+    std::uint64_t maxObservedSkew_ = 0;
+    stats::Average skewAvg_;
 
     // Per-thread executor tallies, written only by the owning thread
     // during rounds and read after runs complete.

@@ -12,6 +12,7 @@
 #include "src/config/system_config.hh"
 #include "src/exp/result_cache.hh"
 #include "src/flow/fidelity.hh"
+#include "src/flow/fidelity_controller.hh"
 #include "src/harness/runner.hh"
 #include "src/obs/trace.hh"
 #include "src/sim/sharded_engine.hh"
@@ -173,6 +174,84 @@ TEST(CacheKeyFidelity, ApproximateResultNeverAnswersACycleRequest)
     EXPECT_TRUE(hit);
     EXPECT_EQ(again.cycles, 111u);
     EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(FlowEpochEnv, ParsesValidValues)
+{
+    EXPECT_EQ(parseFlowEpochTicksEnv("1"), 1u);
+    EXPECT_EQ(parseFlowEpochTicksEnv("256"), 256u);
+    EXPECT_EQ(parseFlowEpochTicksEnv("1073741824"), 1u << 30);
+    EXPECT_EQ(parseFlowStableEpochsEnv("1"), 1u);
+    EXPECT_EQ(parseFlowStableEpochsEnv("4"), 4u);
+    EXPECT_EQ(parseFlowStableEpochsEnv("1048576"), 1u << 20);
+}
+
+TEST(FlowEpochEnvDeathTest, GarbageIsFatal)
+{
+    // Epoch 0 would classify every lane instantly; silently clamping
+    // hides the typo, so both knobs validate like NETCRAFTER_SHARDS.
+    EXPECT_DEATH(parseFlowEpochTicksEnv("0"),
+                 "NETCRAFTER_FLOW_EPOCH_TICKS");
+    EXPECT_DEATH(parseFlowEpochTicksEnv("256ms"),
+                 "NETCRAFTER_FLOW_EPOCH_TICKS");
+    EXPECT_DEATH(parseFlowEpochTicksEnv("-16"),
+                 "NETCRAFTER_FLOW_EPOCH_TICKS");
+    EXPECT_DEATH(parseFlowEpochTicksEnv("1073741825"),
+                 "NETCRAFTER_FLOW_EPOCH_TICKS");
+    EXPECT_DEATH(parseFlowStableEpochsEnv("0"),
+                 "NETCRAFTER_FLOW_STABLE_EPOCHS");
+    EXPECT_DEATH(parseFlowStableEpochsEnv("four"),
+                 "NETCRAFTER_FLOW_STABLE_EPOCHS");
+    EXPECT_DEATH(parseFlowStableEpochsEnv("1048577"),
+                 "NETCRAFTER_FLOW_STABLE_EPOCHS");
+}
+
+TEST(FlowEpochEnv, EnvironmentOverridesControllerDefaults)
+{
+    ::unsetenv("NETCRAFTER_FLOW_EPOCH_TICKS");
+    ::unsetenv("NETCRAFTER_FLOW_STABLE_EPOCHS");
+    EXPECT_EQ(flowEpochTicksFromEnv(
+                  FidelityController::kDefaultEpochTicks),
+              FidelityController::kDefaultEpochTicks);
+    EXPECT_EQ(flowStableEpochsFromEnv(
+                  FidelityController::kDefaultStableEpochs),
+              FidelityController::kDefaultStableEpochs);
+
+    ::setenv("NETCRAFTER_FLOW_EPOCH_TICKS", "512", 1);
+    ::setenv("NETCRAFTER_FLOW_STABLE_EPOCHS", "8", 1);
+    EXPECT_EQ(flowEpochTicksFromEnv(
+                  FidelityController::kDefaultEpochTicks),
+              512u);
+    EXPECT_EQ(flowStableEpochsFromEnv(
+                  FidelityController::kDefaultStableEpochs),
+              8u);
+
+    // A constructed controller picks the override up.
+    const FidelityController ctl(config::baselineConfig(),
+                                 Fidelity::Hybrid);
+    EXPECT_EQ(ctl.epochTicks(), 512u);
+    EXPECT_EQ(ctl.stableEpochs(), 8u);
+
+    ::unsetenv("NETCRAFTER_FLOW_EPOCH_TICKS");
+    ::unsetenv("NETCRAFTER_FLOW_STABLE_EPOCHS");
+}
+
+TEST(FlowEpochEnv, KnobsShiftTheHybridHandoverPoint)
+{
+    // A much longer epoch with a higher stability requirement delays
+    // (or prevents) flow-lane handover, so the hybrid run hands fewer
+    // packets to the flow model than the default-knob run. Both remain
+    // valid hybrid runs; only the split moves.
+    const harness::RunResult defaults = runAt("GUPS", Fidelity::Hybrid);
+    ::setenv("NETCRAFTER_FLOW_EPOCH_TICKS", "65536", 1);
+    ::setenv("NETCRAFTER_FLOW_STABLE_EPOCHS", "64", 1);
+    const harness::RunResult sluggish = runAt("GUPS", Fidelity::Hybrid);
+    ::unsetenv("NETCRAFTER_FLOW_EPOCH_TICKS");
+    ::unsetenv("NETCRAFTER_FLOW_STABLE_EPOCHS");
+
+    EXPECT_LE(sluggish.flowPackets, defaults.flowPackets);
+    EXPECT_EQ(defaults.instructions, sluggish.instructions)
+        << "epoch knobs may move the lane split, never the work";
 }
 
 } // namespace

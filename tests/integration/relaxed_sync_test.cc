@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Relaxed-sync contract tests: Relaxed mode trades bit-identity with
+ * Strict for fewer rendezvous rounds, but it keeps its own determinism
+ * contract — the same (workload, config, shards, skew bound) must
+ * reproduce the same measurement regardless of executor threads or
+ * stealing — and its physical invariants are exact, not approximate:
+ * per-channel FIFO order, packet/byte conservation, skew never past
+ * the bound, and skew bound 0 degenerating to Strict bit-for-bit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/config/exec_config.hh"
+#include "src/gpu/system.hh"
+#include "src/harness/runner.hh"
+#include "src/obs/skew_auditor.hh"
+#include "src/sim/sharded_engine.hh"
+#include "src/workloads/workload.hh"
+
+namespace netcrafter {
+namespace {
+
+config::SystemConfig
+shrink(config::SystemConfig cfg)
+{
+    cfg.cusPerGpu = 8;
+    cfg.maxWavesPerCu = 4;
+    cfg.numClusters = 4;
+    cfg.gpusPerCluster = 1;
+    return cfg;
+}
+
+constexpr double kTinyScale = 0.34;
+constexpr Tick kBound = 96;
+
+const sim::SyncPolicy kStrict{};
+const sim::SyncPolicy kRelaxed{sim::SyncMode::Relaxed, kBound};
+
+harness::RunResult
+runPoint(const std::string &app, const config::SystemConfig &cfg,
+         unsigned shards, const sim::ExecPolicy &exec,
+         const sim::SyncPolicy &sync)
+{
+    return harness::runWorkload(app, cfg, kTinyScale, shards, {}, exec,
+                                flow::Fidelity::Cycle, sync);
+}
+
+/**
+ * Relaxed determinism: for a fixed skew bound, the epoch schedule is a
+ * pure function of pre-barrier simulated state, so repeated runs and
+ * every executor mapping (thread count, stealing) must agree
+ * measurement-for-measurement.
+ */
+TEST(RelaxedSyncTest, ReproducibleAcrossRunsAndExecutorPolicies)
+{
+    const config::SystemConfig cfg = shrink(config::netcrafterConfig());
+    const std::string app = "MT";
+
+    const harness::RunResult first =
+        runPoint(app, cfg, 4, {0, false, 1}, kRelaxed);
+    const harness::RunResult again =
+        runPoint(app, cfg, 4, {0, false, 1}, kRelaxed);
+    EXPECT_TRUE(sameMeasurement(first, again))
+        << "relaxed run not reproducible: " << first.cycles << " vs "
+        << again.cycles << " cycles";
+    EXPECT_EQ(first.events, again.events);
+    EXPECT_EQ(first.maxObservedSkew, again.maxObservedSkew);
+    EXPECT_EQ(first.lateArrivals, again.lateArrivals);
+
+    const sim::ExecPolicy policies[] = {
+        {1, false, 1}, {2, false, 1}, {2, true, 1}, {4, true, 64}};
+    for (const sim::ExecPolicy &exec : policies) {
+        const harness::RunResult run =
+            runPoint(app, cfg, 4, exec, kRelaxed);
+        EXPECT_TRUE(sameMeasurement(first, run))
+            << "relaxed run diverged at " << exec.threads
+            << " threads, steal=" << exec.steal << ": " << first.cycles
+            << " vs " << run.cycles << " cycles";
+        EXPECT_EQ(first.events, run.events);
+        EXPECT_EQ(first.quantaExecuted, run.quantaExecuted);
+        EXPECT_EQ(first.barrierStallTicks, run.barrierStallTicks);
+    }
+}
+
+/** Skew bound 0 widens no window and slots nothing late: bit-identical
+ *  to Strict, including the event census and the sync diagnostics. */
+TEST(RelaxedSyncTest, ZeroBoundDegeneratesToStrict)
+{
+    for (const char *app : {"GUPS", "MT"}) {
+        const config::SystemConfig cfg =
+            shrink(config::baselineConfig());
+        const harness::RunResult strict =
+            runPoint(app, cfg, 4, {0, false, 1}, kStrict);
+        const harness::RunResult zero = runPoint(
+            app, cfg, 4, {0, false, 1},
+            sim::SyncPolicy{sim::SyncMode::Relaxed, 0});
+
+        EXPECT_TRUE(sameMeasurement(strict, zero))
+            << app << ": skew bound 0 diverged from strict";
+        EXPECT_EQ(strict.events, zero.events) << app;
+        EXPECT_EQ(strict.interFlits, zero.interFlits) << app;
+        EXPECT_EQ(strict.quantaExecuted, zero.quantaExecuted) << app;
+        EXPECT_EQ(zero.maxObservedSkew, 0u) << app;
+        EXPECT_EQ(zero.lateArrivals, 0u) << app;
+        EXPECT_EQ(zero.lateCredits, 0u) << app;
+    }
+}
+
+/** Strict runs observe no skew and slot nothing late, whatever the
+ *  configured bound says. */
+TEST(RelaxedSyncTest, StrictObservesNoSkew)
+{
+    const config::SystemConfig cfg = shrink(config::baselineConfig());
+    const harness::RunResult strict =
+        runPoint("GUPS", cfg, 4, {0, false, 1}, kStrict);
+    EXPECT_EQ(strict.syncMode, sim::SyncMode::Strict);
+    EXPECT_EQ(strict.skewBound, 0u);
+    EXPECT_EQ(strict.maxObservedSkew, 0u);
+    EXPECT_EQ(strict.lateArrivals, 0u);
+    EXPECT_EQ(strict.lateDisplacementTicks, 0u);
+}
+
+/**
+ * The conservation-and-bound property grid: under Relaxed, observed
+ * skew never exceeds the bound, instruction counts match Strict
+ * exactly (relaxation moves timing, never work), and within each run
+ * every transferred inter-cluster flit is delivered at a wire head.
+ */
+TEST(RelaxedSyncTest, ConservationAndSkewBoundHoldAcrossTheGrid)
+{
+    const struct
+    {
+        const char *app;
+        config::SystemConfig cfg;
+    } points[] = {
+        {"GUPS", shrink(config::baselineConfig())},
+        {"MT", shrink(config::netcrafterConfig())},
+    };
+    for (const auto &point : points) {
+        const harness::RunResult strict =
+            runPoint(point.app, point.cfg, 4, {0, false, 1}, kStrict);
+        for (const Tick bound : {Tick{16}, Tick{64}, kBound}) {
+            const harness::RunResult run = runPoint(
+                point.app, point.cfg, 4, {0, false, 1},
+                sim::SyncPolicy{sim::SyncMode::Relaxed, bound});
+            EXPECT_EQ(run.syncMode, sim::SyncMode::Relaxed);
+            EXPECT_EQ(run.skewBound, bound);
+            EXPECT_LE(run.maxObservedSkew, bound)
+                << point.app << " at bound " << bound;
+            EXPECT_EQ(run.instructions, strict.instructions)
+                << point.app << " at bound " << bound
+                << ": relaxation changed the work, not just timing";
+            EXPECT_EQ(run.wireFlitsDelivered, run.interFlits)
+                << point.app << " at bound " << bound;
+            // Event and flit counts may drift (timing shifts change
+            // MSHR merges) — that is the audited accuracy cost, not a
+            // conservation failure. Rounds can only merge, never grow.
+            EXPECT_LE(run.quantaExecuted, strict.quantaExecuted)
+                << point.app << " at bound " << bound;
+        }
+    }
+}
+
+/**
+ * Trace-level FIFO property: fold the skew auditor over the merged
+ * link-level stream of a relaxed run — no (src, dst, channel) lane may
+ * deliver flits out of departure order, every departure must arrive,
+ * and no arrival may precede its departure.
+ */
+TEST(RelaxedSyncTest, MergedTraceShowsNoChannelReorders)
+{
+    obs::TraceOptions trace;
+    trace.level = obs::TraceLevel::Links;
+    const config::SystemConfig cfg = shrink(config::netcrafterConfig());
+
+    auto workload = workloads::makeWorkload("MT");
+    gpu::MultiGpuSystem system(cfg, 4, trace, {0, false, 1},
+                               flow::Fidelity::Cycle, kRelaxed);
+    system.run(*workload, kTinyScale);
+
+    const obs::SkewAuditReport report =
+        obs::auditSkew(system.traceSink()->merged());
+    EXPECT_GT(report.wireArrives, 0u);
+    EXPECT_EQ(report.reorderedArrivals, 0u);
+    EXPECT_EQ(report.orphanArrivals, 0u);
+    EXPECT_EQ(report.undeliveredDeparts, 0u);
+    EXPECT_EQ(report.negativeLatencies, 0u);
+    EXPECT_TRUE(report.clean());
+}
+
+/** Skew bound 0 reproduces the Strict link-level stream bit-for-bit:
+ *  same record count, same order-sensitive digest. */
+TEST(RelaxedSyncTest, ZeroBoundTraceDigestMatchesStrict)
+{
+    obs::TraceOptions trace;
+    trace.level = obs::TraceLevel::Links;
+    const config::SystemConfig cfg = shrink(config::baselineConfig());
+
+    auto strictRun = [&](const sim::SyncPolicy &sync) {
+        auto workload = workloads::makeWorkload("GUPS");
+        gpu::MultiGpuSystem system(cfg, 4, trace, {0, false, 1},
+                                   flow::Fidelity::Cycle, sync);
+        system.run(*workload, kTinyScale);
+        return obs::auditSkew(system.traceSink()->merged());
+    };
+    const obs::SkewAuditReport strict = strictRun(kStrict);
+    const obs::SkewAuditReport zero =
+        strictRun(sim::SyncPolicy{sim::SyncMode::Relaxed, 0});
+    EXPECT_GT(strict.records, 0u);
+    EXPECT_EQ(strict.records, zero.records);
+    EXPECT_EQ(strict.digest, zero.digest);
+    EXPECT_TRUE(strict.clean());
+    EXPECT_TRUE(zero.clean());
+}
+
+TEST(RelaxedSyncConfigTest, ParseSyncModeEnv)
+{
+    EXPECT_EQ(config::parseSyncModeEnv("strict"),
+              sim::SyncMode::Strict);
+    EXPECT_EQ(config::parseSyncModeEnv("relaxed"),
+              sim::SyncMode::Relaxed);
+}
+
+TEST(RelaxedSyncConfigDeathTest, SyncModeEnvRejectsGarbage)
+{
+    EXPECT_DEATH(config::parseSyncModeEnv("eventual"),
+                 "NETCRAFTER_SYNC");
+    EXPECT_DEATH(config::parseSyncModeEnv(""), "NETCRAFTER_SYNC");
+    EXPECT_DEATH(config::parseSyncModeEnv("Strict "),
+                 "NETCRAFTER_SYNC");
+}
+
+TEST(RelaxedSyncConfigTest, ParseSkewBoundEnv)
+{
+    EXPECT_EQ(config::parseSkewBoundEnv("0"), 0u);
+    EXPECT_EQ(config::parseSkewBoundEnv("256"), 256u);
+    EXPECT_EQ(config::parseSkewBoundEnv("1099511627776"),
+              Tick{1} << 40);
+}
+
+TEST(RelaxedSyncConfigDeathTest, SkewBoundEnvRejectsGarbage)
+{
+    EXPECT_DEATH(config::parseSkewBoundEnv("-1"),
+                 "NETCRAFTER_SKEW_BOUND");
+    EXPECT_DEATH(config::parseSkewBoundEnv("16k"),
+                 "NETCRAFTER_SKEW_BOUND");
+    EXPECT_DEATH(config::parseSkewBoundEnv(""),
+                 "NETCRAFTER_SKEW_BOUND");
+    EXPECT_DEATH(config::parseSkewBoundEnv("1099511627777"),
+                 "NETCRAFTER_SKEW_BOUND");
+}
+
+} // namespace
+} // namespace netcrafter

@@ -161,13 +161,18 @@ TEST(TelemetryExport, NewColumnsAppendAtTheEndOfTheHeader)
     EXPECT_TRUE(header.find(
                     "warnings_suppressed,phase_execute_seconds,"
                     "phase_barrier_wait_seconds,phase_ingress_seconds,"
-                    "phase_steal_scan_seconds,phase_export_seconds") !=
+                    "phase_steal_scan_seconds,phase_export_seconds,"
+                    "sync_mode,skew_bound,max_observed_skew,"
+                    "mean_observed_skew,late_arrivals,late_credits,"
+                    "late_displacement_ticks,max_late_displacement,"
+                    "wire_flits_delivered,wire_bytes_delivered") !=
                 std::string::npos)
         << header;
     // Appended at the end: existing prefix-keyed consumers keep
     // working.
-    EXPECT_EQ(header.rfind("phase_export_seconds"),
-              header.size() - std::string("phase_export_seconds").size());
+    EXPECT_EQ(header.rfind("wire_bytes_delivered"),
+              header.size() -
+                  std::string("wire_bytes_delivered").size());
     EXPECT_EQ(header.rfind("job,workload,config_digest,scale,cycles"),
               0u);
 }
